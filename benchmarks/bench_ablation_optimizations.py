@@ -1,0 +1,46 @@
+"""Ablation of §2's "two optimizations".
+
+The paper attributes fast consistency's gain to (1) demand-ordered
+partner selection and (2) immediate propagation to the highest-demand
+neighbour. This benchmark separates them, and additionally probes the
+design choices DESIGN.md calls out: the downhill push rule vs an
+unconditional push, and the push fanout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import ablation_experiment
+from repro.experiments.tables import format_table
+from repro.viz.ascii import bar_chart
+
+REPS = 15
+
+
+def test_ablation_of_the_two_optimizations(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: ablation_experiment(reps=REPS, seed=1, n=50), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["variant", "mean sessions (all)", "mean sessions (top 10%)"],
+        result.rows(),
+        title=f"§2 — optimisation ablation on n=50 (reps={REPS})",
+    )
+    chart = bar_chart(
+        {v: d["mean_top"] for v, d in result.rows_by_variant.items()},
+        title="sessions to the high-demand subset (lower is better)",
+    )
+    report.add("ablation", table + "\n\n" + chart)
+
+    rows = result.rows_by_variant
+    # Each optimisation alone helps the high-demand subset.
+    assert rows["ordered-only"]["mean_top"] < rows["weak"]["mean_top"]
+    assert rows["push-only"]["mean_top"] < rows["weak"]["mean_top"]
+    # The combination is at least as good as either alone.
+    assert rows["fast"]["mean_top"] <= rows["ordered-only"]["mean_top"] * 1.05
+    assert rows["fast"]["mean_top"] <= rows["push-only"]["mean_top"] * 1.05
+    # Wider fanout can only help the high-demand subset.
+    assert rows["fast-fanout2"]["mean_top"] <= rows["fast"]["mean_top"] * 1.05
+    # Unconditional push floods everyone faster globally (it trades
+    # traffic for latency) — it must not be *slower* than downhill.
+    assert rows["fast-always"]["mean_all"] <= rows["fast"]["mean_all"] * 1.05

@@ -1,0 +1,51 @@
+"""Infrastructure micro-benchmarks: engine and end-to-end sim throughput.
+
+Not a paper artefact — these keep the simulator honest (the repro band
+notes throughput is the risk for a Python reproduction) and catch
+performance regressions in the event core that every experiment sits on.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import ReplicationSystem
+from repro.core.variants import fast_consistency
+from repro.demand.static import UniformRandomDemand
+from repro.sim.engine import Simulator
+from repro.topology.brite import internet_like
+
+
+def pump_events(n: int) -> int:
+    sim = Simulator(seed=1)
+
+    def reschedule():
+        if sim.events_executed < n:
+            sim.schedule(0.001, reschedule)
+
+    for _ in range(100):
+        sim.schedule(0.001, reschedule)
+    sim.run(max_events=n)
+    return sim.events_executed
+
+
+def test_engine_event_throughput(benchmark):
+    executed = benchmark(pump_events, 20_000)
+    assert executed == 20_000
+
+
+def run_fig5_style_trial() -> float:
+    system = ReplicationSystem(
+        topology=internet_like(50, seed=3),
+        demand=UniformRandomDemand(seed=3),
+        config=fast_consistency(),
+        seed=3,
+    )
+    system.start()
+    update = system.inject_write(0)
+    done = system.run_until_replicated(update.uid, max_time=80.0)
+    assert done is not None
+    return done
+
+
+def test_end_to_end_trial_throughput(benchmark):
+    done = benchmark(run_fig5_style_trial)
+    assert done > 0.0

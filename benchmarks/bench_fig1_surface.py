@@ -1,0 +1,43 @@
+"""Figure 1: the hills-and-valleys demand landscape.
+
+Paper reference (§1): plotting replica demand over the plane yields
+"an image of hills and valleys in which the valleys ... are the areas of
+greater demand". The benchmark builds the two-valley field used by the
+§6 experiments, renders it, and checks the landscape has the right
+shape (valley floors are the demand maxima; ridges are low).
+"""
+
+from __future__ import annotations
+
+from repro.demand.field import SurfaceDemand, Valley
+from repro.viz.surface import render_surface
+
+VALLEYS = [
+    Valley(center=(25.0, 25.0), peak=100.0, radius=12.0),
+    Valley(center=(75.0, 70.0), peak=80.0, radius=10.0),
+]
+
+
+def build_and_render() -> str:
+    field = SurfaceDemand(
+        positions={0: (0.0, 0.0), 1: (100.0, 100.0)}, valleys=VALLEYS, base=1.0
+    )
+    return render_surface(field, bounds=(0.0, 0.0, 100.0, 100.0), width=60, height=24)
+
+
+def test_fig1_demand_surface(benchmark, report):
+    art = benchmark.pedantic(build_and_render, rounds=1, iterations=1)
+    report.add("fig1", "Fig. 1 — demand landscape (valleys = high demand)\n\n" + art)
+
+    field = SurfaceDemand(
+        positions={0: (0.0, 0.0), 1: (100.0, 100.0)}, valleys=VALLEYS, base=1.0
+    )
+    # Valley floors dominate the landscape.
+    assert field.demand_at((25.0, 25.0)) > 100.0
+    assert field.demand_at((75.0, 70.0)) > 80.0
+    # The ridge between them is near base level.
+    assert field.demand_at((50.0, 47.5)) < 30.0
+    # Corners are hills.
+    assert field.demand_at((0.0, 100.0)) < 3.0
+    # The rendering marks the deepest valley with the densest glyph.
+    assert "@" in art

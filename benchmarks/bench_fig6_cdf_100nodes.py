@@ -1,0 +1,36 @@
+"""Figure 6: CDF of number of sessions for 100 nodes.
+
+Paper reference (§5): weak 6.982 sessions to all replicas, fast 4.78117,
+most-demanded replica ~1 session. Crucially, doubling the node count
+from Fig. 5 adds less than one session (the diameter effect).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6
+from repro.experiments.tables import format_table
+from repro.viz.ascii import cdf_plot
+
+REPS = 30
+
+
+def test_fig6_cdf_100_nodes(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: figure6(reps=REPS, seed=1), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["curve (mean sessions)", "paper", "measured"],
+        result.rows(),
+        title=f"Fig. 6 — n=100, reps={REPS} (paper: 10,000), "
+        f"mean diameter {result.mean_diameter:.2f}",
+    )
+    plot = cdf_plot(result.curves, result.grid, title="Fig. 6 CDF (ASCII)")
+    report.add("fig6", table + "\n\n" + plot)
+
+    means = result.means
+    assert means["fast (all replicas)"] < means["weak (all replicas)"]
+    assert means["fast (high demand)"] < 2.0
+    assert result.speedup_high_demand > 3.0
+    assert 4.5 < means["weak (all replicas)"] < 10.0
+    assert 3.0 < means["fast (all replicas)"] < 7.0

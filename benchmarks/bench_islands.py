@@ -1,0 +1,41 @@
+"""§6 extension: islands of high demand bridged through elected leaders.
+
+Paper reference (§6, ongoing work): clusters of highly consistent
+replicas ("islands") can be surrounded by low-demand regions; a leader
+election per island plus an island interconnection network "will help to
+ensure that all updates will reach very fast to any region with high
+demand".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import islands_experiment
+from repro.experiments.tables import format_table
+
+REPS = 10
+
+
+def test_islands_leader_bridges(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: islands_experiment(reps=REPS, seed=1), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["variant", "far leader", "far island (mean member)", "all replicas"],
+        result.rows(),
+        title=f"§6 — two-valley grid, {result.islands_detected} islands, reps={REPS}",
+    )
+    report.add("islands", table)
+
+    assert result.islands_detected == 2
+    plain_leader = result.mean_far_leader["fast"]
+    bridged_leader = result.mean_far_leader["fast+bridges"]
+    # The far island's leader hears about the update at overlay speed.
+    assert bridged_leader < plain_leader
+    assert bridged_leader < 1.0
+    # The whole far island benefits.
+    assert (
+        result.mean_far_island["fast+bridges"] < result.mean_far_island["fast"]
+    )
+    # Bridging never hurts global convergence.
+    assert result.mean_all["fast+bridges"] <= result.mean_all["fast"] * 1.1

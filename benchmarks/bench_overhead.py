@@ -1,0 +1,38 @@
+"""§8 overhead claims: "requires few additional bytes in the exchange of
+messages between replicas", "does not cause traffic overload".
+
+Weak and fast run on identical topologies/demands/seeds for a fixed
+window; the benchmark compares measured bytes and messages.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import overhead_experiment
+from repro.experiments.tables import format_table
+
+REPS = 8
+
+
+def test_overhead_few_additional_bytes(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: overhead_experiment(reps=REPS, seed=1, n=50, horizon=10.0),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["variant", "messages", "bytes", "fast bytes", "fast share", "t(top 10%)"],
+        result.rows(),
+        title=f"§8 — traffic over a fixed 10-session window (reps={REPS})",
+    )
+    report.add("overhead", table)
+
+    weak = result.rows_by_variant["weak"]
+    fast = result.rows_by_variant["fast"]
+    # Few additional bytes: the fast machinery adds a small fraction.
+    assert fast["bytes"] < weak["bytes"] * 1.3
+    assert fast["fast_share"] < 0.2
+    # No traffic overload: message count stays in the same ballpark.
+    assert fast["messages"] < weak["messages"] * 1.5
+    # And it buys a large latency win for high-demand replicas.
+    assert fast["time_top"] < 0.75 * weak["time_top"]

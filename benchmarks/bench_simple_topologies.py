@@ -1,0 +1,37 @@
+"""§5: "Similar results ... obtained with simpler uniform topologies
+(linear, ring, grid), with different number of nodes."
+
+The benchmark runs weak vs fast on a line, a ring and a grid and checks
+the same qualitative picture as Figs. 5-6: fast consistency reaches the
+high-demand replica much sooner and does not lose on global convergence.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import uniform_topologies
+from repro.experiments.tables import format_table
+
+REPS = 12
+
+
+def test_simple_uniform_topologies(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: uniform_topologies(reps=REPS, seed=1), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["topology", "n", "diameter", "weak mean", "fast mean", "fast top mean"],
+        result.rows(),
+        title=f"§5 — linear / ring / grid (reps={REPS})",
+    )
+    report.add("uniform", table)
+
+    for name, data in result.rows_by_name.items():
+        # Fast never loses globally (small tolerance for noise)...
+        assert data["fast_mean"] <= data["weak_mean"] * 1.05, name
+        # ...and wins clearly on the high-demand replica.
+        assert data["fast_top_mean"] < 0.7 * data["weak_mean"], name
+    # Sessions scale with diameter across these shapes: the line (largest
+    # diameter) needs the most sessions, the grid the fewest.
+    weak_means = {n: d["weak_mean"] for n, d in result.rows_by_name.items()}
+    assert weak_means["line-24"] > weak_means["grid-5x5"]

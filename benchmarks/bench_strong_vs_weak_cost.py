@@ -1,0 +1,48 @@
+"""§1 motivation: strong consistency is "costly, non-scalable ..., not
+very reliable, generate[s] considerable latency".
+
+The benchmark measures a synchronous primary-copy write against the
+anti-entropy system: commit latency, message cost per write (3(N-1)),
+and failure rate under 5% message loss.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import strong_cost_experiment
+from repro.experiments.tables import format_table
+
+SIZES = (10, 25, 50)
+REPS = 5
+
+
+def test_strong_vs_weak_cost(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: strong_cost_experiment(sizes=SIZES, reps=REPS, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        [
+            "nodes",
+            "strong latency",
+            "strong msgs/write",
+            "fail rate @5% loss",
+            "weak write latency",
+            "weak convergence",
+        ],
+        result.rows(),
+        title=f"§1 — synchronous vs anti-entropy, per write (reps={REPS})",
+    )
+    report.add("strongcost", table)
+
+    rows = result.rows_by_size
+    # Message cost scales linearly with N (3(N-1)).
+    assert rows[50]["strong_messages"] > 4 * rows[10]["strong_messages"]
+    for n in SIZES:
+        assert rows[n]["strong_messages"] >= 3 * (n - 1)
+        # Strong writes block the client; weak writes return immediately.
+        assert rows[n]["strong_latency"] > 0.0
+        assert rows[n]["weak_latency"] == 0.0
+    # Reliability: under loss some synchronous writes fail outright.
+    assert any(rows[n]["strong_fail_rate"] > 0.0 for n in SIZES)

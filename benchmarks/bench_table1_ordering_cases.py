@@ -1,0 +1,35 @@
+"""§2 table: the worst/best session orders for the five-replica example.
+
+Paper reference: worst case B-C, B-A, B-E, B-D; best case B-D, B-E,
+B-A, B-C. The benchmark enumerates all 4! visit orders and checks the
+paper's two extreme cases are the true extremes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table1_orderings
+from repro.experiments.tables import format_kv, format_table
+
+
+def test_table1_ordering_cases(benchmark, report):
+    result = benchmark.pedantic(table1_orderings, rounds=1, iterations=1)
+
+    table = format_table(
+        ["order", "t=1", "t=2", "t=3", "t=4", "area"],
+        result.rows(),
+        title="§2 — cumulative satisfied requests for every visit order",
+    )
+    notes = format_kv(
+        "extremes",
+        [
+            ("worst (paper: C,A,E,D)", ",".join(result.worst)),
+            ("best  (paper: D,E,A,C)", ",".join(result.best)),
+        ],
+    )
+    report.add("table1", table + "\n" + notes)
+
+    assert result.worst == ("C", "A", "E", "D")
+    assert result.best == ("D", "E", "A", "C")
+    assert len(result.orders) == 24
+    # All orders end at the total demand of 28 requests/unit.
+    assert all(series[-1] == 28.0 for _, series, _ in result.orders)

@@ -1,0 +1,46 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper (see the
+per-experiment index in DESIGN.md) and registers a paper-vs-measured
+report through the ``report`` fixture; all reports are printed in the
+terminal summary at the end of the run, so
+``pytest benchmarks/ --benchmark-only`` shows both the timing table and
+the reproduced rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+
+class ReportCollector:
+    """Accumulates named text sections for the terminal summary."""
+
+    def __init__(self) -> None:
+        self.sections: List[Tuple[str, str]] = []
+
+    def add(self, title: str, text: str) -> None:
+        self.sections.append((title, text))
+
+
+_collector = ReportCollector()
+
+
+@pytest.fixture(scope="session")
+def report() -> ReportCollector:
+    """Session-wide collector of paper-vs-measured report sections."""
+    return _collector
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if not _collector.sections:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured reports")
+    for title, text in _collector.sections:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A two-tier CDN: fast consistency across autonomous systems.
+
+Real content networks are hierarchical: points of presence inside
+provider networks (ASes) connected by a sparse inter-AS core. This
+example builds a BRITE-style top-down topology (4 ASes x 12 routers),
+gives one AS a Zipf-hot audience, and shows how fast consistency drives
+fresh content into the hot AS ahead of the others — per-AS consistency
+times make the demand-directed propagation visible at the tier level.
+
+Run:  python examples/cdn_hierarchy.py
+"""
+
+from repro import ReplicationSystem, fast_consistency, weak_consistency
+from repro.demand import ExplicitDemand
+from repro.topology import HierarchicalConfig, as_members, hierarchical
+
+SEED = 17
+RUNS = 3
+CONFIG = HierarchicalConfig(autonomous_systems=4, routers_per_as=12)
+HOT_AS = 2  # this provider's audience is 20x hotter
+
+
+def build_demand():
+    table = {}
+    for as_index in range(CONFIG.autonomous_systems):
+        for rank, node in enumerate(as_members(as_index, CONFIG)):
+            base = 100.0 / (rank + 1)  # Zipf within the AS
+            table[node] = base * (20.0 if as_index == HOT_AS else 1.0)
+    return ExplicitDemand(table)
+
+
+def main() -> None:
+    topology = hierarchical(CONFIG, seed=SEED)
+    demand = build_demand()
+    origin = as_members(0, CONFIG)[0]  # content published in AS 0
+    print(
+        f"topology: {CONFIG.autonomous_systems} ASes x "
+        f"{CONFIG.routers_per_as} routers ({topology.num_nodes} replicas, "
+        f"{topology.num_edges} links); AS {HOT_AS} is 20x hotter; "
+        f"content published in AS 0\n"
+    )
+    header = ["variant"] + [
+        f"AS {i}{' (hot)' if i == HOT_AS else ''}"
+        for i in range(CONFIG.autonomous_systems)
+    ]
+    print("  ".join(f"{h:>12s}" for h in header))
+    for name, config in (
+        ("weak", weak_consistency()),
+        ("fast", fast_consistency()),
+    ):
+        per_as = [0.0] * CONFIG.autonomous_systems
+        for run in range(RUNS):
+            system = ReplicationSystem(
+                topology=topology, demand=demand, config=config, seed=SEED + run
+            )
+            system.start()
+            update = system.inject_write(origin, key="asset", value="v2")
+            system.run_until_replicated(update.uid, max_time=120.0)
+            times = system.apply_times(update.uid)
+            for as_index in range(CONFIG.autonomous_systems):
+                members = as_members(as_index, CONFIG)
+                per_as[as_index] += sum(times[m] for m in members) / len(members)
+        cells = [f"{name:>12s}"]
+        cells.extend(f"{total / RUNS:>12.2f}" for total in per_as)
+        print("  ".join(cells))
+    print(
+        "\n(mean sessions per AS until a router serves the new asset, "
+        f"over {RUNS} runs;\nunder fast consistency the hot AS is served "
+        "ahead of the equally-distant\ncold ASes — demand steers "
+        "propagation across the AS tier too)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""§6 extension: demand islands bridged through elected leaders.
+
+Two high-demand valleys sit on opposite corners of a 12x12 grid,
+separated by a low-demand ridge. Fast consistency floods each valley
+quickly but crosses the ridge only at anti-entropy speed; the island
+overlay (detect islands -> elect leaders -> bridge leaders) fixes that.
+
+The script renders the demand landscape (Fig. 1 style), lists the
+detected islands, and compares propagation with and without bridges.
+
+Run:  python examples/content_islands.py
+"""
+
+from repro import ReplicationSystem, bridge_system, fast_consistency
+from repro.core.islands import detect_islands, elect_leaders
+from repro.demand import two_valley_field
+from repro.topology import grid
+from repro.viz.surface import render_surface
+
+ROWS = COLS = 12
+SEED = 5
+
+
+def main() -> None:
+    topology = grid(ROWS, COLS)
+    demand = two_valley_field(topology, plane_size=float(ROWS - 1), peak=120.0)
+    print("demand landscape (Fig. 1 style — dense glyphs = valleys):\n")
+    print(render_surface(demand, width=48, height=16))
+
+    snapshot = demand.snapshot(topology.nodes)
+    islands = elect_leaders(
+        detect_islands(topology, snapshot, percentile=80.0, min_size=2), snapshot
+    )
+    print(f"\ndetected {len(islands)} islands:")
+    for island in islands:
+        print(
+            f"  island {island.index}: {len(island.members)} replicas, "
+            f"leader {island.leader} "
+            f"(demand {snapshot[island.leader]:.1f}), "
+            f"total demand {island.total_demand:.0f}"
+        )
+
+    origin = islands[0].leader
+    far = islands[1]
+    print(f"\nwrite injected at island 0's leader (replica {origin});")
+    print(f"watching island 1 ({len(far.members)} replicas around {far.leader}):")
+    for label, bridged in (("fast consistency", False), ("      + bridges", True)):
+        system = ReplicationSystem(
+            topology=topology, demand=demand, config=fast_consistency(), seed=SEED
+        )
+        if bridged:
+            bridge_system(system, percentile=80.0, min_size=2)
+        system.start()
+        update = system.inject_write(origin)
+        system.run_until_replicated(update.uid, max_time=120.0)
+        times = system.apply_times(update.uid)
+        leader_t = times[far.leader]
+        member_mean = sum(times[m] for m in far.members) / len(far.members)
+        print(
+            f"  {label}: far leader consistent at {leader_t:5.2f} sessions, "
+            f"island mean {member_mean:5.2f}"
+        )
+    print(
+        "\nthe bridge carries the update leader-to-leader at link speed, "
+        "so the far\nvalley no longer waits for the low-demand ridge — "
+        "exactly §6's goal."
+    )
+
+
+if __name__ == "__main__":
+    main()

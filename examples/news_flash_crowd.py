@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""A Usenet-news-style flash crowd on a remote region.
+
+The paper motivates demand-driven replication with news-like systems
+(§1 cites Usenet). This scenario has a twist the §3 static algorithm
+cannot handle: the flash crowd forms at a *peninsula* — a cluster of
+replicas reachable only through a short chain off the core — and it
+forms *after* the demand tables were first learned.
+
+Topology: a 40-node Internet-like core, a 4-hop access chain, and a
+5-replica site at its end. At t=2 the site's demand surges 30x (the
+crowd); stories keep breaking at random core replicas every session.
+
+We compare, per story, how many sessions it takes until the crowd site
+can serve it (mean and worst replica of the site), under:
+
+* static tables (§3) — beliefs frozen at t=0, before the crowd existed;
+* the dynamic algorithm (§4) — periodic demand advertisements.
+
+Both variants run fast consistency with push fanout 3: the chain's last
+replica *can* flood the site the moment it gets a story — but only the
+dynamic variant knows the site is worth flooding.
+
+Run:  python examples/news_flash_crowd.py
+"""
+
+from repro import ReplicationSystem, dynamic_fast_consistency, static_table_consistency
+from repro.core.metrics import reach_time
+from repro.demand import FlashCrowdDemand, UniformRandomDemand
+from repro.sim.rng import derive_seed
+from repro.topology import internet_like
+
+SEED = 21
+CORE_N = 40
+CHAIN_HOPS = 4
+SITE_SIZE = 5
+CROWD_START, CROWD_END, CROWD_FACTOR = 2.0, 14.0, 30.0
+STORY_TIMES = [2.0 + i for i in range(8)]
+PUSH_FANOUT = 3
+
+
+def build_topology():
+    """Core + access chain + crowd site; returns (topology, site nodes)."""
+    topo = internet_like(CORE_N, seed=SEED)
+    attach = CORE_N - 1  # any core node; the chain makes it remote anyway
+    previous = attach
+    next_id = CORE_N
+    for _ in range(CHAIN_HOPS):
+        topo.add_node(next_id, (1000.0 + next_id, 0.0))
+        topo.add_edge(previous, next_id)
+        previous = next_id
+        next_id += 1
+    site = []
+    for _ in range(SITE_SIZE):
+        topo.add_node(next_id, (1000.0 + next_id, 10.0))
+        topo.add_edge(previous, next_id)
+        site.append(next_id)
+        next_id += 1
+    return topo, site
+
+
+def run(label, config):
+    topology, site = build_topology()
+    base = UniformRandomDemand(1.0, 10.0, seed=SEED)
+    demand = FlashCrowdDemand(
+        base, hot_nodes=site, start=CROWD_START, end=CROWD_END, factor=CROWD_FACTOR
+    )
+    system = ReplicationSystem(
+        topology=topology, demand=demand, config=config, seed=SEED
+    )
+    system.start()
+
+    stories = []
+    for index, at in enumerate(STORY_TIMES):
+        origin = derive_seed(SEED, f"story/{index}") % CORE_N
+        system.run_until(at)
+        stories.append((at, system.inject_write(origin, key=f"story{index}")))
+    system.run_until(40.0)
+
+    site_means, site_maxes = [], []
+    for written_at, story in stories:
+        times = system.apply_times(story.uid)
+        deltas = [times[n] - written_at for n in site if n in times]
+        site_means.append(sum(deltas) / len(deltas))
+        site_maxes.append(max(deltas))
+    mean_delay = sum(site_means) / len(site_means)
+    worst_delay = sum(site_maxes) / len(site_maxes)
+    print(f"\n{label}")
+    print("  per-story mean sessions until the site had it: "
+          + ", ".join(f"{d:.1f}" for d in site_means))
+    print(f"  site mean: {mean_delay:.2f} sessions   "
+          f"site worst replica: {worst_delay:.2f} sessions")
+    return mean_delay
+
+
+def main() -> None:
+    print(
+        f"{CORE_N}-node core + {CHAIN_HOPS}-hop chain + {SITE_SIZE}-replica site;\n"
+        f"site demand surges {CROWD_FACTOR:.0f}x at t={CROWD_START:.0f}; "
+        f"{len(STORY_TIMES)} stories break at random core replicas."
+    )
+    static_mean = run(
+        "static tables (§3 — beliefs frozen before the crowd)",
+        static_table_consistency(fast_fanout=PUSH_FANOUT),
+    )
+    dynamic_mean = run(
+        "dynamic algorithm (§4 — advertised demand)",
+        dynamic_fast_consistency(advert_period=0.5, fast_fanout=PUSH_FANOUT),
+    )
+    extra = demand_gain(static_mean, dynamic_mean)
+    print(
+        f"\nthe dynamic algorithm delivers stories to the crowd "
+        f"{static_mean - dynamic_mean:.2f} sessions sooner on average"
+        f" ({extra:.0f} extra crowd requests served fresh per story at "
+        f"{CROWD_FACTOR * 5:.0f} req/session)."
+    )
+
+
+def demand_gain(static_mean: float, dynamic_mean: float) -> float:
+    site_rate = CROWD_FACTOR * 5.0  # ~5 req/session base per site replica
+    return max(0.0, static_mean - dynamic_mean) * site_rate
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+All metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works in environments without the ``wheel``
+package (pip falls back to ``setup.py develop`` when no
+``[build-system]`` table is present).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,383 @@
+"""Command-line interface: regenerate any paper artefact.
+
+Examples::
+
+    repro fig5 --reps 500            # Fig. 5 CDFs (paper used 10,000)
+    repro fig3                       # Fig. 3 request-satisfaction series
+    repro table2                     # §3-4 dynamic-demand comparison
+    repro scaling --reps 20          # §5 sessions-vs-diameter sweep
+    repro islands                    # §6 leader-bridge extension
+    repro surface                    # Fig. 1 demand landscape
+    repro run --variant fast -n 80   # one ad-hoc simulation
+    repro all --reps 30              # everything, reduced fidelity
+
+Also available as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.metrics import reach_time
+from .demand.field import SurfaceDemand, Valley
+from .experiments import figures
+from .experiments.scenarios import DEMANDS, TOPOLOGIES, VARIANTS, build_system
+from .experiments.tables import format_kv, format_table
+from .viz.ascii import bar_chart, cdf_plot
+from .viz.surface import render_surface
+
+
+def _add_common(parser: argparse.ArgumentParser, reps: int) -> None:
+    parser.add_argument("--reps", type=int, default=reps, help="repetitions")
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Demand based Algorithm for Rapid Updating "
+            "of Replicas' (ICDCSW 2002)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("surface", help="Fig. 1: the hills-and-valleys demand field")
+    p.add_argument("--valleys", type=int, default=2)
+
+    p = sub.add_parser("table1", help="§2: all session orders ranked")
+
+    p = sub.add_parser("fig3", help="Fig. 3: requests satisfied per session")
+    _add_common(p, reps=60)
+
+    for name, n in (("fig5", 50), ("fig6", 100)):
+        p = sub.add_parser(name, help=f"Fig. {name[-1]}: CDF of sessions, {n} nodes")
+        _add_common(p, reps=120)
+        p.add_argument("--nodes", type=int, default=n)
+        p.add_argument("--plot", action="store_true", help="render the ASCII CDF plot")
+
+    p = sub.add_parser("table2", help="§3-4: dynamic demand (Fig. 4 scenario)")
+    _add_common(p, reps=80)
+
+    p = sub.add_parser("scaling", help="§5: sessions vs diameter across sizes")
+    _add_common(p, reps=40)
+    p.add_argument(
+        "--sizes", type=int, nargs="+", default=[25, 50, 100, 200], help="node counts"
+    )
+
+    p = sub.add_parser("uniform", help="§5: linear / ring / grid topologies")
+    _add_common(p, reps=30)
+
+    p = sub.add_parser("islands", help="§6: island leader bridges")
+    _add_common(p, reps=30)
+
+    p = sub.add_parser("overhead", help="§8: traffic of weak vs fast")
+    _add_common(p, reps=20)
+
+    p = sub.add_parser("ablation", help="§2: decompose the two optimisations")
+    _add_common(p, reps=40)
+
+    p = sub.add_parser("staleness", help="§4: advertisement-period sweep")
+    _add_common(p, reps=30)
+
+    p = sub.add_parser("strongcost", help="§1: strong-consistency cost")
+    _add_common(p, reps=10)
+
+    p = sub.add_parser("partition", help="§1: convergence across a partition")
+    _add_common(p, reps=12)
+
+    p = sub.add_parser("skew", help="§8: demand-skew sensitivity sweep")
+    _add_common(p, reps=15)
+
+    p = sub.add_parser("run", help="one ad-hoc simulation")
+    p.add_argument("--topology", choices=sorted(TOPOLOGIES), default="ba")
+    p.add_argument("--demand", choices=sorted(DEMANDS), default="uniform")
+    p.add_argument("--variant", choices=sorted(VARIANTS), default="fast")
+    p.add_argument("-n", "--nodes", type=int, default=50)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--loss", type=float, default=0.0)
+
+    p = sub.add_parser("all", help="run every experiment (reduced fidelity)")
+    _add_common(p, reps=30)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations (each prints and returns its text)
+# ---------------------------------------------------------------------------
+
+
+def cmd_surface(args) -> str:
+    valleys = [
+        Valley(center=(25.0, 25.0), peak=100.0, radius=12.0),
+        Valley(center=(75.0, 70.0), peak=80.0, radius=10.0),
+        Valley(center=(20.0, 80.0), peak=60.0, radius=8.0),
+    ][: max(1, args.valleys)]
+    field = SurfaceDemand(
+        positions={0: (0.0, 0.0), 1: (100.0, 100.0)}, valleys=valleys, base=1.0
+    )
+    art = render_surface(field, bounds=(0.0, 0.0, 100.0, 100.0))
+    return "Fig. 1 — demand landscape (valleys = high demand)\n\n" + art
+
+
+def cmd_table1(args) -> str:
+    result = figures.table1_orderings()
+    table = format_table(
+        ["order", "t=1", "t=2", "t=3", "t=4", "area"],
+        result.rows(),
+        title="§2 — cumulative requests satisfied per visit order (B holds the update)",
+    )
+    notes = format_kv(
+        "extremes",
+        [
+            ("worst (paper: B-C,B-A,B-E,B-D)", "B-" + ",B-".join(result.worst)),
+            ("best  (paper: B-D,B-E,B-A,B-C)", "B-" + ",B-".join(result.best)),
+        ],
+    )
+    return table + "\n\n" + notes
+
+
+def cmd_fig3(args) -> str:
+    result = figures.figure3(reps=args.reps, seed=args.seed)
+    return format_table(
+        ["session", "worst case", "optimal case", "fast consistency (sim)"],
+        result.rows(),
+        title="Fig. 3 — requests satisfied with consistent content",
+    )
+
+
+def _fig_cdf(args, default_n: int) -> str:
+    result = figures.figure_cdf(
+        n=getattr(args, "nodes", default_n), reps=args.reps, seed=args.seed
+    )
+    out = [
+        format_table(
+            ["curve (mean sessions)", "paper", "measured"],
+            result.rows(),
+            title=f"{result.name} — n={result.n}, reps={result.reps}, "
+            f"mean diameter {result.mean_diameter:.2f}",
+        )
+    ]
+    if getattr(args, "plot", False):
+        out.append("")
+        out.append(cdf_plot(result.curves, result.grid, title="CDF of sessions"))
+    return "\n".join(out)
+
+
+def cmd_fig5(args) -> str:
+    return _fig_cdf(args, 50)
+
+
+def cmd_fig6(args) -> str:
+    return _fig_cdf(args, 100)
+
+
+def cmd_table2(args) -> str:
+    result = figures.table2_dynamic(reps=args.reps, seed=args.seed)
+    sequence_table = format_table(
+        ["beliefs", "t=1", "t=2", "t=3"],
+        result.sequence_rows(),
+        title="§4 table — B's partner per session (paper: B-D, B-C', B-A')",
+    )
+    sim_table = format_table(
+        ["variant", "t(C')", "t(all)"] + [f"sat@{i}" for i in range(1, 7)],
+        result.rows(),
+        title="chain scenario — A 2->0 and C 0->9 at t=2 while the update is in flight",
+    )
+    return sequence_table + "\n\n" + sim_table
+
+
+def cmd_scaling(args) -> str:
+    result = figures.scaling_experiment(
+        sizes=tuple(args.sizes), reps=args.reps, seed=args.seed
+    )
+    return format_table(
+        ["nodes", "diameter", "weak mean", "fast mean", "fast top-10% mean"],
+        result.rows(),
+        title="§5 — sessions-to-consistency vs network size (diameter effect)",
+    )
+
+
+def cmd_uniform(args) -> str:
+    result = figures.uniform_topologies(reps=args.reps, seed=args.seed)
+    return format_table(
+        ["topology", "n", "diameter", "weak mean", "fast mean", "fast top mean"],
+        result.rows(),
+        title="§5 — simple uniform topologies",
+    )
+
+
+def cmd_islands(args) -> str:
+    result = figures.islands_experiment(reps=args.reps, seed=args.seed)
+    table = format_table(
+        ["variant", "far leader", "far island (mean member)", "all replicas"],
+        result.rows(),
+        title=f"§6 — two-valley grid, {result.islands_detected} islands detected "
+        "(sessions until consistent)",
+    )
+    return table
+
+
+def cmd_overhead(args) -> str:
+    result = figures.overhead_experiment(reps=args.reps, seed=args.seed)
+    return format_table(
+        ["variant", "messages", "bytes", "fast bytes", "fast share", "t(top 10%)"],
+        result.rows(),
+        title=f"§8 — traffic over a fixed {result.horizon:.0f}-session window",
+    )
+
+
+def cmd_ablation(args) -> str:
+    result = figures.ablation_experiment(reps=args.reps, seed=args.seed)
+    table = format_table(
+        ["variant", "mean sessions (all)", "mean sessions (top 10%)"],
+        result.rows(),
+        title="§2 — contribution of each optimisation",
+    )
+    chart = bar_chart(
+        {v: d["mean_top"] for v, d in result.rows_by_variant.items()},
+        title="mean sessions to the high-demand subset (lower is better)",
+    )
+    return table + "\n\n" + chart
+
+
+def cmd_staleness(args) -> str:
+    result = figures.staleness_experiment(reps=args.reps, seed=args.seed)
+    return format_table(
+        ["knowledge", "sessions to hottest", "sessions to all", "advert bytes"],
+        result.rows(),
+        title="§4 — demand-knowledge freshness under drifting demand",
+    )
+
+
+def cmd_strongcost(args) -> str:
+    result = figures.strong_cost_experiment(reps=args.reps, seed=args.seed)
+    return format_table(
+        [
+            "nodes",
+            "strong write latency",
+            "strong msgs/write",
+            "strong fail rate @5% loss",
+            "weak write latency",
+            "weak convergence",
+        ],
+        result.rows(),
+        title="§1 — synchronous replication vs anti-entropy, per write",
+    )
+
+
+def cmd_partition(args) -> str:
+    result = figures.partition_experiment(reps=args.reps, seed=args.seed)
+    table = format_table(
+        ["variant", "writer side consistent", "all replicas", "after heal"],
+        result.rows(),
+        title=f"§1 — partition heals at t={result.heal_time:.0f}",
+    )
+    notes = format_kv(
+        "strong consistency",
+        [
+            (
+                "commit rate for writes during the partition",
+                f"{100 * result.strong_commit_rate_during_partition:.0f}%",
+            )
+        ],
+    )
+    return table + "\n" + notes
+
+
+def cmd_skew(args) -> str:
+    result = figures.skew_experiment(reps=args.reps, seed=args.seed)
+    return format_table(
+        ["demand", "weak (all)", "fast (all)", "fast (hottest)", "push deliveries"],
+        result.rows(),
+        title="§8 — demand-skew sweep (flat = the paper's worst case)",
+    )
+
+
+def cmd_run(args) -> str:
+    system = build_system(
+        topology=args.topology,
+        demand=args.demand,
+        variant=args.variant,
+        n=args.nodes,
+        seed=args.seed,
+        loss=args.loss,
+    )
+    system.start()
+    origin = list(system.topology.nodes)[0]
+    update = system.inject_write(origin)
+    done = system.run_until_replicated(update.uid, max_time=200.0)
+    times = system.apply_times(update.uid)
+    snapshot = system.demand_snapshot(0.0)
+    top = sorted(snapshot, key=lambda n: -snapshot[n])[
+        : max(1, system.topology.num_nodes // 10)
+    ]
+    t_top = reach_time(times, top)
+    traffic = system.traffic()
+    pairs = [
+        ("topology", f"{args.topology} n={system.topology.num_nodes}"),
+        ("variant", args.variant),
+        ("origin", origin),
+        ("sessions to all replicas", "did not converge" if done is None else f"{done:.3f}"),
+        ("sessions to top-10% demand", "n/a" if t_top is None else f"{t_top:.3f}"),
+        ("messages", traffic["messages_sent"]),
+        ("bytes", traffic["bytes_sent"]),
+    ]
+    return format_kv("ad-hoc run", pairs)
+
+
+def cmd_all(args) -> str:
+    chunks = [
+        cmd_surface(argparse.Namespace(valleys=2)),
+        cmd_table1(args),
+        cmd_fig3(args),
+        _fig_cdf(argparse.Namespace(reps=args.reps, seed=args.seed, nodes=50, plot=False), 50),
+        _fig_cdf(argparse.Namespace(reps=args.reps, seed=args.seed, nodes=100, plot=False), 100),
+        cmd_table2(args),
+        cmd_scaling(
+            argparse.Namespace(reps=max(10, args.reps // 2), seed=args.seed, sizes=[25, 50, 100])
+        ),
+        cmd_uniform(argparse.Namespace(reps=max(10, args.reps // 2), seed=args.seed)),
+        cmd_islands(argparse.Namespace(reps=max(10, args.reps // 2), seed=args.seed)),
+        cmd_overhead(argparse.Namespace(reps=max(5, args.reps // 3), seed=args.seed)),
+        cmd_ablation(args),
+        cmd_strongcost(argparse.Namespace(reps=max(5, args.reps // 3), seed=args.seed)),
+    ]
+    return ("\n\n" + "=" * 72 + "\n\n").join(chunks)
+
+
+_COMMANDS = {
+    "surface": cmd_surface,
+    "table1": cmd_table1,
+    "fig3": cmd_fig3,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "table2": cmd_table2,
+    "scaling": cmd_scaling,
+    "uniform": cmd_uniform,
+    "islands": cmd_islands,
+    "overhead": cmd_overhead,
+    "ablation": cmd_ablation,
+    "staleness": cmd_staleness,
+    "strongcost": cmd_strongcost,
+    "partition": cmd_partition,
+    "skew": cmd_skew,
+    "run": cmd_run,
+    "all": cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = _COMMANDS[args.command]
+    print(command(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

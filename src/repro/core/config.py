@@ -1,0 +1,154 @@
+"""Protocol configuration.
+
+One :class:`ProtocolConfig` describes a complete protocol variant; the
+named constructors in :mod:`repro.core.variants` produce the four
+configurations the paper discusses (weak, demand-ordered, fast, dynamic
+fast). Keeping every switch in one frozen dataclass makes ablations
+explicit: each benchmark states exactly which knobs it turns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+#: Partner-selection policies (see :mod:`repro.core.policies`).
+POLICY_RANDOM = "random"
+POLICY_DEMAND = "demand"
+POLICY_ROUND_ROBIN = "round-robin"
+POLICY_WEIGHTED = "weighted-random"
+_POLICIES = (POLICY_RANDOM, POLICY_DEMAND, POLICY_ROUND_ROBIN, POLICY_WEIGHTED)
+
+#: How nodes know neighbour demand (see :mod:`repro.demand.views`).
+KNOWLEDGE_ORACLE = "oracle"
+KNOWLEDGE_SNAPSHOT = "snapshot"
+KNOWLEDGE_ADVERTISED = "advertised"
+_KNOWLEDGE = (KNOWLEDGE_ORACLE, KNOWLEDGE_SNAPSHOT, KNOWLEDGE_ADVERTISED)
+
+#: Fast-update push rules.
+PUSH_DOWNHILL = "downhill"  # only to neighbours with strictly higher demand
+PUSH_ALWAYS = "always"  # to the top-demand neighbours unconditionally
+_PUSH_RULES = (PUSH_DOWNHILL, PUSH_ALWAYS)
+
+#: Inter-session gap distributions.
+INTERVAL_EXPONENTIAL = "exponential"
+INTERVAL_UNIFORM = "uniform"  # uniform in [0.5, 1.5] * mean
+_INTERVALS = (INTERVAL_EXPONENTIAL, INTERVAL_UNIFORM)
+
+#: Write-log truncation modes (the Bayou policy family of §7).
+TRUNCATION_KEEP_ALL = "keep-all"
+TRUNCATION_ACKED = "acked"  # Golding ack vectors, gossiped in sessions
+TRUNCATION_MAX_ENTRIES = "max-entries"  # aggressive; may refuse peers
+_TRUNCATIONS = (TRUNCATION_KEEP_ALL, TRUNCATION_ACKED, TRUNCATION_MAX_ENTRIES)
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Every knob of the replication protocol stack.
+
+    Attributes:
+        partner_policy: How a node picks its anti-entropy partner.
+            ``"random"`` is Golding's baseline; ``"demand"`` is the
+            paper's ordered selection (optimisation 1).
+        fast_update: Enable the immediate push of steps 13-18
+            (optimisation 2).
+        fast_fanout: How many top-demand neighbours receive each offer.
+        push_rule: ``"downhill"`` pushes only toward strictly higher
+            demand (the valley-flooding cascade); ``"always"`` pushes to
+            the top-``fanout`` neighbours regardless (ablation).
+        demand_knowledge: Oracle, frozen snapshot (§3 static straw man)
+            or advertisement-maintained tables (§4 dynamic algorithm).
+        advert_period: Advertisement round period when advertised.
+        session_interval_mean: Mean gap between a node's session
+            initiations; this is the paper's time unit ("average session
+            times").
+        session_interval_distribution: Gap distribution.
+        session_timeout: Abort an unfinished session after this long
+            (loss tolerance).
+        refuse_when_busy: When True a node already in a session answers
+            new requests with BUSY (Golding allows refusal).
+        link_delay: Default one-way message latency, in session units.
+        update_payload_bytes: Payload size stamped on client writes.
+        log_truncation: Write-log truncation mode: ``"keep-all"``
+            (default, the paper's setting), ``"acked"`` (Golding ack
+            vectors gossiped with sessions — safe) or ``"max-entries"``
+            (aggressive bound; sessions with peers that need purged
+            history are refused with an abort).
+        max_log_entries: Log bound for the ``"max-entries"`` mode.
+    """
+
+    partner_policy: str = POLICY_RANDOM
+    fast_update: bool = False
+    fast_fanout: int = 1
+    push_rule: str = PUSH_DOWNHILL
+    demand_knowledge: str = KNOWLEDGE_ORACLE
+    advert_period: float = 1.0
+    session_interval_mean: float = 1.0
+    session_interval_distribution: str = INTERVAL_EXPONENTIAL
+    session_timeout: float = 0.5
+    refuse_when_busy: bool = False
+    link_delay: float = 0.02
+    update_payload_bytes: int = 256
+    log_truncation: str = TRUNCATION_KEEP_ALL
+    max_log_entries: int = 1000
+
+    def validate(self) -> "ProtocolConfig":
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.partner_policy not in _POLICIES:
+            raise ConfigurationError(
+                f"unknown partner_policy {self.partner_policy!r}; "
+                f"expected one of {_POLICIES}"
+            )
+        if self.demand_knowledge not in _KNOWLEDGE:
+            raise ConfigurationError(
+                f"unknown demand_knowledge {self.demand_knowledge!r}; "
+                f"expected one of {_KNOWLEDGE}"
+            )
+        if self.push_rule not in _PUSH_RULES:
+            raise ConfigurationError(
+                f"unknown push_rule {self.push_rule!r}; expected one of {_PUSH_RULES}"
+            )
+        if self.session_interval_distribution not in _INTERVALS:
+            raise ConfigurationError(
+                f"unknown interval distribution "
+                f"{self.session_interval_distribution!r}"
+            )
+        if self.fast_fanout < 1:
+            raise ConfigurationError(f"fast_fanout must be >= 1, got {self.fast_fanout}")
+        if self.session_interval_mean <= 0:
+            raise ConfigurationError("session_interval_mean must be positive")
+        if self.session_timeout <= 0:
+            raise ConfigurationError("session_timeout must be positive")
+        if self.advert_period <= 0:
+            raise ConfigurationError("advert_period must be positive")
+        if self.link_delay < 0:
+            raise ConfigurationError("link_delay must be >= 0")
+        if self.link_delay >= self.session_interval_mean:
+            raise ConfigurationError(
+                "link_delay must be well below the session interval; "
+                f"got {self.link_delay} vs {self.session_interval_mean}"
+            )
+        if self.update_payload_bytes < 0:
+            raise ConfigurationError("update_payload_bytes must be >= 0")
+        if self.log_truncation not in _TRUNCATIONS:
+            raise ConfigurationError(
+                f"unknown log_truncation {self.log_truncation!r}; "
+                f"expected one of {_TRUNCATIONS}"
+            )
+        if self.max_log_entries < 1:
+            raise ConfigurationError("max_log_entries must be >= 1")
+        return self
+
+    def with_overrides(self, **changes) -> "ProtocolConfig":
+        """A copy with ``changes`` applied (validated)."""
+        return replace(self, **changes).validate()
+
+    def describe(self) -> str:
+        """Short human-readable variant label for reports."""
+        parts = [self.partner_policy]
+        if self.fast_update:
+            parts.append(f"fast({self.push_rule},k={self.fast_fanout})")
+        parts.append(self.demand_knowledge)
+        return "+".join(parts)

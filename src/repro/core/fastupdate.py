@@ -1,0 +1,211 @@
+"""The fast-update push agent (paper §2.1 steps 13-18).
+
+This is the paper's second optimisation: the instant a replica absorbs
+*new* updates — from a local client write, an anti-entropy session, or a
+previous fast update — it offers them to its highest-demand
+neighbour(s) without waiting for the next session and without
+exchanging summary vectors:
+
+* step 13-14: send :class:`FastUpdateOffer` (ids + timestamps only);
+* step 15-16: the target answers which of those it still needs
+  (YES = non-empty list, NO = empty);
+* step 17-18: send the bodies for the YES entries, or nothing.
+
+Under the default ``downhill`` rule a node only offers to neighbours
+whose believed demand is *strictly higher* than its own, so updates
+cascade into demand valleys and stop at local demand minima — the
+"flooding the valleys" picture of §2. When all demands are equal no
+offer is ever made and the system degrades to plain weak consistency,
+exactly the worst case §8 describes. The ``always`` rule (ablation)
+offers to the top-``fanout`` neighbours unconditionally.
+
+Island bridging (§6) plugs in through ``extra_targets``: overlay peers
+(other island leaders) always receive offers regardless of demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..demand.views import DemandView
+from ..errors import ReplicationError
+from ..replica.log import Update, UpdateId
+from ..replica.messages import FastUpdateOffer, FastUpdatePayload, FastUpdateReply
+from ..replica.server import ReplicaServer
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from .config import PUSH_ALWAYS, PUSH_DOWNHILL, ProtocolConfig
+
+
+@dataclass
+class FastUpdateStats:
+    """Per-node counters for the push path."""
+
+    offers_sent: int = 0
+    offers_received: int = 0
+    replies_yes: int = 0
+    replies_no: int = 0
+    payloads_sent: int = 0
+    updates_pushed: int = 0
+    updates_received: int = 0
+    max_cascade_hops: int = 0
+
+
+class FastUpdateAgent:
+    """Immediate demand-directed propagation at one node.
+
+    Args:
+        sim: Owning simulator.
+        network: Transport.
+        server: The local replica (the agent registers itself as a
+            new-updates listener).
+        config: Protocol switches (rule, fanout).
+        view: Believed demand of other nodes.
+        own_demand: Zero-arg callable returning this node's current true
+            demand (a server always knows its own request rate).
+        extra_targets: Overlay peers that always receive offers
+            (island-leader bridges).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        server: ReplicaServer,
+        config: ProtocolConfig,
+        view: DemandView,
+        own_demand: Callable[[], float],
+        extra_targets: Iterable[int] = (),
+    ):
+        self.sim = sim
+        self.network = network
+        self.server = server
+        self.config = config
+        self.view = view
+        self.own_demand = own_demand
+        self.node = server.node
+        self.extra_targets: Set[int] = {int(t) for t in extra_targets}
+        self.stats = FastUpdateStats()
+        self._offered: Dict[int, Set[UpdateId]] = {}
+        #: push hops each update had taken when it reached this node
+        #: (0 for client writes and session arrivals).
+        self._push_depth: Dict[UpdateId, int] = {}
+        server.on_new_updates(self.on_new_updates)
+
+    # -- push side ---------------------------------------------------------
+
+    def on_new_updates(
+        self, new_updates: List[Update], source: str, sender: Optional[int]
+    ) -> None:
+        """Step 13: immediately offer fresh updates to chosen targets."""
+        if not new_updates:
+            return
+        if source != "fast":
+            # A fresh cascade starts here; fast arrivals already had
+            # their depth recorded by _handle_payload.
+            for update in new_updates:
+                self._push_depth.setdefault(update.uid, 0)
+        for target in self._choose_targets(sender):
+            self._offer(target, new_updates)
+
+    def _choose_targets(self, sender: Optional[int]) -> List[int]:
+        neighbors = [
+            n for n in self.network.topology.neighbors(self.node) if n != sender
+        ]
+        ranked = self.view.rank(neighbors)
+        if self.config.push_rule == PUSH_DOWNHILL:
+            mine = self.own_demand()
+            ranked = [n for n in ranked if self.view.demand_of(n) > mine]
+        elif self.config.push_rule != PUSH_ALWAYS:
+            raise ReplicationError(f"unknown push rule {self.config.push_rule!r}")
+        targets = ranked[: self.config.fast_fanout]
+        for extra in sorted(self.extra_targets):
+            if extra != sender and extra not in targets:
+                targets.append(extra)
+        return targets
+
+    def _offer(self, target: int, updates: Sequence[Update]) -> None:
+        already = self._offered.setdefault(target, set())
+        fresh = [u for u in updates if u.uid not in already]
+        if not fresh:
+            return
+        already.update(u.uid for u in fresh)
+        entries: Tuple[Tuple[UpdateId, object], ...] = tuple(
+            (u.uid, u.timestamp) for u in fresh
+        )
+        depth = max(self._push_depth.get(u.uid, 0) for u in fresh)
+        self.stats.offers_sent += 1
+        self.sim.trace.record(
+            self.sim.now, "fast.offer", node=self.node, target=target, count=len(fresh)
+        )
+        self.network.send(
+            self.node, target, FastUpdateOffer(self.node, entries, depth=depth)
+        )
+
+    # -- receive side ---------------------------------------------------------
+
+    def on_message(self, src: int, message: object) -> None:
+        """Dispatch one fast-update message from ``src``."""
+        if isinstance(message, FastUpdateOffer):
+            self._handle_offer(src, message)
+        elif isinstance(message, FastUpdateReply):
+            self._handle_reply(src, message)
+        elif isinstance(message, FastUpdatePayload):
+            self._handle_payload(src, message)
+        else:
+            raise ReplicationError(f"unexpected fast-update message {message!r}")
+
+    def _handle_offer(self, src: int, message: FastUpdateOffer) -> None:
+        # Steps 14-15: answer YES with the ids we lack, else NO.
+        self.stats.offers_received += 1
+        needed = tuple(
+            uid for uid in message.ids() if not self.server.has_update(uid)
+        )
+        self.network.send(self.node, src, FastUpdateReply(self.node, needed))
+
+    def _handle_reply(self, src: int, message: FastUpdateReply) -> None:
+        # Steps 16-18: send the bodies for YES, nothing for NO.
+        if message.is_no:
+            self.stats.replies_no += 1
+            return
+        self.stats.replies_yes += 1
+        bodies = []
+        for uid in message.needed:
+            # The update may have been purged meanwhile; skip silently —
+            # anti-entropy will repair.
+            if self.server.log.has(uid):
+                try:
+                    bodies.append(self.server.log.get(uid))
+                except ReplicationError:
+                    continue
+        if not bodies:
+            return
+        self.stats.payloads_sent += 1
+        self.stats.updates_pushed += len(bodies)
+        depth = max(self._push_depth.get(u.uid, 0) for u in bodies)
+        self.network.send(
+            self.node, src, FastUpdatePayload(self.node, tuple(bodies), depth=depth)
+        )
+
+    def _handle_payload(self, src: int, message: FastUpdatePayload) -> None:
+        hops = message.depth + 1
+        # Record cascade depth before integrating so the re-push
+        # triggered inside integrate() sees the right value.
+        for update in message.updates:
+            if update.uid not in self._push_depth:
+                self._push_depth[update.uid] = hops
+        new_updates = self.server.integrate(message.updates, "fast", sender=src)
+        self.stats.updates_received += len(new_updates)
+        if new_updates:
+            self.stats.max_cascade_hops = max(self.stats.max_cascade_hops, hops)
+            self.sim.trace.record(
+                self.sim.now,
+                "fast.deliver",
+                node=self.node,
+                src=src,
+                hops=hops,
+                count=len(new_updates),
+            )
+        # integrate() fires on_new_updates, which cascades the push
+        # further downhill (the §2 valley flood) — no extra work here.

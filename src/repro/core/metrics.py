@@ -1,0 +1,206 @@
+"""Evaluation metrics.
+
+Three families, matching the paper's measurements:
+
+* **Convergence** — sessions (time units) until an update reaches a
+  replica set: :class:`ConvergenceTracker` and the pure helpers
+  :func:`reach_time` / :func:`coverage_fraction`. This is the metric of
+  Figs. 5-6 ("the metric principle to be employed is how many sessions
+  are necessary for a change brought about in a replica to be propagated
+  to all the others").
+* **Request satisfaction** — cumulative client requests served with
+  updated content per elapsed session (Fig. 3):
+  :func:`satisfied_requests_series`.
+* **Traffic** — messages/bytes split into session vs fast-update
+  categories (§8's "few additional bytes" claim): :class:`TrafficMeter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ExperimentError
+from ..replica.log import Update, UpdateId
+from ..replica.messages import traffic_split
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from .system import TOPIC_UPDATE_APPLIED
+
+
+class ConvergenceTracker:
+    """Records when each node first absorbs each update.
+
+    Subscribe it to a simulator (it listens on the system's
+    ``update.applied`` topic); afterwards query per-update times. The
+    :class:`~repro.core.system.ReplicationSystem` also records times
+    itself — this tracker exists for co-simulations with several
+    systems or custom agents sharing one simulator, and to annotate the
+    *source* (session vs fast) that delivered each update first.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._times: Dict[UpdateId, Dict[int, float]] = {}
+        self._sources: Dict[UpdateId, Dict[int, str]] = {}
+        sim.subscribe(TOPIC_UPDATE_APPLIED, self._on_applied)
+
+    def _on_applied(
+        self, node: int, updates: List[Update], source: str, time: float
+    ) -> None:
+        for update in updates:
+            times = self._times.setdefault(update.uid, {})
+            if node not in times:
+                times[node] = time
+                self._sources.setdefault(update.uid, {})[node] = source
+
+    def times(self, uid: UpdateId) -> Dict[int, float]:
+        """node -> first-application time (absent nodes never got it)."""
+        return dict(self._times.get(uid, {}))
+
+    def source_of(self, uid: UpdateId, node: int) -> Optional[str]:
+        """How ``node`` first received ``uid``: client/session/fast."""
+        return self._sources.get(uid, {}).get(node)
+
+    def delivery_breakdown(self, uid: UpdateId) -> Dict[str, int]:
+        """How many nodes first got the update via each channel."""
+        counts: Dict[str, int] = {}
+        for source in self._sources.get(uid, {}).values():
+            counts[source] = counts.get(source, 0) + 1
+        return counts
+
+
+def reach_time(
+    times: Mapping[int, float],
+    nodes: Iterable[int],
+    t0: float = 0.0,
+) -> Optional[float]:
+    """Sessions until every node in ``nodes`` had the update.
+
+    Returns None when some node never received it (within the run).
+    """
+    worst = 0.0
+    for node in nodes:
+        at = times.get(int(node))
+        if at is None:
+            return None
+        worst = max(worst, at - t0)
+    return worst
+
+
+def mean_reach_time(
+    times: Mapping[int, float], nodes: Iterable[int], t0: float = 0.0
+) -> Optional[float]:
+    """Mean per-node sessions-to-consistency over ``nodes``."""
+    deltas = []
+    for node in nodes:
+        at = times.get(int(node))
+        if at is None:
+            return None
+        deltas.append(at - t0)
+    if not deltas:
+        raise ExperimentError("empty node set")
+    return sum(deltas) / len(deltas)
+
+
+def coverage_fraction(
+    times: Mapping[int, float], nodes: Sequence[int], at: float, t0: float = 0.0
+) -> float:
+    """Fraction of ``nodes`` consistent within ``at`` sessions."""
+    if not nodes:
+        raise ExperimentError("empty node set")
+    covered = sum(
+        1
+        for node in nodes
+        if times.get(int(node)) is not None and times[int(node)] - t0 <= at
+    )
+    return covered / len(nodes)
+
+
+def satisfied_requests_series(
+    times: Mapping[int, float],
+    demand: Mapping[int, float],
+    horizon: int,
+    t0: float = 0.0,
+) -> List[float]:
+    """Fig. 3's series: requests served with consistent content per step.
+
+    Element ``k`` (k = 1..horizon) is the total demand (requests per
+    session time) of the replicas that were already consistent at
+    session ``k`` — i.e. the number of requests satisfied with updated
+    content during that unit interval.
+    """
+    if horizon < 1:
+        raise ExperimentError(f"horizon must be >= 1, got {horizon}")
+    series = []
+    for step in range(1, horizon + 1):
+        total = 0.0
+        for node, rate in demand.items():
+            at = times.get(int(node))
+            if at is not None and at - t0 <= step:
+                total += rate
+        series.append(total)
+    return series
+
+
+def cascade_hops(tracer) -> List[int]:
+    """Push-cascade depths observed in a trace.
+
+    One entry per fast-update delivery: how many push hops the updates
+    had travelled when they arrived (1 = delivered by the write's own
+    origin). Requires tracing to be enabled during the run; the §2
+    "valley flooding" claim predicts depths well beyond 1 on demand
+    slopes.
+    """
+    return [int(rec.get("hops", 0)) for rec in tracer.select("fast.deliver")]
+
+
+def cascade_histogram(tracer) -> Dict[int, int]:
+    """Histogram of :func:`cascade_hops` (depth -> deliveries)."""
+    histogram: Dict[int, int] = {}
+    for hops in cascade_hops(tracer):
+        histogram[hops] = histogram.get(hops, 0) + 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Measured traffic of one run, split by protocol part."""
+
+    messages_total: int
+    bytes_total: int
+    messages_session: int
+    messages_fast: int
+    messages_other: int
+    bytes_session: int
+    bytes_fast: int
+    bytes_other: int
+
+    @property
+    def fast_byte_overhead(self) -> float:
+        """Fast-update bytes as a fraction of total bytes."""
+        if self.bytes_total == 0:
+            return 0.0
+        return self.bytes_fast / self.bytes_total
+
+
+class TrafficMeter:
+    """Reads a network's counters into a :class:`TrafficReport`."""
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def report(self) -> TrafficReport:
+        counters = self.network.counters
+        msg_groups = traffic_split(counters.by_kind)
+        byte_groups = traffic_split(counters.bytes_by_kind)
+        return TrafficReport(
+            messages_total=counters.messages_sent,
+            bytes_total=counters.bytes_sent,
+            messages_session=msg_groups["session"],
+            messages_fast=msg_groups["fast"],
+            messages_other=msg_groups["other"],
+            bytes_session=byte_groups["session"],
+            bytes_fast=byte_groups["fast"],
+            bytes_other=byte_groups["other"],
+        )

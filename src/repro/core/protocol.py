@@ -1,0 +1,129 @@
+"""Per-node protocol stack composition.
+
+A :class:`ReplicationNode` owns one replica's server and agents and
+routes incoming network messages to the right agent. Which agents exist
+depends on the :class:`~repro.core.config.ProtocolConfig`:
+
+* always: an :class:`~repro.core.antientropy.AntiEntropyAgent`
+  (the weak-consistency part every variant keeps);
+* with ``config.fast_update``: a
+  :class:`~repro.core.fastupdate.FastUpdateAgent`;
+* with ``config.demand_knowledge == "advertised"``: a
+  :class:`~repro.demand.advertisement.DemandAdvertiser`.
+
+System-level wiring (building every node, attaching network handlers,
+injecting writes) lives in :mod:`repro.core.system`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..demand.advertisement import DemandAdvert, DemandAdvertiser
+from ..demand.views import DemandView
+from ..errors import ReplicationError
+from ..replica.messages import (
+    FastUpdateOffer,
+    FastUpdatePayload,
+    FastUpdateReply,
+    SessionAbort,
+    SessionBusy,
+    SessionRequest,
+    SummaryMessage,
+    UpdateBatch,
+)
+from ..replica.server import ReplicaServer
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from .antientropy import AntiEntropyAgent
+from .config import ProtocolConfig
+from .fastupdate import FastUpdateAgent
+from .policies import PartnerSelectionPolicy
+
+_SESSION_TYPES = (SessionRequest, SessionBusy, SummaryMessage, UpdateBatch, SessionAbort)
+_FAST_TYPES = (FastUpdateOffer, FastUpdateReply, FastUpdatePayload)
+
+
+class ReplicationNode:
+    """One node's complete protocol stack.
+
+    Args:
+        sim: Owning simulator.
+        network: Transport (this node attaches its dispatcher to it).
+        server: The replica state machine.
+        config: Protocol variant switches.
+        policy: Partner-selection policy instance (node-local state).
+        view: Believed demand of other nodes.
+        own_demand: Callable returning this node's current true demand.
+        advertiser: Optional demand advertiser (advertised knowledge).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        server: ReplicaServer,
+        config: ProtocolConfig,
+        policy: PartnerSelectionPolicy,
+        view: DemandView,
+        own_demand: Callable[[], float],
+        advertiser: Optional[DemandAdvertiser] = None,
+        ack_manager=None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.server = server
+        self.config = config
+        self.view = view
+        self.node = server.node
+        self.ack_manager = ack_manager
+        self.anti_entropy = AntiEntropyAgent(
+            sim, network, server, config, policy, ack_manager=ack_manager
+        )
+        self.fast: Optional[FastUpdateAgent] = None
+        if config.fast_update:
+            self.fast = FastUpdateAgent(
+                sim, network, server, config, view, own_demand
+            )
+        self.advertiser = advertiser
+        network.attach(self.node, self.on_message)
+        self._started = False
+
+    def start(self) -> None:
+        """Start all periodic activity (sessions, advertisements)."""
+        if self._started:
+            raise ReplicationError(f"node {self.node} already started")
+        self._started = True
+        self.anti_entropy.start()
+        if self.advertiser is not None:
+            self.advertiser.start()
+
+    def on_message(self, src: int, message: object) -> None:
+        """Route a delivered message to the owning agent."""
+        if isinstance(message, _SESSION_TYPES):
+            self.anti_entropy.on_message(src, message)
+        elif isinstance(message, _FAST_TYPES):
+            if self.fast is None:
+                # A fast-capable peer pushed at us even though we run the
+                # plain protocol; ignore rather than crash (mirrors a
+                # deployment mixing versions).
+                self.sim.trace.record(
+                    self.sim.now, "node.ignored-fast", node=self.node, src=src
+                )
+                return
+            self.fast.on_message(src, message)
+        elif isinstance(message, DemandAdvert):
+            if self.advertiser is not None:
+                self.advertiser.on_message(src, message)
+        else:
+            raise ReplicationError(
+                f"node {self.node}: unroutable message {message!r} from {src}"
+            )
+
+    def add_bridge_targets(self, peers) -> None:
+        """Register overlay peers that always receive fast offers (§6)."""
+        if self.fast is None:
+            raise ReplicationError(
+                "island bridges require fast_update to be enabled"
+            )
+        self.fast.extra_targets.update(int(p) for p in peers)

@@ -1,0 +1,363 @@
+"""System builder: a whole replicated system in one object.
+
+:class:`ReplicationSystem` wires the full stack for every node of a
+topology — network, replica servers, demand views, policies, agents —
+from one :class:`~repro.core.config.ProtocolConfig`, and exposes the
+operations experiments need: inject a write, run until it is everywhere,
+read convergence times.
+
+This is the main entry point of the public API::
+
+    from repro import ReplicationSystem, fast_consistency
+    from repro.topology import internet_like
+    from repro.demand import UniformRandomDemand
+
+    topo = internet_like(50, seed=1)
+    system = ReplicationSystem(
+        topology=topo,
+        demand=UniformRandomDemand(seed=1),
+        config=fast_consistency(),
+        seed=1,
+    )
+    system.start()
+    update = system.inject_write(node=0)
+    done_at = system.run_until_replicated(update.uid, max_time=50)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..demand.advertisement import DemandAdvertiser, bootstrap_tables
+from ..demand.base import DemandModel
+from ..demand.views import (
+    DemandTable,
+    DemandView,
+    OracleDemandView,
+    SnapshotDemandView,
+    TableDemandView,
+)
+from ..errors import ConfigurationError, SimulationError
+from ..replica.log import MaxEntries, Update, UpdateId
+from ..replica.server import ReplicaServer
+from .acking import AckManager
+from ..sim.engine import Simulator
+from ..sim.network import FixedLatency, LatencyModel, Network
+from ..topology.graph import Topology
+from .config import (
+    KNOWLEDGE_ADVERTISED,
+    KNOWLEDGE_ORACLE,
+    KNOWLEDGE_SNAPSHOT,
+    ProtocolConfig,
+)
+from .policies import make_policy
+from .protocol import ReplicationNode
+
+#: Topic published whenever any replica first absorbs updates.
+TOPIC_UPDATE_APPLIED = "update.applied"
+
+
+class ReplicationSystem:
+    """A complete simulated replicated system.
+
+    Args:
+        topology: The replica interconnection graph (must be connected).
+        demand: Demand model (requests per session-time unit per node).
+        config: Protocol variant; see :mod:`repro.core.variants`.
+        seed: Master seed — two systems with equal arguments produce
+            identical traces.
+        latency: Optional latency model (default: fixed
+            ``config.link_delay``).
+        loss: Message loss probability.
+        sim: Optionally reuse an existing simulator (advanced; e.g. to
+            co-simulate other agents).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        demand: DemandModel,
+        config: ProtocolConfig,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        loss: float = 0.0,
+        sim: Optional[Simulator] = None,
+    ):
+        config.validate()
+        if topology.num_nodes == 0:
+            raise ConfigurationError("topology has no nodes")
+        if not topology.is_connected():
+            raise ConfigurationError(
+                "topology must be connected (weak consistency can only "
+                "converge within a component)"
+            )
+        self.topology = topology
+        self.demand = demand
+        self.config = config
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.network = Network(
+            self.sim,
+            topology,
+            latency=latency if latency is not None else FixedLatency(config.link_delay),
+            loss=loss,
+        )
+        self.servers: Dict[int, ReplicaServer] = {}
+        self.nodes: Dict[int, ReplicationNode] = {}
+        self.tables: Dict[int, DemandTable] = {}
+        self._apply_times: Dict[UpdateId, Dict[int, float]] = {}
+        self._watch: Dict[UpdateId, Tuple[Set[int], float]] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _view_for(self, node: int) -> DemandView:
+        knowledge = self.config.demand_knowledge
+        if knowledge == KNOWLEDGE_ORACLE:
+            return OracleDemandView(self.demand, lambda: self.sim.now)
+        if knowledge == KNOWLEDGE_SNAPSHOT:
+            return SnapshotDemandView(self.demand, self.topology.nodes, at_time=0.0)
+        if knowledge == KNOWLEDGE_ADVERTISED:
+            return TableDemandView(self.tables[node])
+        raise ConfigurationError(f"unknown demand knowledge {knowledge!r}")
+
+    def _build(self) -> None:
+        advertised = self.config.demand_knowledge == KNOWLEDGE_ADVERTISED
+        if advertised:
+            # Warm start: §4 assumes nodes already know neighbour demand.
+            self.tables = bootstrap_tables(self.network, self.demand, at_time=0.0)
+        for node in self.topology.nodes:
+            self._build_node(node)
+
+    def _build_node(self, node: int) -> ReplicationNode:
+        """Create the full stack for one node and register it."""
+        advertised = self.config.demand_knowledge == KNOWLEDGE_ADVERTISED
+        truncation = None
+        if self.config.log_truncation == "max-entries":
+            truncation = MaxEntries(limit=self.config.max_log_entries)
+        server = ReplicaServer(
+            node,
+            truncation=truncation,
+            default_payload_bytes=self.config.update_payload_bytes,
+        )
+        server.on_new_updates(
+            lambda updates, source, sender, _node=node: self._record_applied(
+                _node, updates, source
+            )
+        )
+        ack_manager = None
+        if self.config.log_truncation == "acked":
+            ack_manager = AckManager(self.sim, server, self.topology.nodes)
+        view = self._view_for(node)
+        policy = make_policy(self.config, view, self.sim.rng.stream("policy", node))
+        advertiser = None
+        if advertised:
+            if node not in self.tables:
+                table = DemandTable()
+                for neighbor in self.topology.neighbors(node):
+                    table.update(
+                        neighbor,
+                        self.demand.demand(neighbor, self.sim.now),
+                        self.sim.now,
+                    )
+                self.tables[node] = table
+            advertiser = DemandAdvertiser(
+                self.sim,
+                self.network,
+                node,
+                self.demand,
+                self.tables[node],
+                period=self.config.advert_period,
+            )
+        own_demand = lambda _node=node: self.demand.demand(_node, self.sim.now)
+        self.servers[node] = server
+        replication_node = ReplicationNode(
+            sim=self.sim,
+            network=self.network,
+            server=server,
+            config=self.config,
+            policy=policy,
+            view=view,
+            own_demand=own_demand,
+            advertiser=advertiser,
+            ack_manager=ack_manager,
+        )
+        self.nodes[node] = replication_node
+        return replication_node
+
+    def start(self) -> None:
+        """Start every node's periodic activity."""
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    # -- membership (replica creation, §7's Bayou policy family) -----------
+
+    def add_replica(
+        self,
+        new_node: int,
+        attach_to: Iterable[int],
+        donor_policy: Optional["DonorSelectionPolicy"] = None,
+        position: Optional[Tuple[float, float]] = None,
+    ) -> int:
+        """Create a new replica at runtime and bootstrap it from a donor.
+
+        The new node is linked to ``attach_to``, a donor among them is
+        chosen by ``donor_policy`` (default:
+        :class:`repro.replica.creation.MostCompleteLog`), and the new
+        node immediately runs a real anti-entropy session against the
+        donor — the bootstrap flows through the ordinary protocol with
+        full message/byte accounting.
+
+        Returns the chosen donor's id.
+
+        Raises:
+            ConfigurationError: Under ``"acked"`` log truncation —
+                ack-vector populations are fixed at construction time;
+                changing membership safely needs Golding's group
+                membership protocol, which is out of scope (DESIGN.md).
+        """
+        from ..replica.creation import DonorInfo, MostCompleteLog
+        from ..topology.analysis import bfs_distances
+
+        if self.config.log_truncation == "acked":
+            raise ConfigurationError(
+                "add_replica is not supported with acked truncation "
+                "(fixed ack-vector population)"
+            )
+        attach = [int(n) for n in attach_to]
+        if not attach:
+            raise ConfigurationError("attach_to must name at least one node")
+        for peer in attach:
+            if peer not in self.servers:
+                raise ConfigurationError(f"attach point {peer} does not exist")
+        if new_node in self.servers:
+            raise ConfigurationError(f"node {new_node} already exists")
+        self.topology.add_node(new_node, position)
+        for peer in attach:
+            self.topology.add_edge(new_node, peer)
+        replication_node = self._build_node(new_node)
+        if getattr(self, "_started", False):
+            replication_node.start()
+
+        candidates: Dict[int, DonorInfo] = {}
+        distances = bfs_distances(self.topology, new_node)
+        for peer in attach:
+            server = self.servers[peer]
+            last_applied = max(
+                (t for times in self._apply_times.values()
+                 for n, t in times.items() if n == peer),
+                default=0.0,
+            )
+            candidates[peer] = DonorInfo(
+                node=peer,
+                total_writes=server.summary().total_writes(),
+                log_length=len(server.log),
+                hops=distances.get(peer, 1),
+                staleness=self.sim.now - last_applied,
+                demand=self.demand.demand(peer, self.sim.now),
+            )
+        policy = donor_policy if donor_policy is not None else MostCompleteLog()
+        donor = policy.choose(candidates)
+        replication_node.anti_entropy.initiate_with(donor)
+        self.sim.trace.record(
+            self.sim.now, "replica.created", node=new_node, donor=donor
+        )
+        return donor
+
+    # -- write injection and convergence tracking ----------------------------
+
+    def _record_applied(self, node: int, updates: List[Update], source: str) -> None:
+        now = self.sim.now
+        for update in updates:
+            times = self._apply_times.setdefault(update.uid, {})
+            if node not in times:
+                times[node] = now
+            watch = self._watch.get(update.uid)
+            if watch is not None:
+                remaining, _ = watch
+                remaining.discard(node)
+                if not remaining:
+                    self._watch.pop(update.uid, None)
+                    self.sim.stop()
+        self.sim.publish(
+            TOPIC_UPDATE_APPLIED,
+            node=node,
+            updates=updates,
+            source=source,
+            time=now,
+        )
+
+    def inject_write(
+        self, node: int, key: str = "content", value: object = "v1"
+    ) -> Update:
+        """Perform a client write at ``node`` right now."""
+        if node not in self.servers:
+            raise SimulationError(f"unknown node {node}")
+        return self.servers[node].local_write(key, value)
+
+    def apply_times(self, uid: UpdateId) -> Dict[int, float]:
+        """First-application time per node for a tracked update."""
+        return dict(self._apply_times.get(uid, {}))
+
+    def nodes_with(self, uid: UpdateId) -> Set[int]:
+        """Nodes that have absorbed ``uid`` so far."""
+        return set(self._apply_times.get(uid, {}))
+
+    def all_have(self, uid: UpdateId) -> bool:
+        return len(self._apply_times.get(uid, {})) == self.topology.num_nodes
+
+    # -- running ----------------------------------------------------------------
+
+    def run_until(self, time: float) -> None:
+        """Advance the simulation to ``time``."""
+        self.sim.run(until=time)
+
+    def run_until_replicated(
+        self, uid: UpdateId, max_time: float = 100.0
+    ) -> Optional[float]:
+        """Run until ``uid`` reached every node; return that time.
+
+        Returns None if the horizon ``max_time`` expires first (the
+        update may still be missing somewhere, e.g. under heavy loss).
+        """
+        missing = set(self.topology.nodes) - self.nodes_with(uid)
+        if not missing:
+            times = self._apply_times.get(uid, {})
+            return max(times.values()) if times else None
+        self._watch[uid] = (missing, max_time)
+        self.sim.run(until=max_time)
+        self._watch.pop(uid, None)
+        if self.all_have(uid):
+            return max(self._apply_times[uid].values())
+        return None
+
+    # -- reporting helpers ----------------------------------------------------------
+
+    def demand_snapshot(self, time: Optional[float] = None) -> Dict[int, float]:
+        """True demand of every node at ``time`` (default: now)."""
+        at = self.sim.now if time is None else time
+        return self.demand.snapshot(self.topology.nodes, at)
+
+    def traffic(self) -> Dict[str, object]:
+        """Measured traffic counters (messages/bytes, per kind)."""
+        return self.network.counters.snapshot()
+
+    def session_stats_total(self) -> Dict[str, int]:
+        """Aggregate anti-entropy counters over all nodes."""
+        total: Dict[str, int] = {}
+        for node in self.nodes.values():
+            stats = node.anti_entropy.stats
+            for field_name in (
+                "initiated",
+                "completed_initiator",
+                "completed_responder",
+                "refused_received",
+                "refused_sent",
+                "timeouts",
+                "updates_sent",
+                "updates_received",
+            ):
+                total[field_name] = total.get(field_name, 0) + getattr(
+                    stats, field_name
+                )
+        return total

@@ -1,0 +1,100 @@
+"""Named protocol variants.
+
+These constructors are the vocabulary of the evaluation; each returns a
+validated :class:`~repro.core.config.ProtocolConfig`:
+
+===============================  ==========================================
+Constructor                      Paper reference
+===============================  ==========================================
+:func:`weak_consistency`         Golding's baseline [7]: random partner,
+                                 no push — the "Weak consistency" curve.
+:func:`high_demand_consistency`  Optimisation 1 only: demand-ordered
+                                 partner selection (§2).
+:func:`fast_consistency`         The full algorithm: ordered selection +
+                                 immediate fast-update push (§2.1) — the
+                                 "Fast Consistency" curve.
+:func:`dynamic_fast_consistency` §4: fast consistency with neighbour
+                                 tables maintained by periodic
+                                 advertisements.
+:func:`static_table_consistency` §3's straw man: fast consistency whose
+                                 demand beliefs are frozen at t=0 and
+                                 never refreshed — fails under change.
+===============================  ==========================================
+"""
+
+from __future__ import annotations
+
+from .config import (
+    KNOWLEDGE_ADVERTISED,
+    KNOWLEDGE_ORACLE,
+    KNOWLEDGE_SNAPSHOT,
+    POLICY_DEMAND,
+    POLICY_RANDOM,
+    ProtocolConfig,
+)
+
+
+def weak_consistency(**overrides) -> ProtocolConfig:
+    """Golding's timestamped anti-entropy with random partner choice."""
+    return ProtocolConfig(
+        partner_policy=POLICY_RANDOM,
+        fast_update=False,
+        demand_knowledge=KNOWLEDGE_ORACLE,
+    ).with_overrides(**overrides)
+
+
+def high_demand_consistency(**overrides) -> ProtocolConfig:
+    """Only the first optimisation: demand-ordered partner selection."""
+    return ProtocolConfig(
+        partner_policy=POLICY_DEMAND,
+        fast_update=False,
+        demand_knowledge=KNOWLEDGE_ORACLE,
+    ).with_overrides(**overrides)
+
+
+def fast_consistency(**overrides) -> ProtocolConfig:
+    """The paper's algorithm: ordered selection + immediate push."""
+    return ProtocolConfig(
+        partner_policy=POLICY_DEMAND,
+        fast_update=True,
+        demand_knowledge=KNOWLEDGE_ORACLE,
+    ).with_overrides(**overrides)
+
+
+def push_only_consistency(**overrides) -> ProtocolConfig:
+    """Only the second optimisation: random partners, push enabled.
+
+    Not a paper variant — used by the ablation benchmark to separate
+    the contribution of each optimisation.
+    """
+    return ProtocolConfig(
+        partner_policy=POLICY_RANDOM,
+        fast_update=True,
+        demand_knowledge=KNOWLEDGE_ORACLE,
+    ).with_overrides(**overrides)
+
+
+def dynamic_fast_consistency(**overrides) -> ProtocolConfig:
+    """§4's dynamic algorithm: beliefs from periodic advertisements."""
+    return ProtocolConfig(
+        partner_policy=POLICY_DEMAND,
+        fast_update=True,
+        demand_knowledge=KNOWLEDGE_ADVERTISED,
+    ).with_overrides(**overrides)
+
+
+def static_table_consistency(**overrides) -> ProtocolConfig:
+    """§3's failing static algorithm: beliefs frozen at time zero."""
+    return ProtocolConfig(
+        partner_policy=POLICY_DEMAND,
+        fast_update=True,
+        demand_knowledge=KNOWLEDGE_SNAPSHOT,
+    ).with_overrides(**overrides)
+
+
+#: The three curves of Figs. 5-6, in plotting order.
+FIGURE_VARIANTS = (
+    ("weak", weak_consistency),
+    ("high-demand", high_demand_consistency),
+    ("fast", fast_consistency),
+)

@@ -1,0 +1,127 @@
+"""Periodic neighbour-demand advertisement (paper §4).
+
+"We assume that every node is periodically informed of the demand of
+their neighbours, in a way similar to IP routing algorithms." —
+:class:`DemandAdvertiser` is that mechanism: every ``period`` time units
+(with optional phase jitter so nodes do not synchronise) a node sends a
+small :class:`DemandAdvert` to each physical neighbour; receivers update
+their :class:`repro.demand.views.DemandTable`.
+
+The advert is deliberately tiny (one float plus a header) — the paper's
+scalability claim rests on demand dissemination being cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import DemandError
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from .base import DemandModel
+from .views import DemandTable
+
+#: Bytes of framing per advert (addresses, type tag), plus one float64.
+ADVERT_HEADER_BYTES = 20
+ADVERT_VALUE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class DemandAdvert:
+    """Wire message: ``sender`` currently serves ``value`` requests/unit."""
+
+    sender: int
+    value: float
+
+    kind = "demand-advert"
+
+    def size_bytes(self) -> int:
+        return ADVERT_HEADER_BYTES + ADVERT_VALUE_BYTES
+
+
+class DemandAdvertiser:
+    """Per-node periodic advertiser plus receiver.
+
+    Args:
+        sim: Owning simulator.
+        network: Transport used for adverts.
+        node: This node's id.
+        model: Ground-truth demand (the node knows its own demand by
+            counting its clients' requests).
+        table: The neighbour table to update on received adverts.
+        period: Time between advert rounds (in session-time units).
+        jitter: The first round fires at ``uniform(0, jitter)`` so nodes
+            desynchronise; later rounds are strictly periodic.
+
+    Call :meth:`start` once; :meth:`on_message` must be wired into the
+    node's dispatch (done by
+    :class:`repro.core.protocol.ReplicationNode`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node: int,
+        model: DemandModel,
+        table: DemandTable,
+        period: float = 1.0,
+        jitter: float = 1.0,
+    ):
+        if period <= 0:
+            raise DemandError(f"advert period must be > 0, got {period}")
+        if jitter < 0:
+            raise DemandError(f"jitter must be >= 0, got {jitter}")
+        self.sim = sim
+        self.network = network
+        self.node = int(node)
+        self.model = model
+        self.table = table
+        self.period = float(period)
+        self.jitter = float(jitter)
+        self.rounds_sent = 0
+        self.adverts_received = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the first advertisement round."""
+        if self._started:
+            raise DemandError(f"advertiser for node {self.node} already started")
+        self._started = True
+        rng = self.sim.rng.stream("advert", self.node)
+        first = rng.uniform(0, self.jitter) if self.jitter else 0.0
+        self.sim.schedule(first, self._round)
+
+    def _round(self) -> None:
+        value = self.model.demand(self.node, self.sim.now)
+        advert = DemandAdvert(sender=self.node, value=value)
+        for neighbor in self.network.topology.neighbors(self.node):
+            self.network.send(self.node, neighbor, advert)
+        self.rounds_sent += 1
+        self.sim.schedule(self.period, self._round)
+
+    def on_message(self, src: int, message: DemandAdvert) -> None:
+        """Handle a received advert (updates the neighbour table)."""
+        if not isinstance(message, DemandAdvert):
+            raise DemandError(f"unexpected message {message!r}")
+        self.adverts_received += 1
+        self.table.update(message.sender, message.value, self.sim.now)
+
+
+def bootstrap_tables(
+    network: Network, model: DemandModel, at_time: float = 0.0
+) -> Dict[int, DemandTable]:
+    """Pre-populate every node's table with its neighbours' true demand.
+
+    Gives protocols a warm start (the paper assumes nodes already know
+    neighbour demand when the algorithm begins); the advertiser then
+    keeps the tables fresh as demand drifts.
+    """
+    tables: Dict[int, DemandTable] = {}
+    for node in network.topology.nodes:
+        table = DemandTable()
+        for neighbor in network.topology.neighbors(node):
+            table.update(neighbor, model.demand(neighbor, at_time), at_time)
+        tables[node] = table
+    return tables

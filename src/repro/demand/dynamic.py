@@ -1,0 +1,184 @@
+"""Time-varying demand models (paper §3-§4).
+
+Section 3 shows the static algorithm failing when demand shifts while
+updates propagate (Fig. 4: A falls 2 -> 0, C rises 0 -> 9 at t=2).
+These models produce exactly such shifts:
+
+* :class:`ScheduledDemand` — piecewise-constant per-node schedules; the
+  Fig. 4 scenario is :func:`paper_fig4_demand`.
+* :class:`FlashCrowdDemand` — a node set's demand is multiplied during
+  a time window (the "flash crowd" motif from the introduction).
+* :class:`RandomWalkDemand` — demands drift as reflected random walks,
+  recomputed at unit steps; models slowly-shifting interest.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DemandError
+from .base import DemandModel, validate_demand_value
+from .static import ExplicitDemand
+
+#: A per-node schedule: sorted (time, value) change points.
+Schedule = List[Tuple[float, float]]
+
+
+class ScheduledDemand(DemandModel):
+    """Piecewise-constant demand from explicit change points.
+
+    Args:
+        initial: node -> demand before any change point.
+        changes: node -> iterable of ``(time, new_value)`` pairs; the
+            value holds from its time (inclusive) until the next change.
+    """
+
+    def __init__(
+        self,
+        initial: Mapping[int, float],
+        changes: Optional[Mapping[int, Iterable[Tuple[float, float]]]] = None,
+    ):
+        self.initial = {
+            int(n): validate_demand_value(v, int(n)) for n, v in initial.items()
+        }
+        self.schedules: Dict[int, Schedule] = {}
+        for node, points in (changes or {}).items():
+            node = int(node)
+            schedule = sorted(
+                (float(t), validate_demand_value(v, node)) for t, v in points
+            )
+            for time, _ in schedule:
+                if time < 0:
+                    raise DemandError(f"change time {time} < 0 for node {node}")
+            self.schedules[node] = schedule
+
+    def demand(self, node: int, time: float) -> float:
+        node = int(node)
+        base = self.initial.get(node, 0.0)
+        schedule = self.schedules.get(node)
+        if not schedule:
+            return base
+        times = [t for t, _ in schedule]
+        index = bisect.bisect_right(times, time) - 1
+        if index < 0:
+            return base
+        return schedule[index][1]
+
+    def change_times(self) -> List[float]:
+        """All distinct times at which any node's demand changes."""
+        times = {t for schedule in self.schedules.values() for t, _ in schedule}
+        return sorted(times)
+
+
+class FlashCrowdDemand(DemandModel):
+    """Multiply a node set's demand by ``factor`` during a window.
+
+    Outside ``[start, end)`` the inner model is passed through
+    unchanged — a sudden regional surge, as when a news story breaks.
+    """
+
+    def __init__(
+        self,
+        inner: DemandModel,
+        hot_nodes: Iterable[int],
+        start: float,
+        end: float,
+        factor: float = 10.0,
+    ):
+        if end <= start:
+            raise DemandError(f"window [{start}, {end}) is empty")
+        if factor < 0:
+            raise DemandError(f"factor must be >= 0, got {factor}")
+        self.inner = inner
+        self.hot_nodes = {int(n) for n in hot_nodes}
+        self.start = float(start)
+        self.end = float(end)
+        self.factor = float(factor)
+
+    def demand(self, node: int, time: float) -> float:
+        value = self.inner.demand(node, time)
+        if int(node) in self.hot_nodes and self.start <= time < self.end:
+            return value * self.factor
+        return value
+
+
+class RandomWalkDemand(DemandModel):
+    """Reflected random-walk drift around an initial demand table.
+
+    Demand for node *n* at integer step *k* is
+    ``clip(initial[n] + sum of k i.i.d. uniform(-step, +step))`` with
+    reflection at ``[low, high]``. Within a unit interval the demand is
+    constant, so the model remains piecewise-constant like the paper's
+    session-grained reasoning.
+    """
+
+    def __init__(
+        self,
+        initial: Mapping[int, float],
+        step: float = 5.0,
+        low: float = 0.0,
+        high: float = 100.0,
+        seed: int = 0,
+    ):
+        if step < 0:
+            raise DemandError(f"step must be >= 0, got {step}")
+        if high <= low:
+            raise DemandError(f"invalid bounds [{low}, {high}]")
+        self.initial = {
+            int(n): validate_demand_value(v, int(n)) for n, v in initial.items()
+        }
+        self.step = float(step)
+        self.low = float(low)
+        self.high = float(high)
+        self.seed = int(seed)
+        self._paths: Dict[int, List[float]] = {}
+
+    def _reflect(self, value: float) -> float:
+        span = self.high - self.low
+        # Fold the value into [low, high] by reflecting at the borders.
+        offset = (value - self.low) % (2 * span)
+        if offset > span:
+            offset = 2 * span - offset
+        return self.low + offset
+
+    def _path(self, node: int, steps: int) -> List[float]:
+        path = self._paths.get(node)
+        if path is None:
+            path = [self._reflect(self.initial.get(node, self.low))]
+            self._paths[node] = path
+        if len(path) <= steps:
+            rng = random.Random((self.seed << 24) ^ (node * 1000003))
+            # Re-derive the increments deterministically from scratch so
+            # extending the path never depends on query history.
+            values = [path[0]]
+            for _ in range(steps):
+                values.append(
+                    self._reflect(values[-1] + rng.uniform(-self.step, self.step))
+                )
+            self._paths[node] = values
+            path = values
+        return path
+
+    def demand(self, node: int, time: float) -> float:
+        if time < 0:
+            raise DemandError(f"time must be >= 0, got {time}")
+        step = int(time)
+        return self._path(int(node), step)[step]
+
+
+def paper_fig4_demand() -> ScheduledDemand:
+    """The §3/Fig. 4 scenario (nodes: A=0, B=1, C=2, D=3).
+
+    B's neighbour demands at t=1 are D=13, A=2, C=0; by t=2 A has fallen
+    to 0 and C has risen to 9 (A' and C' in the figure).
+    """
+    return ScheduledDemand(
+        initial={0: 2.0, 1: 6.0, 2: 0.0, 3: 13.0},
+        changes={0: [(2.0, 0.0)], 2: [(2.0, 9.0)]},
+    )
+
+
+#: Stable name -> id mapping for the Fig. 4 example.
+FIG4_REPLICAS: Dict[str, int] = {"A": 0, "B": 1, "C": 2, "D": 3}

@@ -1,0 +1,156 @@
+"""Spatial "hills and valleys" demand surfaces (paper Fig. 1).
+
+The paper visualises demand as a landscape over the plane: *valleys* are
+regions of high demand that attract updates (the gravity analogy of §1).
+:class:`SurfaceDemand` realises that picture: demand at a node is a base
+level plus a sum of Gaussian wells centred at valley points, evaluated
+at the node's planar position.
+
+These fields drive the §6 *islands* experiments, where several
+high-demand valleys are separated by low-demand ridges.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import DemandError
+from ..topology.graph import Topology
+from .base import DemandModel, validate_demand_value
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Valley:
+    """A Gaussian well of demand.
+
+    Attributes:
+        center: Planar position of the valley floor.
+        peak: Demand added at the exact centre (requests/time unit).
+        radius: Gaussian sigma; ~61% of ``peak`` remains at one radius.
+    """
+
+    center: Point
+    peak: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.peak < 0:
+            raise DemandError(f"valley peak must be >= 0, got {self.peak}")
+        if self.radius <= 0:
+            raise DemandError(f"valley radius must be > 0, got {self.radius}")
+
+    def contribution(self, point: Point) -> float:
+        """Demand this valley adds at ``point``."""
+        dx = point[0] - self.center[0]
+        dy = point[1] - self.center[1]
+        return self.peak * math.exp(-(dx * dx + dy * dy) / (2 * self.radius**2))
+
+
+class SurfaceDemand(DemandModel):
+    """Demand = base + sum of valley contributions at the node position.
+
+    Args:
+        positions: node -> planar position.
+        valleys: The Gaussian wells forming the landscape.
+        base: Demand far away from every valley (the "hills").
+    """
+
+    def __init__(
+        self,
+        positions: Dict[int, Point],
+        valleys: Sequence[Valley],
+        base: float = 1.0,
+    ):
+        if not positions:
+            raise DemandError("SurfaceDemand needs at least one positioned node")
+        self.positions = {int(n): (float(p[0]), float(p[1])) for n, p in positions.items()}
+        self.valleys = list(valleys)
+        self.base = validate_demand_value(base, -1)
+
+    @classmethod
+    def from_topology(
+        cls, topo: Topology, valleys: Sequence[Valley], base: float = 1.0
+    ) -> "SurfaceDemand":
+        """Build from a topology whose nodes are all placed on the plane."""
+        positions: Dict[int, Point] = {}
+        for node in topo.nodes:
+            pos = topo.position(node)
+            if pos is None:
+                raise DemandError(f"node {node} has no position; place it first")
+            positions[node] = pos
+        return cls(positions, valleys, base)
+
+    def demand(self, node: int, time: float) -> float:
+        node = int(node)
+        pos = self.positions.get(node)
+        if pos is None:
+            raise DemandError(f"node {node} is not on the surface")
+        return self.base + sum(v.contribution(pos) for v in self.valleys)
+
+    def demand_at(self, point: Point) -> float:
+        """Evaluate the continuous surface anywhere (for rendering Fig. 1)."""
+        return self.base + sum(v.contribution(point) for v in self.valleys)
+
+    def deepest_valley(self) -> Optional[Valley]:
+        """The valley with the highest peak, or None when flat."""
+        if not self.valleys:
+            return None
+        return max(self.valleys, key=lambda v: v.peak)
+
+
+def random_valleys(
+    count: int,
+    plane_size: float,
+    peak_range: Tuple[float, float] = (50.0, 150.0),
+    radius_range: Tuple[float, float] = (0.1, 0.25),
+    seed: int = 0,
+) -> List[Valley]:
+    """Scatter ``count`` valleys uniformly on a ``plane_size`` square.
+
+    ``radius_range`` is expressed as a fraction of ``plane_size`` so the
+    same parameters work across topology scales.
+    """
+    if count < 1:
+        raise DemandError(f"count must be >= 1, got {count}")
+    if plane_size <= 0:
+        raise DemandError("plane_size must be positive")
+    rng = random.Random(seed)
+    valleys = []
+    for _ in range(count):
+        valleys.append(
+            Valley(
+                center=(rng.uniform(0, plane_size), rng.uniform(0, plane_size)),
+                peak=rng.uniform(*peak_range),
+                radius=plane_size * rng.uniform(*radius_range),
+            )
+        )
+    return valleys
+
+
+def two_valley_field(
+    topo: Topology,
+    plane_size: float,
+    peak: float = 100.0,
+    radius_fraction: float = 0.12,
+    base: float = 1.0,
+) -> SurfaceDemand:
+    """The canonical §6 scenario: two distant valleys on one plane.
+
+    Valleys sit at (1/4, 1/4) and (3/4, 3/4) of the plane so that the
+    straight line between them crosses a low-demand ridge.
+    """
+    quarter = plane_size / 4
+    valleys = [
+        Valley(center=(quarter, quarter), peak=peak, radius=plane_size * radius_fraction),
+        Valley(
+            center=(3 * quarter, 3 * quarter),
+            peak=peak,
+            radius=plane_size * radius_fraction,
+        ),
+    ]
+    return SurfaceDemand.from_topology(topo, valleys, base=base)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that
+    was already stopped, or cancelling a foreign event handle.
+    """
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or a generator received bad parameters."""
+
+
+class DemandError(ReproError):
+    """A demand model was queried or configured incorrectly."""
+
+
+class ReplicationError(ReproError):
+    """The replication substrate detected a protocol violation.
+
+    Raised, for instance, when an update batch arrives out of per-origin
+    order, or when a write log is asked for an unknown update.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A protocol or experiment configuration is inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification cannot be built or executed."""

@@ -1,0 +1,97 @@
+"""Evaluation harness: trials, repetitions, CDFs, per-figure drivers.
+
+Every table/figure of the paper maps to one driver in
+:mod:`repro.experiments.figures`; see DESIGN.md for the index and
+EXPERIMENTS.md for recorded paper-vs-measured values.
+"""
+
+from .cdf import EmpiricalCdf, SummaryStats, session_grid
+from .figures import (
+    PAPER,
+    AblationResult,
+    Figure3Result,
+    FigureCdfResult,
+    IslandsResult,
+    OverheadResult,
+    ScalingResult,
+    StrongCostResult,
+    Table1Result,
+    Table2Result,
+    UniformTopologiesResult,
+    ablation_experiment,
+    figure3,
+    figure5,
+    figure6,
+    figure_cdf,
+    islands_experiment,
+    overhead_experiment,
+    scaling_experiment,
+    strong_cost_experiment,
+    table1_orderings,
+    table2_dynamic,
+    uniform_topologies,
+)
+from .harness import (
+    DEFAULT_TOP_FRACTION,
+    TrialSpec,
+    run_experiment,
+    run_trial,
+)
+from .results import ExperimentResult, TrialResult, VariantSeries
+from .scenarios import (
+    DEMANDS,
+    TOPOLOGIES,
+    VARIANTS,
+    build_demand,
+    build_system,
+    build_topology,
+    build_variant,
+)
+from .tables import format_kv, format_table
+
+__all__ = [
+    "EmpiricalCdf",
+    "SummaryStats",
+    "session_grid",
+    "ExperimentResult",
+    "TrialResult",
+    "VariantSeries",
+    "TrialSpec",
+    "run_trial",
+    "run_experiment",
+    "DEFAULT_TOP_FRACTION",
+    "format_table",
+    "format_kv",
+    # figure drivers
+    "PAPER",
+    "figure_cdf",
+    "figure5",
+    "figure6",
+    "figure3",
+    "table1_orderings",
+    "table2_dynamic",
+    "scaling_experiment",
+    "uniform_topologies",
+    "islands_experiment",
+    "overhead_experiment",
+    "ablation_experiment",
+    "strong_cost_experiment",
+    "FigureCdfResult",
+    "Figure3Result",
+    "Table1Result",
+    "Table2Result",
+    "ScalingResult",
+    "UniformTopologiesResult",
+    "IslandsResult",
+    "OverheadResult",
+    "AblationResult",
+    "StrongCostResult",
+    # scenario registry
+    "TOPOLOGIES",
+    "DEMANDS",
+    "VARIANTS",
+    "build_topology",
+    "build_demand",
+    "build_variant",
+    "build_system",
+]

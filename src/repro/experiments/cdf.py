@@ -1,0 +1,135 @@
+"""Empirical CDFs and summary statistics.
+
+Figures 5 and 6 of the paper are CDFs of sessions-to-consistency over
+repeated experiments; :class:`EmpiricalCdf` provides exactly the
+operations the harness and the ASCII plots need (evaluation on a grid,
+quantiles, means), with censored samples (runs that never converged
+within the horizon) tracked explicitly rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / spread / quantiles of a sample set."""
+
+    count: int
+    censored: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+    def row(self) -> Tuple[object, ...]:
+        """Tuple form used by the table renderer."""
+        return (
+            self.count,
+            self.censored,
+            f"{self.mean:.3f}",
+            f"{self.std:.3f}",
+            f"{self.median:.3f}",
+            f"{self.p90:.3f}",
+            f"{self.maximum:.3f}",
+        )
+
+
+class EmpiricalCdf:
+    """Empirical distribution of completion times.
+
+    Args:
+        samples: Observed values; ``None`` entries are *censored*
+            (the event did not happen within the horizon) and are
+            excluded from the distribution but counted.
+    """
+
+    def __init__(self, samples: Iterable[Optional[float]]):
+        values: List[float] = []
+        censored = 0
+        for sample in samples:
+            if sample is None:
+                censored += 1
+            else:
+                values.append(float(sample))
+        self._values = sorted(values)
+        self.censored = censored
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return tuple(self._values)
+
+    def evaluate(self, x: float) -> float:
+        """P(sample <= x) among uncensored samples."""
+        if not self._values:
+            raise ExperimentError("CDF of an empty sample set")
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def on_grid(self, grid: Sequence[float]) -> List[float]:
+        """CDF evaluated at each grid point (the plot series)."""
+        return [self.evaluate(x) for x in grid]
+
+    def quantile(self, p: float) -> float:
+        """Inverse CDF via linear interpolation."""
+        if not 0 <= p <= 1:
+            raise ExperimentError(f"quantile {p} outside [0, 1]")
+        if not self._values:
+            raise ExperimentError("quantile of an empty sample set")
+        if len(self._values) == 1:
+            return self._values[0]
+        index = p * (len(self._values) - 1)
+        low = int(index)
+        high = min(low + 1, len(self._values) - 1)
+        weight = index - low
+        result = self._values[low] * (1 - weight) + self._values[high] * weight
+        # Clamp: float rounding must not push the interpolant past the
+        # bracketing samples (e.g. 63*(1-w) + 63*w can exceed 63 by 1 ulp).
+        return min(max(result, self._values[low]), self._values[high])
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ExperimentError("mean of an empty sample set")
+        return sum(self._values) / len(self._values)
+
+    def std(self) -> float:
+        if len(self._values) < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self._values) / (len(self._values) - 1)
+        )
+
+    def summary(self) -> SummaryStats:
+        """One-shot summary for tables."""
+        if not self._values:
+            raise ExperimentError("summary of an empty sample set")
+        return SummaryStats(
+            count=self.count,
+            censored=self.censored,
+            mean=self.mean(),
+            std=self.std(),
+            minimum=self._values[0],
+            median=self.quantile(0.5),
+            p90=self.quantile(0.9),
+            maximum=self._values[-1],
+        )
+
+
+def session_grid(max_sessions: float = 12.0, step: float = 0.5) -> List[float]:
+    """The x-axis of Figs. 5-6 (0 .. ~11 sessions)."""
+    if step <= 0 or max_sessions <= 0:
+        raise ExperimentError("grid parameters must be positive")
+    count = int(round(max_sessions / step))
+    return [round(i * step, 10) for i in range(count + 1)]

@@ -1,0 +1,156 @@
+"""Experiment runner.
+
+One *trial* = build a fresh random topology and demand assignment,
+inject a write at a random replica, and run one protocol variant until
+the write is everywhere (the paper's §5 procedure). The harness repeats
+trials with derived seeds and — crucially — gives every variant the
+*same* topology, demand, origin and timer streams within a repetition,
+so variant comparisons are paired and low-variance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import ProtocolConfig
+from ..core.metrics import mean_reach_time, reach_time
+from ..core.system import ReplicationSystem
+from ..demand.base import DemandModel
+from ..errors import ExperimentError
+from ..sim.rng import derive_seed
+from ..topology.analysis import diameter as topo_diameter
+from ..topology.graph import Topology
+from .results import ExperimentResult, TrialResult, VariantSeries
+
+#: Builds the repetition's topology from a derived seed.
+TopologyFactory = Callable[[int], Topology]
+
+#: Builds the repetition's demand model from the topology and a seed.
+DemandFactory = Callable[[Topology, int], DemandModel]
+
+#: Fraction of nodes counted as the "high demand" subset (Figs. 5-6).
+DEFAULT_TOP_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Everything needed to run one repetition of one variant."""
+
+    topology: Topology
+    demand: DemandModel
+    config: ProtocolConfig
+    seed: int
+    origin: int
+    max_time: float = 80.0
+    top_fraction: float = DEFAULT_TOP_FRACTION
+    bridge_islands: bool = False
+    island_percentile: float = 75.0
+    loss: float = 0.0
+
+
+def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
+    """Execute one trial; returns the measurements and the used system."""
+    system = ReplicationSystem(
+        topology=spec.topology,
+        demand=spec.demand,
+        config=spec.config,
+        seed=spec.seed,
+        loss=spec.loss,
+    )
+    if spec.bridge_islands:
+        from ..core.islands import bridge_system
+
+        bridge_system(system, percentile=spec.island_percentile)
+    system.sim.trace.disable()
+    system.start()
+    update = system.inject_write(spec.origin)
+    t0 = system.sim.now
+    system.run_until_replicated(update.uid, max_time=spec.max_time)
+    times = system.apply_times(update.uid)
+    nodes = spec.topology.nodes
+    top_nodes = spec.demand.top_fraction(nodes, spec.top_fraction, time=0.0)
+    top1 = spec.demand.ranked(nodes, time=0.0)[0]
+    trial = TrialResult(
+        rep=-1,
+        origin=spec.origin,
+        time_all=reach_time(times, nodes, t0),
+        time_top=reach_time(times, top_nodes, t0),
+        time_top1=reach_time(times, [top1], t0),
+        mean_time=mean_reach_time(times, nodes, t0),
+        diameter=topo_diameter(spec.topology),
+        messages=system.network.counters.messages_sent,
+        bytes_sent=system.network.counters.bytes_sent,
+    )
+    return trial, system
+
+
+def run_experiment(
+    name: str,
+    variants: Mapping[str, ProtocolConfig],
+    topology_factory: TopologyFactory,
+    demand_factory: DemandFactory,
+    reps: int = 50,
+    seed: int = 0,
+    max_time: float = 80.0,
+    top_fraction: float = DEFAULT_TOP_FRACTION,
+    loss: float = 0.0,
+    params: Optional[Dict[str, object]] = None,
+) -> ExperimentResult:
+    """Run ``reps`` paired repetitions of every variant.
+
+    For repetition *i*, every variant sees the same topology (seed
+    ``derive(seed, 'topo', i)``), demand (``derive(seed, 'demand', i)``),
+    origin replica and simulator seed — only the protocol differs.
+    """
+    if reps < 1:
+        raise ExperimentError(f"reps must be >= 1, got {reps}")
+    if not variants:
+        raise ExperimentError("no variants given")
+    result = ExperimentResult(
+        name=name,
+        params={
+            "reps": reps,
+            "seed": seed,
+            "max_time": max_time,
+            "top_fraction": top_fraction,
+            "loss": loss,
+            **(params or {}),
+        },
+    )
+    for rep in range(reps):
+        topo_seed = derive_seed(seed, f"topo/{rep}")
+        demand_seed = derive_seed(seed, f"demand/{rep}")
+        sim_seed = derive_seed(seed, f"sim/{rep}")
+        topology = topology_factory(topo_seed)
+        demand = demand_factory(topology, demand_seed)
+        origin_rng = random.Random(derive_seed(seed, f"origin/{rep}"))
+        origin = origin_rng.choice(list(topology.nodes))
+        for variant_name, config in variants.items():
+            trial, _system = run_trial(
+                TrialSpec(
+                    topology=topology,
+                    demand=demand,
+                    config=config,
+                    seed=sim_seed,
+                    origin=origin,
+                    max_time=max_time,
+                    top_fraction=top_fraction,
+                    loss=loss,
+                )
+            )
+            result.variant(variant_name).add(
+                TrialResult(
+                    rep=rep,
+                    origin=trial.origin,
+                    time_all=trial.time_all,
+                    time_top=trial.time_top,
+                    time_top1=trial.time_top1,
+                    mean_time=trial.mean_time,
+                    diameter=trial.diameter,
+                    messages=trial.messages,
+                    bytes_sent=trial.bytes_sent,
+                )
+            )
+    return result

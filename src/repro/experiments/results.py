@@ -1,0 +1,144 @@
+"""Result containers with JSON persistence.
+
+Experiments produce :class:`TrialResult` rows (one per simulated
+repetition) grouped into :class:`VariantSeries` (one per protocol
+variant) inside an :class:`ExperimentResult`. Everything serialises to
+plain JSON so EXPERIMENTS.md numbers can be regenerated and archived.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ExperimentError
+from .cdf import EmpiricalCdf
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Measurements from one repetition of one variant.
+
+    Attributes:
+        rep: Repetition index.
+        origin: Node where the tracked write was injected.
+        time_all: Sessions until every replica had the update (None =
+            did not converge within the horizon).
+        time_top: Sessions until the high-demand subset (top fraction)
+            had it.
+        time_top1: Sessions until the single most-demanded replica had
+            it — the paper's "replica with most demand".
+        mean_time: Mean per-replica sessions-to-consistency.
+        diameter: Topology diameter for this repetition.
+        messages: Total messages the network carried.
+        bytes_sent: Total bytes the network carried.
+    """
+
+    rep: int
+    origin: int
+    time_all: Optional[float]
+    time_top: Optional[float]
+    time_top1: Optional[float]
+    mean_time: Optional[float]
+    diameter: int
+    messages: int
+    bytes_sent: int
+
+
+@dataclass
+class VariantSeries:
+    """All repetitions of one protocol variant."""
+
+    variant: str
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def add(self, trial: TrialResult) -> None:
+        self.trials.append(trial)
+
+    def cdf_all(self) -> EmpiricalCdf:
+        """CDF of sessions-to-all-replicas (a Figs. 5-6 curve)."""
+        return EmpiricalCdf(t.time_all for t in self.trials)
+
+    def cdf_top(self) -> EmpiricalCdf:
+        """CDF of sessions-to-high-demand-subset."""
+        return EmpiricalCdf(t.time_top for t in self.trials)
+
+    def cdf_top1(self) -> EmpiricalCdf:
+        """CDF of sessions to the single most-demanded replica."""
+        return EmpiricalCdf(t.time_top1 for t in self.trials)
+
+    def mean_messages(self) -> float:
+        if not self.trials:
+            raise ExperimentError(f"variant {self.variant} has no trials")
+        return sum(t.messages for t in self.trials) / len(self.trials)
+
+    def mean_bytes(self) -> float:
+        if not self.trials:
+            raise ExperimentError(f"variant {self.variant} has no trials")
+        return sum(t.bytes_sent for t in self.trials) / len(self.trials)
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment's full output.
+
+    Attributes:
+        name: Experiment id (``fig5``, ``scaling``...).
+        params: The parameters it ran with (nodes, reps, seed...).
+        series: Variant name -> measurements.
+        notes: Free-form annotations (paper reference values etc.).
+    """
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+    series: Dict[str, VariantSeries] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def variant(self, name: str) -> VariantSeries:
+        """Get-or-create the series for ``name``."""
+        if name not in self.series:
+            self.series[name] = VariantSeries(variant=name)
+        return self.series[name]
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "params": self.params,
+            "notes": self.notes,
+            "series": {
+                name: [asdict(t) for t in series.trials]
+                for name, series in self.series.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        try:
+            result = cls(
+                name=str(data["name"]),
+                params=dict(data.get("params", {})),
+                notes=dict(data.get("notes", {})),
+            )
+            for variant, trials in dict(data.get("series", {})).items():
+                series = result.variant(variant)
+                for row in trials:
+                    series.add(TrialResult(**row))
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(f"malformed result payload: {exc}") from exc
+        return result
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ExperimentResult":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,134 @@
+"""Declarative scenario construction (used by the CLI and examples).
+
+A scenario names a topology family, a demand model and a protocol
+variant by string; :func:`build_topology`, :func:`build_demand` and
+:func:`build_variant` resolve those names, and :func:`build_system`
+assembles the whole thing. This keeps the CLI thin and gives tests one
+place to verify the registry stays in sync with the library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.config import ProtocolConfig
+from ..core.system import ReplicationSystem
+from ..core.variants import (
+    dynamic_fast_consistency,
+    fast_consistency,
+    high_demand_consistency,
+    push_only_consistency,
+    static_table_consistency,
+    weak_consistency,
+)
+from ..demand.base import DemandModel
+from ..demand.field import two_valley_field
+from ..demand.static import ConstantDemand, UniformRandomDemand, ZipfDemand
+from ..errors import ExperimentError
+from ..topology.brite import internet_like, waxman, BriteConfig
+from ..topology.graph import Topology
+from ..topology.simple import complete, grid, line, ring, star, torus
+
+import math
+import random
+
+#: name -> topology factory taking (n, seed).
+TOPOLOGIES: Dict[str, Callable[[int, int], Topology]] = {
+    "ba": lambda n, seed: internet_like(n, m=2, seed=seed),
+    "ba-m3": lambda n, seed: internet_like(n, m=3, seed=seed),
+    "waxman": lambda n, seed: waxman(BriteConfig(n=n, m=2), random.Random(seed)),
+    "line": lambda n, seed: line(n),
+    "ring": lambda n, seed: ring(n),
+    "star": lambda n, seed: star(n),
+    "grid": lambda n, seed: grid(*_square_sides(n)),
+    "torus": lambda n, seed: torus(*_square_sides(n)),
+    "complete": lambda n, seed: complete(n),
+}
+
+#: name -> demand factory taking (topology, seed).
+DEMANDS: Dict[str, Callable[[Topology, int], DemandModel]] = {
+    "uniform": lambda topo, seed: UniformRandomDemand(0.0, 100.0, seed=seed),
+    "zipf": lambda topo, seed: ZipfDemand(topo.nodes, exponent=1.0, seed=seed),
+    "constant": lambda topo, seed: ConstantDemand(10.0),
+    "two-valleys": lambda topo, seed: _two_valleys(topo),
+}
+
+#: name -> protocol variant constructor.
+VARIANTS: Dict[str, Callable[[], ProtocolConfig]] = {
+    "weak": weak_consistency,
+    "ordered": high_demand_consistency,
+    "push-only": push_only_consistency,
+    "fast": fast_consistency,
+    "dynamic": dynamic_fast_consistency,
+    "static-table": static_table_consistency,
+}
+
+
+def _square_sides(n: int) -> tuple:
+    side = max(2, int(round(math.sqrt(n))))
+    return side, side
+
+
+def _two_valleys(topo: Topology) -> DemandModel:
+    xs = []
+    ys = []
+    for node in topo.nodes:
+        pos = topo.position(node)
+        if pos is None:
+            raise ExperimentError(
+                "two-valleys demand needs node positions; use a placed topology"
+            )
+        xs.append(pos[0])
+        ys.append(pos[1])
+    plane = max(max(xs) - min(xs), max(ys) - min(ys)) or 1.0
+    return two_valley_field(topo, plane_size=plane)
+
+
+def build_topology(name: str, n: int, seed: int = 0) -> Topology:
+    """Build a topology by registry name."""
+    try:
+        factory = TOPOLOGIES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
+        ) from None
+    return factory(n, seed)
+
+
+def build_demand(name: str, topology: Topology, seed: int = 0) -> DemandModel:
+    """Build a demand model by registry name."""
+    try:
+        factory = DEMANDS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown demand {name!r}; known: {sorted(DEMANDS)}"
+        ) from None
+    return factory(topology, seed)
+
+
+def build_variant(name: str) -> ProtocolConfig:
+    """Build a protocol configuration by registry name."""
+    try:
+        factory = VARIANTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown variant {name!r}; known: {sorted(VARIANTS)}"
+        ) from None
+    return factory()
+
+
+def build_system(
+    topology: str = "ba",
+    demand: str = "uniform",
+    variant: str = "fast",
+    n: int = 50,
+    seed: int = 0,
+    loss: float = 0.0,
+) -> ReplicationSystem:
+    """One-call system assembly from registry names."""
+    topo = build_topology(topology, n, seed)
+    model = build_demand(demand, topo, seed)
+    config = build_variant(variant)
+    return ReplicationSystem(
+        topology=topo, demand=model, config=config, seed=seed, loss=loss
+    )

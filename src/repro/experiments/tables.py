@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+The benches and the CLI print the same rows the paper reports; this
+module keeps the formatting in one place (monospace, right-aligned
+numbers, a separator under the header).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ExperimentError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Numbers are right-aligned, everything else left-aligned; the first
+    column is always left-aligned (it is the row label).
+    """
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_number(text: str) -> bool:
+        try:
+            float(text.replace("%", "").replace("x", ""))
+        except ValueError:
+            return False
+        return True
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i > 0 and is_number(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: Iterable[Sequence[object]]) -> str:
+    """Render key/value annotation lines under a title."""
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Donor selection for creating new replicas.
+
+The paper's related-work section (§7) quotes Bayou's fourth policy
+family: "When various servers are available for creating a new replica,
+quantities to be considered must be identified ... how out of time they
+are, band width of connections, and how complete their write-logs are."
+
+This module implements that family: a new replica picks the *donor*
+server it bootstraps from according to a pluggable policy over
+:class:`DonorInfo` candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import ReplicationError
+
+
+@dataclass(frozen=True)
+class DonorInfo:
+    """What a joining replica knows about one candidate donor.
+
+    Attributes:
+        node: Candidate id.
+        total_writes: Writes covered by the candidate's summary vector
+            ("how complete their write-logs are").
+        log_length: Entries currently retained in the log (a truncated
+            donor may require more catch-up later).
+        hops: Network distance from the joining replica ("band width of
+            connections" proxy).
+        staleness: Time since the candidate last absorbed an update
+            ("how out of time they are").
+        demand: The candidate's current demand (a busy donor serves
+            many clients; bootstrapping from it adds load where it
+            hurts most).
+    """
+
+    node: int
+    total_writes: int
+    log_length: int
+    hops: int
+    staleness: float
+    demand: float
+
+
+class DonorSelectionPolicy:
+    """Chooses the donor a new replica bootstraps from."""
+
+    def choose(self, candidates: Mapping[int, DonorInfo]) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def _require(candidates: Mapping[int, DonorInfo]) -> None:
+        if not candidates:
+            raise ReplicationError("no donor candidates")
+
+
+class MostCompleteLog(DonorSelectionPolicy):
+    """Bayou's completeness criterion: the donor that has seen the most
+    writes (ties: fewest hops, then lowest id)."""
+
+    def choose(self, candidates: Mapping[int, DonorInfo]) -> int:
+        self._require(candidates)
+        return min(
+            candidates.values(),
+            key=lambda c: (-c.total_writes, c.hops, c.node),
+        ).node
+
+
+class NearestDonor(DonorSelectionPolicy):
+    """The bandwidth/latency criterion: fewest hops (ties: most
+    complete log, then lowest id)."""
+
+    def choose(self, candidates: Mapping[int, DonorInfo]) -> int:
+        self._require(candidates)
+        return min(
+            candidates.values(),
+            key=lambda c: (c.hops, -c.total_writes, c.node),
+        ).node
+
+
+class FreshestDonor(DonorSelectionPolicy):
+    """The staleness criterion: the donor that absorbed an update most
+    recently (ties: most complete)."""
+
+    def choose(self, candidates: Mapping[int, DonorInfo]) -> int:
+        self._require(candidates)
+        return min(
+            candidates.values(),
+            key=lambda c: (c.staleness, -c.total_writes, c.node),
+        ).node
+
+
+class WeightedDonorScore(DonorSelectionPolicy):
+    """A tunable blend of all the Bayou criteria.
+
+    Each component is normalised against the candidate pool's maximum
+    and combined with the given weights; the lowest score wins.
+    """
+
+    def __init__(
+        self,
+        completeness_weight: float = 1.0,
+        hops_weight: float = 1.0,
+        staleness_weight: float = 0.5,
+        demand_weight: float = 0.25,
+    ):
+        for name, value in (
+            ("completeness_weight", completeness_weight),
+            ("hops_weight", hops_weight),
+            ("staleness_weight", staleness_weight),
+            ("demand_weight", demand_weight),
+        ):
+            if value < 0:
+                raise ReplicationError(f"{name} must be >= 0, got {value}")
+        self.completeness_weight = completeness_weight
+        self.hops_weight = hops_weight
+        self.staleness_weight = staleness_weight
+        self.demand_weight = demand_weight
+
+    def choose(self, candidates: Mapping[int, DonorInfo]) -> int:
+        self._require(candidates)
+        pool = list(candidates.values())
+        max_writes = max(c.total_writes for c in pool) or 1
+        max_hops = max(c.hops for c in pool) or 1
+        max_staleness = max(c.staleness for c in pool) or 1.0
+        max_demand = max(c.demand for c in pool) or 1.0
+
+        def score(c: DonorInfo) -> float:
+            missing = 1.0 - c.total_writes / max_writes
+            return (
+                self.completeness_weight * missing
+                + self.hops_weight * c.hops / max_hops
+                + self.staleness_weight * c.staleness / max_staleness
+                + self.demand_weight * c.demand / max_demand
+            )
+
+        return min(pool, key=lambda c: (score(c), c.node)).node

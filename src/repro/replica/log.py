@@ -1,0 +1,254 @@
+"""Write logs with truncation policies.
+
+Every replica stores the writes it knows in a log ordered per origin.
+The log is the source of truth for anti-entropy ("send the messages the
+partner has not seen") and absorbs out-of-order arrivals from the fast
+update path, holding them *ahead* of the summary prefix until the gap
+fills.
+
+Truncation policies implement the Bayou-inspired policy family the
+paper's related-work section discusses ("how aggressively to truncate
+the write-log"): keep everything, bound the entry count, or purge writes
+acknowledged by every replica (Golding's ack-vector rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ReplicationError
+from .timestamps import Timestamp
+from .versions import SummaryVector
+
+#: (origin, sequence) — the globally unique id of a write.
+UpdateId = Tuple[int, int]
+
+#: Wire overhead of one update beyond its payload: origin + seq +
+#: timestamp (16) + key length field.
+UPDATE_HEADER_BYTES = 36
+
+
+@dataclass(frozen=True)
+class Update:
+    """One replicated write operation.
+
+    Attributes:
+        origin: Replica where the client performed the write.
+        seq: Per-origin sequence number (1-based, dense).
+        timestamp: Lamport timestamp for last-writer-wins ordering.
+        key: Data item written.
+        value: New value (opaque to the protocol).
+        payload_bytes: Simulated payload size for traffic accounting.
+    """
+
+    origin: int
+    seq: int
+    timestamp: Timestamp
+    key: str
+    value: object = None
+    payload_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.seq <= 0:
+            raise ReplicationError(f"sequence numbers start at 1, got {self.seq}")
+        if self.payload_bytes < 0:
+            raise ReplicationError(f"negative payload {self.payload_bytes}")
+
+    @property
+    def uid(self) -> UpdateId:
+        return (self.origin, self.seq)
+
+    def size_bytes(self) -> int:
+        return UPDATE_HEADER_BYTES + len(self.key) + self.payload_bytes
+
+
+# ---------------------------------------------------------------------------
+# Truncation policies
+# ---------------------------------------------------------------------------
+
+
+class TruncationPolicy:
+    """Decides which log entries may be discarded."""
+
+    def purgeable(self, log: "WriteLog") -> List[UpdateId]:
+        """Update ids that can be removed right now."""
+        raise NotImplementedError
+
+
+class KeepAll(TruncationPolicy):
+    """Never purge (the default for the paper's experiments)."""
+
+    def purgeable(self, log: "WriteLog") -> List[UpdateId]:
+        return []
+
+
+@dataclass
+class MaxEntries(TruncationPolicy):
+    """Keep at most ``limit`` entries, purging the oldest timestamps.
+
+    The "aggressive" end of Bayou's spectrum; peers that fall behind a
+    purged prefix would need a full state transfer, which
+    :meth:`WriteLog.can_serve` exposes to the session layer.
+    """
+
+    limit: int = 1000
+
+    def purgeable(self, log: "WriteLog") -> List[UpdateId]:
+        if self.limit < 0:
+            raise ReplicationError(f"negative limit {self.limit}")
+        excess = len(log) - self.limit
+        if excess <= 0:
+            return []
+        ordered = sorted(log.all_updates(), key=lambda u: u.timestamp)
+        return [u.uid for u in ordered[:excess]]
+
+
+@dataclass
+class AckedTruncation(TruncationPolicy):
+    """Purge writes acknowledged by every replica (ack vector rule).
+
+    ``ack_vector`` must be maintained by the caller — typically the
+    elementwise minimum of all known summaries
+    (:func:`repro.replica.versions.elementwise_min`).
+    """
+
+    ack_vector: SummaryVector = field(default_factory=SummaryVector)
+
+    def purgeable(self, log: "WriteLog") -> List[UpdateId]:
+        return [
+            u.uid
+            for u in log.all_updates()
+            if u.seq <= self.ack_vector.get(u.origin)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Write log
+# ---------------------------------------------------------------------------
+
+
+class WriteLog:
+    """Per-replica store of known writes, ordered per origin.
+
+    The log tracks a contiguous prefix per origin in :attr:`summary`.
+    Writes beyond the prefix (delivered early by fast updates) are held
+    and automatically folded into the prefix when the gap closes.
+    """
+
+    def __init__(self, policy: Optional[TruncationPolicy] = None):
+        self.policy = policy if policy is not None else KeepAll()
+        self.summary = SummaryVector()
+        self._entries: Dict[UpdateId, Update] = {}
+        #: ids present but beyond the contiguous prefix, per origin
+        self._ahead: Dict[int, Dict[int, Update]] = {}
+        self._purged_floor: Dict[int, int] = {}
+        self.total_added = 0
+        self.total_purged = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def has(self, uid: UpdateId) -> bool:
+        """Whether the write is known (in the prefix, ahead, or purged)."""
+        origin, seq = uid
+        if seq <= self._purged_floor.get(origin, 0):
+            return True
+        return uid in self._entries
+
+    def get(self, uid: UpdateId) -> Update:
+        """Return a stored update (raises for unknown or purged ids)."""
+        try:
+            return self._entries[uid]
+        except KeyError:
+            raise ReplicationError(f"update {uid} not in log") from None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- adding -----------------------------------------------------------------
+
+    def add(self, update: Update) -> bool:
+        """Insert a write; returns True when it is new.
+
+        Out-of-order arrivals are accepted; the summary prefix only
+        advances across gap-free runs.
+        """
+        if self.has(update.uid):
+            return False
+        self._entries[update.uid] = update
+        self.total_added += 1
+        origin = update.origin
+        ahead = self._ahead.setdefault(origin, {})
+        ahead[update.seq] = update
+        # Fold any now-contiguous run into the summary prefix.
+        next_seq = self.summary.get(origin) + 1
+        while next_seq in ahead:
+            del ahead[next_seq]
+            self.summary.advance(origin, next_seq)
+            next_seq += 1
+        if not ahead:
+            del self._ahead[origin]
+        return True
+
+    def add_all(self, updates: Iterable[Update]) -> List[Update]:
+        """Insert many writes; returns those that were new."""
+        return [u for u in updates if self.add(u)]
+
+    # -- anti-entropy support ------------------------------------------------------
+
+    def updates_since(self, peer_summary: SummaryVector) -> List[Update]:
+        """Writes the peer is missing, in per-origin sequence order.
+
+        This implements steps 7/10 of the paper's session: "determine if
+        it has messages that [the partner] has not yet received, by
+        seeing if some of its summary timestamps are greater than the
+        corresponding ones its partner['s]".
+        """
+        missing = [
+            u for u in self._entries.values() if u.seq > peer_summary.get(u.origin)
+        ]
+        missing.sort(key=lambda u: (u.origin, u.seq))
+        return missing
+
+    def can_serve(self, peer_summary: SummaryVector) -> bool:
+        """False when purging removed writes the peer would need."""
+        for origin, floor in self._purged_floor.items():
+            if peer_summary.get(origin) < floor:
+                return False
+        return True
+
+    def ahead_ids(self) -> List[UpdateId]:
+        """Ids held beyond the contiguous prefix (fast-update arrivals)."""
+        return sorted(
+            (origin, seq)
+            for origin, ahead in self._ahead.items()
+            for seq in ahead
+        )
+
+    def all_updates(self) -> List[Update]:
+        """Every stored write, per-origin ordered."""
+        return sorted(self._entries.values(), key=lambda u: (u.origin, u.seq))
+
+    # -- truncation ---------------------------------------------------------------
+
+    def purge(self) -> int:
+        """Apply the truncation policy; returns how many entries left.
+
+        Only prefix entries may be purged (purging an "ahead" entry
+        would corrupt gap bookkeeping); the policy's suggestions are
+        filtered accordingly.
+        """
+        removed = 0
+        for uid in self.policy.purgeable(self):
+            origin, seq = uid
+            if uid not in self._entries:
+                continue
+            if seq > self.summary.get(origin):
+                continue  # never purge ahead-of-prefix entries
+            del self._entries[uid]
+            floor = self._purged_floor.get(origin, 0)
+            if seq > floor:
+                self._purged_floor[origin] = seq
+            removed += 1
+        self.total_purged += removed
+        return removed

@@ -1,0 +1,205 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` is a classic event-heap kernel: callbacks are
+scheduled at future simulated times and executed in (time, priority,
+insertion) order. It also hosts the cross-cutting services every
+simulation needs — deterministic RNG streams (:mod:`repro.sim.rng`),
+structured tracing (:mod:`repro.sim.trace`) and a tiny topic-based
+pub/sub bus that metrics collectors subscribe to.
+
+The engine replaces the NS-2 kernel the paper's authors built on; the
+paper measures everything in "average session times", so no packet-level
+fidelity is needed — only ordered delivery of timestamped callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from .events import DEFAULT_PRIORITY, Event, EventHandle, next_sequence
+from .rng import RngRegistry
+from .trace import Tracer
+
+#: Result strings returned by :meth:`Simulator.run`.
+RUN_EXHAUSTED = "exhausted"  # no events left
+RUN_UNTIL = "until"  # reached the time horizon
+RUN_MAX_EVENTS = "max-events"  # executed the event budget
+RUN_STOPPED = "stopped"  # stop() called from inside a callback
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: Master seed for :attr:`rng`; every stochastic component of
+            a simulation must draw from a named stream of this registry.
+        trace: Optional pre-configured tracer (a fresh enabled one is
+            created by default).
+
+    Example:
+        >>> sim = Simulator(seed=1)
+        >>> fired = []
+        >>> _ = sim.schedule(2.0, fired.append, "late")
+        >>> _ = sim.schedule(1.0, fired.append, "early")
+        >>> sim.run()
+        'exhausted'
+        >>> fired
+        ['early', 'late']
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None):
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Tracer()
+        self._heap: List[Event] = []
+        self._events: Dict[EventHandle, Event] = {}
+        self._stopping = False
+        self._running = False
+        self.events_executed = 0
+        self._subscribers: Dict[str, List[Callable[..., None]]] = {}
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` from now."""
+        return self.schedule_at(
+            self.now + delay, callback, *args, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        if not callable(callback):
+            raise SimulationError(f"callback {callback!r} is not callable")
+        handle = EventHandle(time=float(time), priority=priority, seq=next_sequence())
+        event = Event(handle=handle, callback=callback, args=args, label=label)
+        heapq.heappush(self._heap, event)
+        self._events[handle] = event
+        return handle
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled event.
+
+        Returns:
+            True if the event was pending and is now cancelled; False if
+            it had already fired or was already cancelled.
+        """
+        event = self._events.get(handle)
+        if event is None or event.cancelled:
+            return False
+        event.cancelled = True
+        del self._events[handle]
+        return True
+
+    def pending_count(self) -> int:
+        """Number of events scheduled and not yet fired or cancelled."""
+        return len(self._events)
+
+    # -- pub/sub ----------------------------------------------------------
+
+    def subscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        """Register ``handler(**payload)`` for :meth:`publish` on ``topic``."""
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def unsubscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        """Remove a previously registered handler (no-op if absent)."""
+        handlers = self._subscribers.get(topic, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def publish(self, topic: str, **payload: Any) -> int:
+        """Synchronously deliver ``payload`` to every subscriber of ``topic``.
+
+        Returns:
+            The number of handlers invoked.
+        """
+        handlers = self._subscribers.get(topic, ())
+        for handler in tuple(handlers):
+            handler(**payload)
+        return len(handlers)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns:
+            True if an event was executed, False if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            del self._events[event.handle]
+            self.now = event.handle.time
+            self.events_executed += 1
+            event.fire()
+            return True
+        return False
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> str:
+        """Run events until a stopping condition is met.
+
+        Args:
+            until: Stop once the next event would fire after this time;
+                ``now`` is advanced to ``until`` in that case.
+            max_events: Stop after executing this many events (guards
+                against runaway simulations in tests).
+
+        Returns:
+            One of the ``RUN_*`` constants describing why the run ended.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly from a callback")
+        self._running = True
+        self._stopping = False
+        executed = 0
+        try:
+            while True:
+                if self._stopping:
+                    return RUN_STOPPED
+                if max_events is not None and executed >= max_events:
+                    return RUN_MAX_EVENTS
+                event = self._peek_live()
+                if event is None:
+                    if until is not None and until > self.now:
+                        self.now = until
+                    return RUN_EXHAUSTED
+                if until is not None and event.handle.time > until:
+                    self.now = until
+                    return RUN_UNTIL
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopping = True
+
+    def _peek_live(self) -> Optional[Event]:
+        """Return the next non-cancelled event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None

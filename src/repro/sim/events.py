@@ -1,0 +1,84 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` couples an activation time with a callback. Users never
+build events directly; :meth:`repro.sim.engine.Simulator.schedule`
+returns an :class:`EventHandle` that can be used to cancel the event
+before it fires.
+
+Events at the same timestamp are ordered by ``priority`` (lower fires
+first) and then by insertion order, which makes simulations fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Priority used when the caller does not specify one.
+DEFAULT_PRIORITY = 0
+
+#: Priority for engine-internal bookkeeping that must run after user events.
+LATE_PRIORITY = 1_000_000
+
+_sequence = itertools.count()
+
+
+def next_sequence() -> int:
+    """Return a process-wide monotonically increasing tie-break counter."""
+    return next(_sequence)
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle identifying a scheduled event.
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Same-time ordering key; lower fires first.
+        seq: Insertion-order tie break.
+    """
+
+    time: float
+    priority: int
+    seq: int
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+@dataclass
+class Event:
+    """A scheduled callback inside the engine's heap.
+
+    Attributes:
+        handle: Sort key / cancellation token for this event.
+        callback: Zero-argument-compatible callable invoked at
+            ``handle.time`` with ``args``.
+        args: Positional arguments passed to ``callback``.
+        cancelled: Set by :meth:`Simulator.cancel`; cancelled events are
+            skipped (lazily removed) when popped from the heap.
+    """
+
+    handle: EventHandle
+    callback: Callable[..., Any]
+    args: tuple
+    cancelled: bool = False
+    label: str = ""
+
+    sort_key: tuple = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.sort_key = (self.handle.time, self.handle.priority, self.handle.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def fire(self) -> None:
+        """Invoke the callback (the engine checks ``cancelled`` first)."""
+        self.callback(*self.args)

@@ -1,0 +1,353 @@
+"""Message-passing network on top of the event engine.
+
+:class:`Network` delivers messages between nodes along the edges of a
+:class:`repro.topology.graph.Topology` with configurable latency models,
+optional jitter, probabilistic loss, link/node failures and partitions.
+It is the NS-2 stand-in: the paper only needs per-link propagation
+delays and lossy channels, not TCP dynamics (see DESIGN.md §2).
+
+Nodes are integers. Each node attaches a ``handler(src, message)``
+callback; :meth:`Network.send` schedules the delivery event after the
+link's latency. All traffic is metered (messages and bytes, per message
+kind) via :class:`TrafficCounters` so protocol-overhead experiments read
+measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import SimulationError
+from .engine import Simulator
+
+Handler = Callable[[int, object], None]
+
+
+# ---------------------------------------------------------------------------
+# Latency models
+# ---------------------------------------------------------------------------
+
+
+class LatencyModel:
+    """Strategy interface giving the one-way delay of an edge."""
+
+    def delay(self, src: int, dst: int, distance: float) -> float:
+        """One-way latency for a message from ``src`` to ``dst``.
+
+        Args:
+            distance: The topology's edge weight (Euclidean distance for
+                BRITE-style graphs, 1.0 when unweighted).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Every edge has the same one-way delay."""
+
+    value: float = 0.02
+
+    def delay(self, src: int, dst: int, distance: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DistanceLatency(LatencyModel):
+    """Delay proportional to edge weight: ``base + scale * distance``.
+
+    With BRITE-generated topologies the edge weight is the Euclidean
+    distance in the plane, so this mirrors BRITE's propagation-delay
+    assignment.
+    """
+
+    scale: float = 0.001
+    base: float = 0.005
+
+    def delay(self, src: int, dst: int, distance: float) -> float:
+        return self.base + self.scale * distance
+
+
+class JitteredLatency(LatencyModel):
+    """Wraps another model adding uniform jitter in ``[0, jitter]``."""
+
+    def __init__(self, inner: LatencyModel, jitter: float, rng):
+        self.inner = inner
+        self.jitter = jitter
+        self._rng = rng
+
+    def delay(self, src: int, dst: int, distance: float) -> float:
+        return self.inner.delay(src, dst, distance) + self._rng.uniform(0, self.jitter)
+
+
+class BandwidthLatency(LatencyModel):
+    """Propagation plus transmission delay: ``inner + size / bandwidth``.
+
+    Large update batches take measurably longer than the tiny
+    fast-update offers — the physical reason the paper's push can beat
+    a full summary exchange on the wire. The network feeds the message
+    size through :meth:`delay_with_size`; plain :meth:`delay` assumes an
+    empty message.
+    """
+
+    def __init__(self, inner: LatencyModel, bytes_per_time_unit: float):
+        if bytes_per_time_unit <= 0:
+            raise SimulationError(
+                f"bandwidth must be positive, got {bytes_per_time_unit}"
+            )
+        self.inner = inner
+        self.bytes_per_time_unit = float(bytes_per_time_unit)
+
+    def delay(self, src: int, dst: int, distance: float) -> float:
+        return self.inner.delay(src, dst, distance)
+
+    def delay_with_size(
+        self, src: int, dst: int, distance: float, size_bytes: int
+    ) -> float:
+        return (
+            self.inner.delay(src, dst, distance)
+            + size_bytes / self.bytes_per_time_unit
+        )
+
+
+# ---------------------------------------------------------------------------
+# Traffic accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TrafficCounters:
+    """Aggregate counters of everything a network carried."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def note_send(self, kind: str, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view for result persistence."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+        }
+
+
+def message_kind(message: object) -> str:
+    """Best-effort short name describing a message's type."""
+    kind = getattr(message, "kind", None)
+    if isinstance(kind, str):
+        return kind
+    return type(message).__name__
+
+
+def message_size(message: object) -> int:
+    """Size in bytes, via the message's ``size_bytes()`` if provided."""
+    size_fn = getattr(message, "size_bytes", None)
+    if callable(size_fn):
+        return int(size_fn())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+
+
+class Network:
+    """Topology-constrained, lossy, latency-modelled message transport.
+
+    Args:
+        sim: The owning simulator.
+        topology: Object exposing ``nodes`` (iterable of int),
+            ``neighbors(node)``, ``has_edge(a, b)`` and
+            ``edge_weight(a, b)`` — satisfied by
+            :class:`repro.topology.graph.Topology`.
+        latency: Latency model for ordinary links.
+        loss: Probability that any message is dropped in flight.
+        seed_stream: Name of the RNG stream used for loss and jitter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology,
+        latency: Optional[LatencyModel] = None,
+        loss: float = 0.0,
+        seed_stream: str = "network",
+    ):
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError(f"loss probability {loss} outside [0, 1)")
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency if latency is not None else FixedLatency()
+        self.loss = loss
+        self._rng = sim.rng.stream(seed_stream)
+        self._handlers: Dict[int, Handler] = {}
+        self._down_nodes: Set[int] = set()
+        self._down_links: Set[Tuple[int, int]] = set()
+        self._overlay: Dict[int, Dict[int, float]] = {}
+        self._partition: Optional[Dict[int, int]] = None
+        self.counters = TrafficCounters()
+
+    # -- attachment -----------------------------------------------------
+
+    def attach(self, node: int, handler: Handler) -> None:
+        """Register the delivery callback for ``node``."""
+        if node not in self.topology.nodes:
+            raise SimulationError(f"node {node} not in topology")
+        self._handlers[node] = handler
+
+    def detach(self, node: int) -> None:
+        """Remove a node's handler; in-flight messages to it are dropped."""
+        self._handlers.pop(node, None)
+
+    # -- fault injection --------------------------------------------------
+
+    def set_node_down(self, node: int) -> None:
+        """Crash a node: it neither sends nor receives until restored."""
+        self._down_nodes.add(node)
+
+    def set_node_up(self, node: int) -> None:
+        """Restore a crashed node."""
+        self._down_nodes.discard(node)
+
+    def node_is_up(self, node: int) -> bool:
+        return node not in self._down_nodes
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def set_link_down(self, a: int, b: int) -> None:
+        """Fail the link between ``a`` and ``b`` (both directions)."""
+        self._down_links.add(self._link_key(a, b))
+
+    def set_link_up(self, a: int, b: int) -> None:
+        """Restore a failed link."""
+        self._down_links.discard(self._link_key(a, b))
+
+    def link_is_up(self, a: int, b: int) -> bool:
+        return self._link_key(a, b) not in self._down_links
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network: messages may only cross within a group."""
+        assignment: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                assignment[int(node)] = index
+        self._partition = assignment
+
+    def heal_partition(self) -> None:
+        """Remove any active partition."""
+        self._partition = None
+
+    # -- overlay links (island bridges, §6) -------------------------------
+
+    def add_overlay_link(self, a: int, b: int, delay: float) -> None:
+        """Add a virtual bidirectional link with a fixed one-way delay.
+
+        Overlay links model multi-hop tunnels (e.g. between island
+        leaders); they are not part of the topology and are unaffected
+        by physical-link failures, but do respect node crashes and
+        partitions.
+        """
+        self._overlay.setdefault(a, {})[b] = delay
+        self._overlay.setdefault(b, {})[a] = delay
+
+    def remove_overlay_link(self, a: int, b: int) -> None:
+        self._overlay.get(a, {}).pop(b, None)
+        self._overlay.get(b, {}).pop(a, None)
+
+    def overlay_neighbors(self, node: int) -> Tuple[int, ...]:
+        """Virtual neighbours of ``node`` (overlay links only)."""
+        return tuple(self._overlay.get(node, {}))
+
+    # -- topology passthrough ---------------------------------------------
+
+    def neighbors(self, node: int) -> List[int]:
+        """Physical plus overlay neighbours of ``node``."""
+        physical = list(self.topology.neighbors(node))
+        extra = [n for n in self._overlay.get(node, {}) if n not in physical]
+        return physical + extra
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: object) -> bool:
+        """Send ``message`` from ``src`` to ``dst`` over one hop.
+
+        Returns:
+            True if the message entered the channel (it may still be
+            lost); False if it was refused outright (no such link, a
+            crashed endpoint, a failed link, or a partition boundary).
+        """
+        if src == dst:
+            raise SimulationError(f"node {src} sending to itself")
+        kind = message_kind(message)
+        size = message_size(message)
+        overlay_delay = self._overlay.get(src, {}).get(dst)
+        if overlay_delay is None and not self.topology.has_edge(src, dst):
+            raise SimulationError(f"no link {src}->{dst} (and no overlay)")
+        self.counters.note_send(kind, size)
+        if self.sim.trace.wants("net.send"):
+            self.sim.trace.record(
+                self.sim.now, "net.send", src=src, dst=dst, kind=kind, size=size
+            )
+        if not self._can_carry(src, dst):
+            self._drop(src, dst, kind, "link-down")
+            return False
+        if self.loss and self._rng.random() < self.loss:
+            self._drop(src, dst, kind, "loss")
+            return True
+        if overlay_delay is not None:
+            delay = overlay_delay
+        else:
+            distance = self.topology.edge_weight(src, dst)
+            delay_with_size = getattr(self.latency, "delay_with_size", None)
+            if delay_with_size is not None:
+                delay = delay_with_size(src, dst, distance, size)
+            else:
+                delay = self.latency.delay(src, dst, distance)
+        self.sim.schedule(delay, self._deliver, src, dst, message, label=kind)
+        return True
+
+    def _can_carry(self, src: int, dst: int) -> bool:
+        if src in self._down_nodes or dst in self._down_nodes:
+            return False
+        if self._overlay.get(src, {}).get(dst) is None:
+            if not self.link_is_up(src, dst):
+                return False
+        if self._partition is not None:
+            if self._partition.get(src) != self._partition.get(dst):
+                return False
+        return True
+
+    def _drop(self, src: int, dst: int, kind: str, reason: str) -> None:
+        self.counters.messages_dropped += 1
+        self.sim.trace.record(
+            self.sim.now, "net.drop", src=src, dst=dst, kind=kind, reason=reason
+        )
+
+    def _deliver(self, src: int, dst: int, message: object) -> None:
+        # Failures that occurred while the message was in flight still
+        # prevent delivery (the channel is not clairvoyant).
+        if dst in self._down_nodes or src in self._down_nodes:
+            self._drop(src, dst, message_kind(message), "crashed-in-flight")
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self._drop(src, dst, message_kind(message), "no-handler")
+            return
+        self.counters.messages_delivered += 1
+        handler(src, message)

@@ -1,0 +1,192 @@
+"""Generator-based processes on top of the event engine.
+
+Some agents are most naturally written as sequential loops ("sleep for
+the advertisement period, broadcast, repeat") rather than callback
+chains. :class:`Process` runs a generator inside the simulator: the
+generator yields either a number (sleep for that many time units) or a
+:class:`Signal` (park until the signal is triggered).
+
+Example:
+    >>> from repro.sim.engine import Simulator
+    >>> sim = Simulator()
+    >>> ticks = []
+    >>> def clock():
+    ...     while True:
+    ...         yield 1.0
+    ...         ticks.append(sim.now)
+    >>> _ = Process(sim, clock(), name="clock")
+    >>> _ = sim.run(until=3.5)
+    >>> ticks
+    [1.0, 2.0, 3.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Union
+
+from ..errors import SimulationError
+from .engine import Simulator
+from .events import EventHandle
+
+
+class Interrupted(Exception):
+    """Raised inside a process generator when it is interrupted."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``yield signal`` parks the process; :meth:`trigger` wakes every
+    waiter at the current simulated time, delivering ``value`` as the
+    result of the ``yield`` expression.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self._sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.trigger_count = 0
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        self.trigger_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            # Resume via the event queue so wakeups interleave
+            # deterministically with other same-time events.
+            self._sim.schedule(0.0, process._resume, value)
+        return len(waiters)
+
+
+YieldValue = Union[int, float, Signal]
+
+
+class Process:
+    """Drives a generator as a simulated sequential process.
+
+    The generator may yield:
+
+    * a non-negative number — sleep for that many simulated time units;
+    * a :class:`Signal` — park until the signal triggers.
+
+    The process finishes when the generator returns; the return value is
+    stored in :attr:`result`. :meth:`interrupt` raises
+    :class:`Interrupted` inside the generator at the current time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[YieldValue, Any, Any],
+        name: str = "process",
+    ):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__}"
+            )
+        self._sim = sim
+        self._gen = generator
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self._pending_event: Optional[EventHandle] = None
+        self._waiting_on: Optional[Signal] = None
+        self.finished_at: Optional[float] = None
+        # Start at the current instant (still through the queue so that
+        # creation order decides same-time interleaving).
+        self._pending_event = sim.schedule(0.0, self._resume, None)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _resume(self, send_value: Any) -> None:
+        if not self.alive:
+            return
+        self._pending_event = None
+        self._waiting_on = None
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupted:
+            self._finish(None)
+            return
+        self._park(yielded)
+
+    def _park(self, yielded: YieldValue) -> None:
+        if isinstance(yielded, Signal):
+            self._waiting_on = yielded
+            yielded._add_waiter(self)
+            return
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._crash(SimulationError(f"process {self.name} slept {yielded}"))
+                return
+            self._pending_event = self._sim.schedule(float(yielded), self._resume, None)
+            return
+        self._crash(
+            SimulationError(
+                f"process {self.name} yielded {yielded!r}; expected a delay or Signal"
+            )
+        )
+
+    def _crash(self, error: Exception) -> None:
+        self.alive = False
+        self.finished_at = self._sim.now
+        raise error
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        self.finished_at = self._sim.now
+
+    # -- control --------------------------------------------------------
+
+    def interrupt(self, cause: object = None) -> bool:
+        """Raise :class:`Interrupted` inside the generator now.
+
+        Returns:
+            True if the process was alive and got interrupted.
+        """
+        if not self.alive:
+            return False
+        if self._pending_event is not None:
+            self._sim.cancel(self._pending_event)
+            self._pending_event = None
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        try:
+            yielded = self._gen.throw(Interrupted(cause))
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return True
+        except Interrupted:
+            self._finish(None)
+            return True
+        self._park(yielded)
+        return True
+
+    def kill(self) -> None:
+        """Terminate the process without raising inside it."""
+        if not self.alive:
+            return
+        if self._pending_event is not None:
+            self._sim.cancel(self._pending_event)
+            self._pending_event = None
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        self._gen.close()
+        self._finish(None)

@@ -1,0 +1,129 @@
+"""Structured tracing for simulations.
+
+A :class:`Tracer` collects :class:`TraceRecord` rows (time, category,
+free-form fields). Tracing is the debugging backbone of the simulator:
+protocol agents record session starts, message deliveries, fast-update
+offers, and so on. Categories can be enabled selectively so that large
+experiments pay nothing for tracing they do not use.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes:
+        time: Simulated time of the occurrence.
+        category: Dotted category name, e.g. ``"session.start"``.
+        fields: Category-specific payload (node ids, message kinds...).
+    """
+
+    time: float
+    category: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, key: str, default: object = None) -> object:
+        """Return ``fields[key]`` or ``default``."""
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Collects trace records, with per-category enablement.
+
+    By default every category is enabled. Call :meth:`enable_only` to
+    restrict tracing, or :meth:`disable` to turn it off wholesale.
+    Callbacks registered with :meth:`on_record` observe records as they
+    are appended (metrics use this to avoid post-hoc scans).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.records: List[TraceRecord] = []
+        self._enabled = enabled
+        self._categories: Optional[Set[str]] = None  # None = all
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    # -- configuration ------------------------------------------------
+
+    def disable(self) -> None:
+        """Stop recording (listeners still do not fire)."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        """Resume recording every enabled category."""
+        self._enabled = True
+
+    def enable_only(self, categories: Iterable[str]) -> None:
+        """Record only the given categories (prefix match on dots).
+
+        ``enable_only(['session'])`` records ``session.start`` and
+        ``session.end`` but not ``net.drop``.
+        """
+        self._enabled = True
+        self._categories = set(categories)
+
+    def wants(self, category: str) -> bool:
+        """Whether a record in ``category`` would currently be stored."""
+        if not self._enabled:
+            return False
+        if self._categories is None:
+            return True
+        if category in self._categories:
+            return True
+        # Prefix match: enabling "session" covers "session.start".
+        head = category.split(".", 1)[0]
+        return head in self._categories
+
+    def on_record(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked for every stored record."""
+        self._listeners.append(listener)
+
+    # -- recording ----------------------------------------------------
+
+    def record(self, time: float, category: str, **fields: object) -> None:
+        """Store one record if the category is enabled."""
+        if not self.wants(category):
+            return
+        rec = TraceRecord(time=time, category=category, fields=fields)
+        self.records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+
+    # -- querying -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def select(self, category: str) -> List[TraceRecord]:
+        """All records whose category equals or is nested under ``category``."""
+        prefix = category + "."
+        return [
+            r
+            for r in self.records
+            if r.category == category or r.category.startswith(prefix)
+        ]
+
+    def clear(self) -> None:
+        """Drop all stored records (listeners stay registered)."""
+        self.records.clear()
+
+    # -- export -------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Render all records as CSV text (time, category, key=value...)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["time", "category", "fields"])
+        for rec in self.records:
+            packed = ";".join(f"{k}={v}" for k, v in sorted(rec.fields.items()))
+            writer.writerow([f"{rec.time:.6f}", rec.category, packed])
+        return buf.getvalue()

@@ -1,0 +1,184 @@
+"""Graph analysis helpers (hop metrics, degree statistics).
+
+The paper's §5 observation — sessions-to-consistency tracks the network
+*diameter* rather than the node count — makes these metrics part of the
+evaluation itself, so they are first-class and tested.
+
+All path metrics are in hops (unweighted BFS), matching how the paper
+counts sessions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import TopologyError
+from .graph import Topology
+
+
+def bfs_distances(topo: Topology, source: int) -> Dict[int, int]:
+    """Hop distance from ``source`` to every reachable node."""
+    if source not in topo:
+        raise TopologyError(f"unknown source node {source}")
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_hop = distances[node] + 1
+        for nbr in topo.neighbors(node):
+            if nbr not in distances:
+                distances[nbr] = next_hop
+                queue.append(nbr)
+    return distances
+
+
+def shortest_path(topo: Topology, source: int, target: int) -> List[int]:
+    """One shortest hop-path from ``source`` to ``target``.
+
+    Raises:
+        TopologyError: If no path exists.
+    """
+    if source == target:
+        return [source]
+    parents: Dict[int, int] = {source: source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nbr in topo.neighbors(node):
+            if nbr in parents:
+                continue
+            parents[nbr] = node
+            if nbr == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nbr)
+    raise TopologyError(f"no path from {source} to {target}")
+
+
+def eccentricities(topo: Topology) -> Dict[int, int]:
+    """Eccentricity of every node (graph must be connected)."""
+    if not topo.is_connected():
+        raise TopologyError("eccentricities require a connected topology")
+    result: Dict[int, int] = {}
+    for node in topo.nodes:
+        distances = bfs_distances(topo, node)
+        result[node] = max(distances.values(), default=0)
+    return result
+
+
+def diameter(topo: Topology) -> int:
+    """Longest shortest path, in hops."""
+    ecc = eccentricities(topo)
+    return max(ecc.values(), default=0)
+
+
+def radius(topo: Topology) -> int:
+    """Smallest eccentricity."""
+    ecc = eccentricities(topo)
+    return min(ecc.values(), default=0)
+
+
+def average_path_length(topo: Topology) -> float:
+    """Mean hop distance over all ordered reachable pairs."""
+    total = 0
+    pairs = 0
+    for node in topo.nodes:
+        for dist in bfs_distances(topo, node).values():
+            if dist > 0:
+                total += dist
+                pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def hop_pair_counts(topo: Topology, max_hops: Optional[int] = None) -> Dict[int, int]:
+    """Number of ordered node pairs within ``h`` hops, for each ``h``.
+
+    This is the quantity behind Faloutsos' hop-plot power law; it also
+    includes ``h=0`` (the nodes themselves), matching the original
+    definition ``P(h)``.
+    """
+    counts: Dict[int, int] = {}
+    horizon = max_hops if max_hops is not None else topo.num_nodes
+    for node in topo.nodes:
+        for dist in bfs_distances(topo, node).values():
+            if dist <= horizon:
+                counts[dist] = counts.get(dist, 0) + 1
+    # Cumulative: pairs within h hops, not exactly at h hops.
+    cumulative: Dict[int, int] = {}
+    running = 0
+    for h in range(0, max(counts, default=0) + 1):
+        running += counts.get(h, 0)
+        cumulative[h] = running
+    return cumulative
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a topology's degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+
+    @classmethod
+    def of(cls, topo: Topology) -> "DegreeStats":
+        degrees = sorted(topo.degrees().values())
+        if not degrees:
+            return cls(0, 0, 0.0, 0.0)
+        n = len(degrees)
+        median = (
+            float(degrees[n // 2])
+            if n % 2
+            else (degrees[n // 2 - 1] + degrees[n // 2]) / 2.0
+        )
+        return cls(
+            minimum=degrees[0],
+            maximum=degrees[-1],
+            mean=sum(degrees) / n,
+            median=median,
+        )
+
+
+def clustering_coefficient(topo: Topology, node: int) -> float:
+    """Fraction of a node's neighbour pairs that are themselves linked."""
+    nbrs = topo.neighbors(node)
+    k = len(nbrs)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i, a in enumerate(nbrs):
+        for b in nbrs[i + 1 :]:
+            if topo.has_edge(a, b):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(topo: Topology) -> float:
+    """Mean clustering coefficient over all nodes."""
+    if topo.num_nodes == 0:
+        return 0.0
+    return sum(clustering_coefficient(topo, n) for n in topo.nodes) / topo.num_nodes
+
+
+def summarize(topo: Topology) -> Dict[str, object]:
+    """One-call structural summary used by experiment reports."""
+    stats = DegreeStats.of(topo)
+    connected = topo.is_connected()
+    return {
+        "name": topo.name,
+        "nodes": topo.num_nodes,
+        "edges": topo.num_edges,
+        "connected": connected,
+        "diameter": diameter(topo) if connected and topo.num_nodes else None,
+        "avg_path_length": average_path_length(topo) if connected else None,
+        "degree_min": stats.minimum,
+        "degree_max": stats.maximum,
+        "degree_mean": stats.mean,
+        "clustering": average_clustering(topo),
+    }

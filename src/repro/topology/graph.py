@@ -1,0 +1,215 @@
+"""The :class:`Topology` graph type used throughout the library.
+
+A topology is an undirected weighted graph with optional node
+coordinates in the plane (BRITE places routers on a grid; coordinates
+also drive the distance-based latency model and the Fig. 1 demand
+surface). It is deliberately small and dependency-free — analysis
+helpers live in :mod:`repro.topology.analysis`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import TopologyError
+
+Coordinate = Tuple[float, float]
+Edge = Tuple[int, int]
+
+
+class Topology:
+    """Undirected weighted graph over integer node ids.
+
+    Args:
+        name: Human-readable label used in experiment reports.
+
+    Example:
+        >>> topo = Topology("triangle")
+        >>> for n in range(3):
+        ...     topo.add_node(n)
+        >>> _ = topo.add_edge(0, 1), topo.add_edge(1, 2), topo.add_edge(0, 2)
+        >>> sorted(topo.neighbors(1))
+        [0, 2]
+    """
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._adjacency: Dict[int, Dict[int, float]] = {}
+        self._coordinates: Dict[int, Coordinate] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: int, position: Optional[Coordinate] = None) -> int:
+        """Add a node (idempotent); optionally place it in the plane."""
+        node = int(node)
+        if node < 0:
+            raise TopologyError(f"node ids must be non-negative, got {node}")
+        self._adjacency.setdefault(node, {})
+        if position is not None:
+            self._coordinates[node] = (float(position[0]), float(position[1]))
+        return node
+
+    def add_edge(self, a: int, b: int, weight: Optional[float] = None) -> Edge:
+        """Add an undirected edge.
+
+        The weight defaults to the Euclidean distance between the
+        endpoints when both are placed, else 1.0. Self-loops and
+        duplicate edges are rejected — the protocols assume simple
+        graphs.
+        """
+        if a == b:
+            raise TopologyError(f"self-loop on node {a}")
+        if a not in self._adjacency or b not in self._adjacency:
+            raise TopologyError(f"edge ({a}, {b}) references unknown node")
+        if b in self._adjacency[a]:
+            raise TopologyError(f"duplicate edge ({a}, {b})")
+        if weight is None:
+            weight = self._default_weight(a, b)
+        if weight <= 0:
+            raise TopologyError(f"edge ({a}, {b}) weight must be positive")
+        self._adjacency[a][b] = float(weight)
+        self._adjacency[b][a] = float(weight)
+        return (a, b) if a < b else (b, a)
+
+    def _default_weight(self, a: int, b: int) -> float:
+        pos_a = self._coordinates.get(a)
+        pos_b = self._coordinates.get(b)
+        if pos_a is None or pos_b is None:
+            return 1.0
+        return math.hypot(pos_a[0] - pos_b[0], pos_a[1] - pos_b[1]) or 1.0
+
+    def remove_edge(self, a: int, b: int) -> None:
+        """Remove an existing edge (raises if absent)."""
+        if not self.has_edge(a, b):
+            raise TopologyError(f"no edge ({a}, {b}) to remove")
+        del self._adjacency[a][b]
+        del self._adjacency[b][a]
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """All node ids in insertion order."""
+        return tuple(self._adjacency)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Neighbour ids of ``node`` (raises for unknown nodes)."""
+        try:
+            return tuple(self._adjacency[node])
+        except KeyError:
+            raise TopologyError(f"unknown node {node}") from None
+
+    def degree(self, node: int) -> int:
+        return len(self._adjacency.get(node, ()))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adjacency.get(a, ())
+
+    def edge_weight(self, a: int, b: int) -> float:
+        """Weight of edge ``(a, b)`` (raises if absent)."""
+        try:
+            return self._adjacency[a][b]
+        except KeyError:
+            raise TopologyError(f"no edge ({a}, {b})") from None
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield every edge once as ``(low, high, weight)``."""
+        for a, nbrs in self._adjacency.items():
+            for b, weight in nbrs.items():
+                if a < b:
+                    yield (a, b, weight)
+
+    def position(self, node: int) -> Optional[Coordinate]:
+        """Planar position of ``node`` if it was placed."""
+        return self._coordinates.get(node)
+
+    def set_position(self, node: int, position: Coordinate) -> None:
+        if node not in self._adjacency:
+            raise TopologyError(f"unknown node {node}")
+        self._coordinates[node] = (float(position[0]), float(position[1]))
+
+    def degrees(self) -> Dict[int, int]:
+        """Mapping node -> degree."""
+        return {n: len(nbrs) for n, nbrs in self._adjacency.items()}
+
+    # -- structure ------------------------------------------------------------
+
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components as sets of node ids."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in self._adjacency:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for nbr in self._adjacency[node]:
+                    if nbr not in component:
+                        component.add(nbr)
+                        frontier.append(nbr)
+            seen |= component
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True when the graph has one component (empty graphs count)."""
+        return len(self.connected_components()) <= 1
+
+    def subgraph(self, nodes: Iterable[int]) -> "Topology":
+        """Induced subgraph on ``nodes`` (edges kept with weights)."""
+        keep = set(int(n) for n in nodes)
+        unknown = keep - set(self._adjacency)
+        if unknown:
+            raise TopologyError(f"subgraph references unknown nodes {sorted(unknown)}")
+        sub = Topology(f"{self.name}-sub")
+        for node in self._adjacency:
+            if node in keep:
+                sub.add_node(node, self._coordinates.get(node))
+        for a, b, weight in self.edges():
+            if a in keep and b in keep:
+                sub.add_edge(a, b, weight)
+        return sub
+
+    def copy(self) -> "Topology":
+        """Deep copy (adjacency and coordinates)."""
+        dup = Topology(self.name)
+        for node in self._adjacency:
+            dup.add_node(node, self._coordinates.get(node))
+        for a, b, weight in self.edges():
+            dup.add_edge(a, b, weight)
+        return dup
+
+    def validate(self) -> None:
+        """Check internal invariants (symmetry, no self-loops).
+
+        Raises:
+            TopologyError: If any invariant is violated; useful after
+                hand-building topologies in tests and examples.
+        """
+        for a, nbrs in self._adjacency.items():
+            for b, weight in nbrs.items():
+                if a == b:
+                    raise TopologyError(f"self-loop on {a}")
+                back = self._adjacency.get(b, {}).get(a)
+                if back != weight:
+                    raise TopologyError(f"asymmetric edge ({a}, {b})")
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adjacency
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

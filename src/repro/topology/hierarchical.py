@@ -1,0 +1,153 @@
+"""Hierarchical (top-down) topology generation, BRITE style.
+
+BRITE's top-down mode first generates an AS-level graph, then a
+router-level graph inside each AS, and finally connects ASes through
+border routers. The paper's experiments use flat router-level graphs,
+but Internet-scale deployments are hierarchical, so this utility exists
+for the examples and for stress-testing the protocols on two-tier
+structures (inter-AS edges are long; intra-AS edges are short — which
+matters for the distance-based latency model).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TopologyError
+from .brite import BriteConfig, barabasi_albert, waxman
+from .graph import Topology
+
+MODEL_BA = "ba"
+MODEL_WAXMAN = "waxman"
+_MODELS = (MODEL_BA, MODEL_WAXMAN)
+
+
+@dataclass(frozen=True)
+class HierarchicalConfig:
+    """Two-tier topology parameters.
+
+    Attributes:
+        autonomous_systems: Number of ASes (top-level nodes).
+        routers_per_as: Router count inside each AS.
+        as_m: Edges per new node at the AS level.
+        router_m: Edges per new node at the router level.
+        as_model / router_model: ``"ba"`` or ``"waxman"`` per tier.
+        plane_size: Side of the global plane; each AS occupies one cell
+            of a near-square grid over it.
+        border_links: Parallel router-level links per AS-level edge.
+    """
+
+    autonomous_systems: int = 4
+    routers_per_as: int = 12
+    as_m: int = 2
+    router_m: int = 2
+    as_model: str = MODEL_BA
+    router_model: str = MODEL_BA
+    plane_size: float = 1000.0
+    border_links: int = 1
+
+    def validate(self) -> None:
+        if self.autonomous_systems < 2:
+            raise TopologyError("need at least 2 autonomous systems")
+        if self.routers_per_as < 2:
+            raise TopologyError("need at least 2 routers per AS")
+        if self.as_model not in _MODELS or self.router_model not in _MODELS:
+            raise TopologyError(f"models must be one of {_MODELS}")
+        if self.border_links < 1:
+            raise TopologyError("border_links must be >= 1")
+        if min(self.as_m, self.router_m) < 1:
+            raise TopologyError("m parameters must be >= 1")
+        if self.as_m >= self.autonomous_systems:
+            raise TopologyError("as_m must be < autonomous_systems")
+        if self.router_m >= self.routers_per_as:
+            raise TopologyError("router_m must be < routers_per_as")
+
+
+def _generate(model: str, config: BriteConfig, rng: random.Random) -> Topology:
+    if model == MODEL_BA:
+        return barabasi_albert(config, rng)
+    return waxman(config, rng)
+
+
+def hierarchical(
+    config: Optional[HierarchicalConfig] = None,
+    seed: int = 0,
+    **overrides,
+) -> Topology:
+    """Generate a two-tier AS/router topology.
+
+    Node ids are ``as_index * routers_per_as + router_index``; use
+    :func:`as_of` to map back. The result is connected by construction
+    (each tier's generator is, and every AS edge gets border links).
+    """
+    if config is None:
+        config = HierarchicalConfig(**overrides)
+    elif overrides:
+        raise TopologyError("pass either a config or keyword overrides, not both")
+    config.validate()
+    rng = random.Random(seed)
+
+    as_graph = _generate(
+        config.as_model,
+        BriteConfig(n=config.autonomous_systems, m=config.as_m),
+        rng,
+    )
+
+    # Lay ASes out on a near-square grid of cells.
+    columns = max(1, math.ceil(math.sqrt(config.autonomous_systems)))
+    rows = math.ceil(config.autonomous_systems / columns)
+    cell_w = config.plane_size / columns
+    cell_h = config.plane_size / rows
+
+    topo = Topology(
+        f"hier-{config.autonomous_systems}x{config.routers_per_as}"
+    )
+    for as_index in range(config.autonomous_systems):
+        router_graph = _generate(
+            config.router_model,
+            BriteConfig(n=config.routers_per_as, m=config.router_m, plane_size=1.0),
+            random.Random(rng.random()),
+        )
+        col, row = as_index % columns, as_index // columns
+        for router in router_graph.nodes:
+            x, y = router_graph.position(router)
+            topo.add_node(
+                as_index * config.routers_per_as + router,
+                (col * cell_w + x * cell_w * 0.9, row * cell_h + y * cell_h * 0.9),
+            )
+        for a, b, _ in router_graph.edges():
+            topo.add_edge(
+                as_index * config.routers_per_as + a,
+                as_index * config.routers_per_as + b,
+            )
+
+    # Border links realise AS-level edges between random routers.
+    for as_a, as_b, _ in as_graph.edges():
+        for _ in range(config.border_links):
+            router_a = as_a * config.routers_per_as + rng.randrange(
+                config.routers_per_as
+            )
+            router_b = as_b * config.routers_per_as + rng.randrange(
+                config.routers_per_as
+            )
+            if not topo.has_edge(router_a, router_b):
+                topo.add_edge(router_a, router_b)
+    return topo
+
+
+def as_of(node: int, config: HierarchicalConfig) -> int:
+    """The AS index a router id belongs to."""
+    if node < 0:
+        raise TopologyError(f"negative node id {node}")
+    return node // config.routers_per_as
+
+
+def as_members(as_index: int, config: HierarchicalConfig) -> List[int]:
+    """All router ids inside one AS."""
+    if not 0 <= as_index < config.autonomous_systems:
+        raise TopologyError(f"AS index {as_index} out of range")
+    base = as_index * config.routers_per_as
+    return list(range(base, base + config.routers_per_as))

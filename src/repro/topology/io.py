@@ -1,0 +1,104 @@
+"""Topology persistence.
+
+Two formats are supported:
+
+* a commented **edge-list** format (``save_edge_list`` /
+  ``load_edge_list``) that round-trips everything the library uses
+  (node positions and edge weights), and
+* a **BRITE-like** export (``save_brite``) mirroring the layout of
+  BRITE ``.brite`` files (Nodes / Edges sections) so generated graphs
+  can be eyeballed against real BRITE output.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Union
+
+from ..errors import TopologyError
+from .graph import Topology
+
+PathLike = Union[str, Path]
+
+
+def dumps_edge_list(topo: Topology) -> str:
+    """Serialize a topology to the edge-list text format."""
+    out = _io.StringIO()
+    out.write(f"# topology {topo.name}\n")
+    out.write(f"# nodes {topo.num_nodes} edges {topo.num_edges}\n")
+    for node in topo.nodes:
+        pos = topo.position(node)
+        if pos is None:
+            out.write(f"node {node}\n")
+        else:
+            out.write(f"node {node} {pos[0]:.6f} {pos[1]:.6f}\n")
+    for a, b, weight in topo.edges():
+        out.write(f"edge {a} {b} {weight:.6f}\n")
+    return out.getvalue()
+
+
+def loads_edge_list(text: str) -> Topology:
+    """Parse the edge-list text format back into a :class:`Topology`."""
+    topo = Topology("loaded")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) >= 2 and parts[0] == "topology":
+                topo.name = parts[1]
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "node":
+                node = int(parts[1])
+                if len(parts) >= 4:
+                    topo.add_node(node, (float(parts[2]), float(parts[3])))
+                else:
+                    topo.add_node(node)
+            elif parts[0] == "edge":
+                topo.add_edge(int(parts[1]), int(parts[2]), float(parts[3]))
+            else:
+                raise ValueError(f"unknown record {parts[0]!r}")
+        except (IndexError, ValueError) as exc:
+            raise TopologyError(f"line {lineno}: cannot parse {line!r}: {exc}") from exc
+    return topo
+
+
+def save_edge_list(topo: Topology, path: PathLike) -> None:
+    """Write the edge-list format to ``path``."""
+    Path(path).write_text(dumps_edge_list(topo), encoding="utf-8")
+
+
+def load_edge_list(path: PathLike) -> Topology:
+    """Read a topology previously written by :func:`save_edge_list`."""
+    return loads_edge_list(Path(path).read_text(encoding="utf-8"))
+
+
+def dumps_brite(topo: Topology) -> str:
+    """Serialize in a BRITE-flavoured format (Nodes/Edges sections).
+
+    The export is best-effort (BRITE columns that have no equivalent —
+    AS ids, node types — are written as constants) and is intended for
+    inspection and interchange, not round-tripping; use the edge-list
+    format for persistence.
+    """
+    out = _io.StringIO()
+    out.write(f"Topology: ( {topo.num_nodes} Nodes, {topo.num_edges} Edges )\n")
+    out.write("Model (1 - RTBarabasi):\n\n")
+    out.write(f"Nodes: ({topo.num_nodes})\n")
+    for node in topo.nodes:
+        x, y = topo.position(node) or (0.0, 0.0)
+        degree = topo.degree(node)
+        out.write(f"{node}\t{x:.2f}\t{y:.2f}\t{degree}\t{degree}\t-1\tRT_NODE\n")
+    out.write(f"\nEdges: ({topo.num_edges})\n")
+    for index, (a, b, weight) in enumerate(topo.edges()):
+        out.write(f"{index}\t{a}\t{b}\t{weight:.2f}\t0.0\t0.0\t-1\t-1\tE_RT\tU\n")
+    return out.getvalue()
+
+
+def save_brite(topo: Topology, path: PathLike) -> None:
+    """Write the BRITE-flavoured export to ``path``."""
+    Path(path).write_text(dumps_brite(topo), encoding="utf-8")

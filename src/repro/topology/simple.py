@@ -1,0 +1,165 @@
+"""Deterministic reference topologies.
+
+Section 5 of the paper reports "similar results ... with simpler uniform
+topologies (linear, ring, grid), with different number of nodes"; these
+constructors build those plus a few classics that are useful in tests
+(star, tree, complete, hypercube, torus). All are connected by
+construction and place nodes on the plane so distance-based latency and
+surface rendering work uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import TopologyError
+from .graph import Topology
+
+
+def _require_positive(n: int, what: str = "n") -> int:
+    n = int(n)
+    if n <= 0:
+        raise TopologyError(f"{what} must be positive, got {n}")
+    return n
+
+
+def line(n: int, spacing: float = 1.0) -> Topology:
+    """A path of ``n`` nodes: 0 - 1 - ... - (n-1)."""
+    n = _require_positive(n)
+    topo = Topology(f"line-{n}")
+    for i in range(n):
+        topo.add_node(i, (i * spacing, 0.0))
+    for i in range(n - 1):
+        topo.add_edge(i, i + 1, spacing)
+    return topo
+
+
+def ring(n: int, radius: Optional[float] = None) -> Topology:
+    """A cycle of ``n >= 3`` nodes laid out on a circle."""
+    n = _require_positive(n)
+    if n < 3:
+        raise TopologyError(f"a ring needs at least 3 nodes, got {n}")
+    radius = radius if radius is not None else n / (2 * math.pi)
+    topo = Topology(f"ring-{n}")
+    for i in range(n):
+        angle = 2 * math.pi * i / n
+        topo.add_node(i, (radius * math.cos(angle), radius * math.sin(angle)))
+    for i in range(n):
+        topo.add_edge(i, (i + 1) % n, 1.0)
+    return topo
+
+
+def star(n: int) -> Topology:
+    """Node 0 is the hub; nodes 1..n-1 are leaves."""
+    n = _require_positive(n)
+    if n < 2:
+        raise TopologyError(f"a star needs at least 2 nodes, got {n}")
+    topo = Topology(f"star-{n}")
+    topo.add_node(0, (0.0, 0.0))
+    for i in range(1, n):
+        angle = 2 * math.pi * i / (n - 1)
+        topo.add_node(i, (math.cos(angle), math.sin(angle)))
+        topo.add_edge(0, i, 1.0)
+    return topo
+
+
+def grid(rows: int, cols: int, spacing: float = 1.0) -> Topology:
+    """A rows x cols 4-neighbour mesh; node id = row * cols + col."""
+    rows = _require_positive(rows, "rows")
+    cols = _require_positive(cols, "cols")
+    topo = Topology(f"grid-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_node(r * cols + c, (c * spacing, r * spacing))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                topo.add_edge(node, node + 1, spacing)
+            if r + 1 < rows:
+                topo.add_edge(node, node + cols, spacing)
+    return topo
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """A grid with wrap-around edges in both dimensions (each >= 3)."""
+    rows = _require_positive(rows, "rows")
+    cols = _require_positive(cols, "cols")
+    if rows < 3 or cols < 3:
+        raise TopologyError("torus dimensions must each be >= 3")
+    topo = Topology(f"torus-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_node(r * cols + c, (float(c), float(r)))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            if not topo.has_edge(node, right):
+                topo.add_edge(node, right, 1.0)
+            if not topo.has_edge(node, down):
+                topo.add_edge(node, down, 1.0)
+    return topo
+
+
+def complete(n: int) -> Topology:
+    """The complete graph K_n."""
+    n = _require_positive(n)
+    topo = Topology(f"complete-{n}")
+    for i in range(n):
+        angle = 2 * math.pi * i / n
+        topo.add_node(i, (math.cos(angle), math.sin(angle)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.add_edge(i, j, 1.0)
+    return topo
+
+
+def balanced_tree(branching: int, height: int) -> Topology:
+    """A rooted tree where every internal node has ``branching`` children.
+
+    Node 0 is the root; children of node *v* are numbered breadth-first.
+    """
+    branching = _require_positive(branching, "branching")
+    height = int(height)
+    if height < 0:
+        raise TopologyError(f"height must be >= 0, got {height}")
+    topo = Topology(f"tree-{branching}-{height}")
+    topo.add_node(0, (0.0, 0.0))
+    frontier = [0]
+    next_id = 1
+    for level in range(1, height + 1):
+        new_frontier = []
+        width = branching**level
+        for parent_index, parent in enumerate(frontier):
+            for child_index in range(branching):
+                child = next_id
+                next_id += 1
+                slot = parent_index * branching + child_index
+                x = (slot - (width - 1) / 2.0) * (2.0 ** (height - level))
+                topo.add_node(child, (x, -float(level)))
+                topo.add_edge(parent, child, 1.0)
+                new_frontier.append(child)
+        frontier = new_frontier
+    return topo
+
+
+def hypercube(dimension: int) -> Topology:
+    """The ``dimension``-dimensional hypercube (2^d nodes)."""
+    dimension = int(dimension)
+    if dimension < 1:
+        raise TopologyError(f"dimension must be >= 1, got {dimension}")
+    n = 1 << dimension
+    topo = Topology(f"hypercube-{dimension}")
+    for i in range(n):
+        # Lay out on a circle; coordinates are only cosmetic here.
+        angle = 2 * math.pi * i / n
+        topo.add_node(i, (math.cos(angle), math.sin(angle)))
+    for i in range(n):
+        for bit in range(dimension):
+            j = i ^ (1 << bit)
+            if i < j:
+                topo.add_edge(i, j, 1.0)
+    return topo

@@ -1,0 +1,74 @@
+"""CSV export of experiment artefacts.
+
+The ASCII plots are for the terminal; these exporters produce data
+files that external plotting tools (gnuplot, pandas, spreadsheets) can
+consume to redraw the paper's figures at publication quality.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Mapping, Sequence, Union
+
+from ..errors import ExperimentError
+
+PathLike = Union[str, Path]
+
+
+def curves_to_csv(
+    curves: Mapping[str, Sequence[float]],
+    xs: Sequence[float],
+    x_label: str = "sessions",
+) -> str:
+    """Serialize shared-x curves (e.g. the Figs. 5-6 CDFs) as CSV text.
+
+    Columns: the x axis followed by one column per curve.
+    """
+    if not curves:
+        raise ExperimentError("no curves to export")
+    for name, ys in curves.items():
+        if len(ys) != len(xs):
+            raise ExperimentError(
+                f"curve {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    names = list(curves)
+    writer.writerow([x_label] + names)
+    for index, x in enumerate(xs):
+        writer.writerow([f"{x:g}"] + [f"{curves[n][index]:.6f}" for n in names])
+    return buffer.getvalue()
+
+
+def save_curves_csv(
+    curves: Mapping[str, Sequence[float]],
+    xs: Sequence[float],
+    path: PathLike,
+    x_label: str = "sessions",
+) -> None:
+    """Write :func:`curves_to_csv` output to ``path``."""
+    Path(path).write_text(curves_to_csv(curves, xs, x_label), encoding="utf-8")
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Serialize result-table rows (what the benches print) as CSV."""
+    headers = list(headers)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def save_rows_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], path: PathLike
+) -> None:
+    """Write :func:`rows_to_csv` output to ``path``."""
+    Path(path).write_text(rows_to_csv(headers, rows), encoding="utf-8")

@@ -1,0 +1,102 @@
+"""ASCII rendering of demand surfaces (paper Fig. 1).
+
+The paper draws demand as a 3-D landscape — hills (low demand) and
+valleys (high demand). :func:`render_surface` samples a
+:class:`repro.demand.field.SurfaceDemand` on a character grid and maps
+demand to a density ramp, which makes the valleys visually obvious in a
+terminal; :func:`render_topology_demand` overlays node markers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..demand.field import SurfaceDemand
+from ..errors import DemandError
+from ..topology.graph import Topology
+
+#: Density ramp from low demand (hills) to high demand (valleys).
+RAMP = " .:-=+*#%@"
+
+
+def _ramp_char(value: float, lo: float, hi: float) -> str:
+    if hi <= lo:
+        return RAMP[0]
+    fraction = (value - lo) / (hi - lo)
+    index = min(len(RAMP) - 1, max(0, int(fraction * (len(RAMP) - 1))))
+    return RAMP[index]
+
+
+def render_surface(
+    field: SurfaceDemand,
+    bounds: Optional[Tuple[float, float, float, float]] = None,
+    width: int = 60,
+    height: int = 24,
+    with_scale: bool = True,
+) -> str:
+    """Sample the continuous demand surface onto a character grid.
+
+    Args:
+        bounds: ``(x_min, y_min, x_max, y_max)``; defaults to the
+            bounding box of the field's node positions.
+    """
+    if bounds is None:
+        xs = [p[0] for p in field.positions.values()]
+        ys = [p[1] for p in field.positions.values()]
+        bounds = (min(xs), min(ys), max(xs), max(ys))
+    x_min, y_min, x_max, y_max = bounds
+    if x_max <= x_min or y_max <= y_min:
+        raise DemandError(f"degenerate bounds {bounds}")
+    samples = []
+    for row in range(height):
+        y = y_max - (y_max - y_min) * row / (height - 1 if height > 1 else 1)
+        line = []
+        for col in range(width):
+            x = x_min + (x_max - x_min) * col / (width - 1 if width > 1 else 1)
+            line.append(field.demand_at((x, y)))
+        samples.append(line)
+    lo = min(min(line) for line in samples)
+    hi = max(max(line) for line in samples)
+    lines = [
+        "".join(_ramp_char(v, lo, hi) for v in line) for line in samples
+    ]
+    if with_scale:
+        lines.append("")
+        lines.append(
+            f"demand scale: '{RAMP[0]}'={lo:.1f} (hills) ... '{RAMP[-1]}'={hi:.1f}"
+            " (valleys = high demand)"
+        )
+    return "\n".join(lines)
+
+
+def render_topology_demand(
+    topology: Topology,
+    demand: Dict[int, float],
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Scatter nodes on the plane, glyph intensity = that node's demand."""
+    positions = {}
+    for node in topology.nodes:
+        pos = topology.position(node)
+        if pos is None:
+            raise DemandError(f"node {node} has no position")
+        positions[node] = pos
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    span_x = (x_max - x_min) or 1.0
+    span_y = (y_max - y_min) or 1.0
+    lo = min(demand.values())
+    hi = max(demand.values())
+    grid = [[" "] * width for _ in range(height)]
+    for node, (x, y) in positions.items():
+        col = int((x - x_min) / span_x * (width - 1))
+        row = int((y - y_min) / span_y * (height - 1))
+        glyph = _ramp_char(demand.get(node, lo), lo, hi)
+        grid[height - 1 - row][col] = glyph
+    lines = ["".join(row) for row in grid]
+    lines.append("")
+    lines.append(f"node demand: '{RAMP[1]}'~{lo:.1f} ... '{RAMP[-1]}'~{hi:.1f}")
+    return "\n".join(lines)

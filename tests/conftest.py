@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demand.static import ExplicitDemand, UniformRandomDemand
+from repro.sim.engine import Simulator
+from repro.topology.graph import Topology
+from repro.topology.simple import line, ring, star
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    """Three fully connected nodes."""
+    topo = Topology("triangle")
+    for n in range(3):
+        topo.add_node(n)
+    topo.add_edge(0, 1)
+    topo.add_edge(1, 2)
+    topo.add_edge(0, 2)
+    return topo
+
+
+@pytest.fixture
+def line5() -> Topology:
+    """A five-node path 0-1-2-3-4."""
+    return line(5)
+
+
+@pytest.fixture
+def ring6() -> Topology:
+    """A six-node ring."""
+    return ring(6)
+
+
+@pytest.fixture
+def star5() -> Topology:
+    """Hub node 0 with four leaves."""
+    return star(5)
+
+
+@pytest.fixture
+def slope_demand() -> ExplicitDemand:
+    """The paper's §2 demand table on ids 0..4 (A=4 B=6 C=3 D=8 E=7)."""
+    return ExplicitDemand({0: 4.0, 1: 6.0, 2: 3.0, 3: 8.0, 4: 7.0})
+
+
+@pytest.fixture
+def uniform_demand() -> UniformRandomDemand:
+    """Random static demand in [0, 100]."""
+    return UniformRandomDemand(0.0, 100.0, seed=5)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_fig5_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.reps == 120
+        assert args.nodes == 50
+
+
+class TestCommands:
+    def test_surface(self, capsys):
+        out = run_cli(capsys, "surface")
+        assert "valleys = high demand" in out
+
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "B-C,B-A,B-E,B-D" in out
+        assert "B-D,B-E,B-A,B-C" in out
+
+    def test_fig3(self, capsys):
+        out = run_cli(capsys, "fig3", "--reps", "5")
+        assert "worst case" in out
+        assert "optimal case" in out
+
+    def test_fig5_small(self, capsys):
+        out = run_cli(capsys, "fig5", "--reps", "3")
+        assert "weak (all replicas)" in out
+        assert "6.1499" in out  # paper reference column (n=50)
+
+    def test_fig5_plot_flag(self, capsys):
+        out = run_cli(capsys, "fig5", "--reps", "4", "--nodes", "20", "--plot")
+        assert "legend:" in out
+
+    def test_table2(self, capsys):
+        out = run_cli(capsys, "table2", "--reps", "4")
+        assert "static" in out
+        assert "C'" in out
+
+    def test_scaling(self, capsys):
+        out = run_cli(capsys, "scaling", "--reps", "2", "--sizes", "15", "20")
+        assert "diameter" in out
+
+    def test_uniform(self, capsys):
+        out = run_cli(capsys, "uniform", "--reps", "2")
+        assert "line-24" in out
+
+    def test_islands(self, capsys):
+        out = run_cli(capsys, "islands", "--reps", "2")
+        assert "fast+bridges" in out
+
+    def test_overhead(self, capsys):
+        out = run_cli(capsys, "overhead", "--reps", "2")
+        assert "fast share" in out
+
+    def test_ablation(self, capsys):
+        out = run_cli(capsys, "ablation", "--reps", "3")
+        assert "ordered-only" in out
+        assert "push-only" in out
+
+    def test_staleness(self, capsys):
+        out = run_cli(capsys, "staleness", "--reps", "2")
+        assert "oracle" in out
+        assert "advert bytes" in out
+
+    def test_strongcost(self, capsys):
+        out = run_cli(capsys, "strongcost", "--reps", "2")
+        assert "strong" in out
+
+    def test_partition(self, capsys):
+        out = run_cli(capsys, "partition", "--reps", "2")
+        assert "writer side" in out
+        assert "commit rate" in out
+
+    def test_skew(self, capsys):
+        out = run_cli(capsys, "skew", "--reps", "2")
+        assert "flat" in out
+        assert "push deliveries" in out
+
+    def test_run_adhoc(self, capsys):
+        out = run_cli(
+            capsys, "run", "--topology", "ring", "-n", "8", "--variant", "fast"
+        )
+        assert "sessions to all replicas" in out
+        assert "messages" in out

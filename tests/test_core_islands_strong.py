@@ -1,0 +1,194 @@
+"""Tests for islands (§6) and the strong-consistency baseline (§1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.islands import (
+    bridge_latency,
+    bridge_system,
+    detect_islands,
+    elect_leaders,
+    plan_bridges,
+)
+from repro.core.metrics import reach_time
+from repro.core.strong import StrongConsistencySystem
+from repro.core.system import ReplicationSystem
+from repro.core.variants import fast_consistency, weak_consistency
+from repro.demand.field import two_valley_field
+from repro.demand.static import ConstantDemand
+from repro.errors import ConfigurationError, ExperimentError
+from repro.topology.graph import Topology
+from repro.topology.simple import grid, line
+
+
+def valley_grid(rows=9, cols=9):
+    topo = grid(rows, cols)
+    demand = two_valley_field(topo, plane_size=float(rows - 1), peak=100.0, base=1.0)
+    return topo, demand
+
+
+class TestDetection:
+    def test_two_valleys_give_two_islands(self):
+        topo, demand = valley_grid()
+        snapshot = demand.snapshot(topo.nodes)
+        islands = detect_islands(topo, snapshot, percentile=80.0, min_size=2)
+        assert len(islands) == 2
+        # The islands are disjoint and contain the valley centres.
+        assert not (islands[0] & islands[1])
+
+    def test_min_size_filters_singletons(self):
+        topo = line(5)
+        snapshot = {0: 10.0, 1: 0.0, 2: 10.0, 3: 0.0, 4: 0.0}
+        islands = detect_islands(topo, snapshot, percentile=70.0, min_size=2)
+        assert islands == []
+
+    def test_empty_demand_rejected(self):
+        with pytest.raises(ExperimentError):
+            detect_islands(line(3), {}, percentile=50.0)
+
+
+class TestLeaders:
+    def test_leader_is_max_demand(self):
+        snapshot = {0: 5.0, 1: 9.0, 2: 9.0}
+        islands = elect_leaders([{0, 1, 2}], snapshot)
+        assert islands[0].leader == 1  # tie 1 vs 2 -> lowest id
+        assert islands[0].total_demand == 23.0
+        assert 2 in islands[0]
+
+    def test_empty_island_rejected(self):
+        with pytest.raises(ExperimentError):
+            elect_leaders([set()], {})
+
+
+class TestBridges:
+    def test_bridge_latency_scales_with_hops(self):
+        topo = line(5)
+        assert bridge_latency(topo, 0, 4, per_hop_delay=0.1) == pytest.approx(0.4)
+
+    def test_plan_bridges_complete_over_leaders(self):
+        topo, demand = valley_grid()
+        snapshot = demand.snapshot(topo.nodes)
+        islands = elect_leaders(
+            detect_islands(topo, snapshot, percentile=80.0, min_size=2), snapshot
+        )
+        bridges = plan_bridges(topo, islands, per_hop_delay=0.02)
+        assert len(bridges) == 1  # two leaders -> one bridge
+        a, b, delay = bridges[0]
+        assert delay > 0.02  # leaders are several hops apart
+
+    def test_unreachable_leaders_raise(self):
+        topo = Topology()
+        topo.add_node(0)
+        topo.add_node(1)
+        with pytest.raises(ExperimentError):
+            bridge_latency(topo, 0, 1, 0.1)
+
+
+class TestBridgeSystem:
+    def test_requires_fast_update(self):
+        topo, demand = valley_grid()
+        system = ReplicationSystem(topo, demand, weak_consistency(), seed=1)
+        with pytest.raises(ConfigurationError):
+            bridge_system(system)
+
+    def test_bridging_accelerates_far_island(self):
+        topo, demand = valley_grid()
+        snapshot = demand.snapshot(topo.nodes, 0.0)
+        islands = elect_leaders(
+            detect_islands(topo, snapshot, percentile=80.0, min_size=2), snapshot
+        )
+        origin = islands[0].leader
+        far = islands[1] if islands[1].leader != origin else islands[0]
+
+        def far_reach(bridged: bool):
+            system = ReplicationSystem(topo, demand, fast_consistency(), seed=7)
+            if bridged:
+                built = bridge_system(system, percentile=80.0, min_size=2)
+                assert len(built) == 2
+            system.start()
+            update = system.inject_write(origin)
+            system.run_until_replicated(update.uid, max_time=120.0)
+            times = system.apply_times(update.uid)
+            leader_time = times[far.leader]
+            member_mean = sum(times[m] for m in far.members) / len(far.members)
+            return leader_time, member_mean
+
+        plain_leader, plain_members = far_reach(False)
+        bridged_leader, bridged_members = far_reach(True)
+        assert bridged_leader < plain_leader
+        assert bridged_leader < 1.0  # essentially link-speed via the overlay
+        assert bridged_members < plain_members
+
+    def test_single_island_installs_no_bridges(self):
+        topo = line(6)
+        demand = ConstantDemand(5.0)
+        system = ReplicationSystem(topo, demand, fast_consistency(), seed=1)
+        islands = bridge_system(system, percentile=50.0)
+        assert len(islands) <= 1 or all(
+            not system.network.overlay_neighbors(n) for n in topo.nodes
+        )
+
+
+class TestStrongConsistency:
+    def test_write_commits_and_reaches_everyone(self):
+        topo = grid(3, 3)
+        system = StrongConsistencySystem(topo, seed=1, link_delay=0.02)
+        wid = system.write(origin=0, key="x", value="v")
+        system.sim.run(until=10.0)
+        assert system.committed(wid)
+        for server in system.servers.values():
+            assert server.read("x") is not None
+
+    def test_message_cost_is_three_n_minus_one(self):
+        topo = grid(3, 3)
+        system = StrongConsistencySystem(topo, seed=1)
+        system.write(origin=0)
+        system.sim.run(until=10.0)
+        assert system.expected_messages_per_write() == 3 * 8
+        assert system.network.counters.messages_sent == 3 * 8
+
+    def test_latency_grows_with_depth(self):
+        shallow = StrongConsistencySystem(grid(2, 2), seed=1, link_delay=0.02)
+        deep = StrongConsistencySystem(line(16), seed=1, link_delay=0.02)
+        shallow.write(origin=0)
+        deep.write(origin=0)
+        shallow.sim.run(until=10.0)
+        deep.sim.run(until=10.0)
+        assert deep.latencies[0] > shallow.latencies[0]
+        # BFS depth 15, prepare+ack = 2 * 15 * 0.02.
+        assert deep.latencies[0] == pytest.approx(0.6, abs=1e-6)
+
+    def test_loss_causes_write_failures(self):
+        failures = 0
+        for seed in range(6):
+            system = StrongConsistencySystem(
+                line(12), seed=seed, loss=0.2, write_timeout=3.0
+            )
+            wid = system.write(origin=0)
+            system.sim.run(until=10.0)
+            if not system.committed(wid):
+                failures += 1
+        assert failures > 0  # synchronous writes are fragile under loss
+
+    def test_single_node_commits_immediately(self):
+        topo = Topology()
+        topo.add_node(0)
+        system = StrongConsistencySystem(topo, seed=1)
+        wid = system.write(origin=0)
+        assert system.committed(wid)
+        assert system.latencies == [0.0]
+
+    def test_disconnected_topology_rejected(self):
+        topo = Topology()
+        topo.add_node(0)
+        topo.add_node(1)
+        with pytest.raises(ConfigurationError):
+            StrongConsistencySystem(topo)
+
+    def test_unknown_origin_rejected(self):
+        from repro.errors import SimulationError
+
+        system = StrongConsistencySystem(line(3))
+        with pytest.raises(SimulationError):
+            system.write(origin=42)

@@ -1,0 +1,139 @@
+"""Tests for evaluation metrics (repro.core.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (
+    ConvergenceTracker,
+    TrafficMeter,
+    coverage_fraction,
+    mean_reach_time,
+    reach_time,
+    satisfied_requests_series,
+)
+from repro.core.system import ReplicationSystem
+from repro.core.variants import fast_consistency, weak_consistency
+from repro.demand.static import ConstantDemand, ExplicitDemand
+from repro.errors import ExperimentError
+from repro.topology.simple import line
+
+
+class TestReachTime:
+    def test_max_over_nodes(self):
+        times = {0: 0.0, 1: 2.0, 2: 5.0}
+        assert reach_time(times, [0, 1, 2]) == 5.0
+        assert reach_time(times, [0, 1]) == 2.0
+
+    def test_t0_offset(self):
+        times = {0: 3.0, 1: 4.0}
+        assert reach_time(times, [0, 1], t0=3.0) == 1.0
+
+    def test_missing_node_gives_none(self):
+        assert reach_time({0: 1.0}, [0, 1]) is None
+
+    def test_mean_reach_time(self):
+        times = {0: 0.0, 1: 2.0, 2: 4.0}
+        assert mean_reach_time(times, [0, 1, 2]) == 2.0
+        assert mean_reach_time({0: 1.0}, [0, 1]) is None
+        with pytest.raises(ExperimentError):
+            mean_reach_time(times, [])
+
+
+class TestCoverage:
+    def test_fraction_within_deadline(self):
+        times = {0: 0.0, 1: 1.0, 2: 5.0}
+        assert coverage_fraction(times, [0, 1, 2], at=2.0) == pytest.approx(2 / 3)
+        assert coverage_fraction(times, [0, 1, 2], at=10.0) == 1.0
+
+    def test_uncovered_nodes_count_as_missing(self):
+        assert coverage_fraction({0: 0.0}, [0, 1], at=99.0) == 0.5
+
+    def test_empty_nodes_raises(self):
+        with pytest.raises(ExperimentError):
+            coverage_fraction({}, [], at=1.0)
+
+
+class TestSatisfiedRequests:
+    def test_fig3_worst_case_series(self):
+        # Paper §2: B-C, B-A, B-E, B-D gives 9, 13, 20, 28.
+        demand = {0: 4.0, 1: 6.0, 2: 3.0, 3: 8.0, 4: 7.0}  # A..E
+        times = {1: 0.0, 2: 1.0, 0: 2.0, 4: 3.0, 3: 4.0}
+        assert satisfied_requests_series(times, demand, 4) == [9.0, 13.0, 20.0, 28.0]
+
+    def test_fig3_optimal_case_series(self):
+        # Paper §2: B-D, B-E, B-A, B-C gives 14, 21, 25, 28.
+        demand = {0: 4.0, 1: 6.0, 2: 3.0, 3: 8.0, 4: 7.0}
+        times = {1: 0.0, 3: 1.0, 4: 2.0, 0: 3.0, 2: 4.0}
+        assert satisfied_requests_series(times, demand, 4) == [14.0, 21.0, 25.0, 28.0]
+
+    def test_unreached_nodes_never_count(self):
+        assert satisfied_requests_series({0: 0.0}, {0: 2.0, 1: 9.0}, 2) == [2.0, 2.0]
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ExperimentError):
+            satisfied_requests_series({}, {}, 0)
+
+
+class TestConvergenceTracker:
+    def test_tracks_first_application_and_source(self):
+        system = ReplicationSystem(
+            line(3),
+            ExplicitDemand({0: 1.0, 1: 2.0, 2: 4.0}),
+            fast_consistency(),
+            seed=2,
+        )
+        tracker = ConvergenceTracker(system.sim)
+        system.start()
+        update = system.inject_write(0)
+        system.run_until_replicated(update.uid, max_time=40.0)
+        times = tracker.times(update.uid)
+        assert set(times) == {0, 1, 2}
+        assert tracker.source_of(update.uid, 0) == "client"
+        assert tracker.source_of(update.uid, 1) in ("fast", "session")
+        breakdown = tracker.delivery_breakdown(update.uid)
+        assert breakdown["client"] == 1
+        assert sum(breakdown.values()) == 3
+
+    def test_matches_system_apply_times(self):
+        system = ReplicationSystem(
+            line(3), ConstantDemand(1.0), weak_consistency(), seed=3
+        )
+        tracker = ConvergenceTracker(system.sim)
+        system.start()
+        update = system.inject_write(1)
+        system.run_until_replicated(update.uid, max_time=40.0)
+        assert tracker.times(update.uid) == system.apply_times(update.uid)
+
+
+class TestTrafficMeter:
+    def test_splits_session_and_fast_traffic(self):
+        system = ReplicationSystem(
+            line(3),
+            ExplicitDemand({0: 1.0, 1: 2.0, 2: 4.0}),
+            fast_consistency(),
+            seed=4,
+        )
+        system.start()
+        system.inject_write(0)
+        system.run_until(5.0)
+        report = TrafficMeter(system.network).report()
+        assert report.messages_total == (
+            report.messages_session + report.messages_fast + report.messages_other
+        )
+        assert report.bytes_total == (
+            report.bytes_session + report.bytes_fast + report.bytes_other
+        )
+        assert report.messages_fast > 0  # the slope forces pushes
+        assert 0.0 < report.fast_byte_overhead < 1.0
+
+    def test_weak_variant_has_zero_fast_traffic(self):
+        system = ReplicationSystem(
+            line(3), ConstantDemand(1.0), weak_consistency(), seed=4
+        )
+        system.start()
+        system.inject_write(0)
+        system.run_until(5.0)
+        report = TrafficMeter(system.network).report()
+        assert report.messages_fast == 0
+        assert report.fast_byte_overhead == 0.0

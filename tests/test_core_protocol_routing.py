@@ -1,0 +1,78 @@
+"""Tests for per-node message routing (repro.core.protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import ReplicationSystem
+from repro.core.variants import (
+    dynamic_fast_consistency,
+    fast_consistency,
+    weak_consistency,
+)
+from repro.demand.advertisement import DemandAdvert
+from repro.demand.static import ConstantDemand, ExplicitDemand
+from repro.errors import ReplicationError
+from repro.replica.messages import FastUpdateOffer, SessionRequest
+from repro.topology.simple import line
+
+
+def build(config, demand=None, n=2, seed=1):
+    return ReplicationSystem(
+        line(n),
+        demand if demand is not None else ConstantDemand(1.0),
+        config,
+        seed=seed,
+    )
+
+
+class TestRouting:
+    def test_session_messages_reach_anti_entropy_agent(self):
+        system = build(weak_consistency())
+        node = system.nodes[1]
+        node.on_message(0, SessionRequest(session_id=42, initiator=0))
+        # The responder created a session and answered with its summary.
+        assert node.anti_entropy.active_sessions == 1
+        assert system.network.counters.by_kind.get("summary", 0) == 1
+
+    def test_fast_messages_ignored_by_weak_node(self):
+        # A mixed deployment: a fast peer pushes at a plain-weak node.
+        system = build(weak_consistency())
+        node = system.nodes[1]
+        node.on_message(0, FastUpdateOffer(sender=0, entries=()))
+        ignored = system.sim.trace.select("node.ignored-fast")
+        assert len(ignored) == 1
+        assert ignored[0].get("node") == 1
+
+    def test_fast_messages_reach_fast_agent(self):
+        system = build(fast_consistency(), ExplicitDemand({0: 1.0, 1: 2.0}))
+        node = system.nodes[1]
+        node.on_message(0, FastUpdateOffer(sender=0, entries=()))
+        assert node.fast.stats.offers_received == 1
+
+    def test_adverts_reach_advertiser(self):
+        system = build(dynamic_fast_consistency())
+        node = system.nodes[1]
+        node.on_message(0, DemandAdvert(sender=0, value=7.0))
+        assert system.tables[1].believed(0) == 7.0
+
+    def test_adverts_dropped_without_advertiser(self):
+        system = build(weak_consistency())
+        # Must not raise: adverts from dynamic peers are simply ignored.
+        system.nodes[1].on_message(0, DemandAdvert(sender=0, value=7.0))
+
+    def test_unroutable_message_raises(self):
+        system = build(weak_consistency())
+        with pytest.raises(ReplicationError):
+            system.nodes[1].on_message(0, object())
+
+    def test_double_start_rejected(self):
+        system = build(weak_consistency())
+        system.start()
+        with pytest.raises(ReplicationError):
+            system.nodes[0].start()
+
+    def test_bridge_targets_require_fast_agent(self):
+        system = build(weak_consistency())
+        with pytest.raises(ReplicationError):
+            system.nodes[0].add_bridge_targets([1])

@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (import + main()) with stdout
+captured, and a scenario-specific marker of success is asserted.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "news_flash_crowd.py",
+        "internet_scale.py",
+        "content_islands.py",
+        "demand_surface.py",
+        "replica_lifecycle.py",
+        "cdn_hierarchy.py",
+    } <= names
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "fast consistency (paper)" in out
+    assert "weak consistency (Golding)" in out
+
+
+def test_news_flash_crowd(capsys):
+    out = run_example("news_flash_crowd.py", capsys)
+    assert "dynamic algorithm" in out
+    assert "sessions sooner on average" in out
+
+
+def test_internet_scale(capsys):
+    out = run_example("internet_scale.py", capsys)
+    assert "power laws" in out
+    assert "size sweep" in out
+
+
+def test_content_islands(capsys):
+    out = run_example("content_islands.py", capsys)
+    assert "detected 2 islands" in out
+    assert "+ bridges" in out
+
+
+def test_demand_surface(capsys):
+    out = run_example("demand_surface.py", capsys)
+    assert "demand landscape" in out
+    assert "consistent" in out
+
+
+def test_replica_lifecycle(capsys):
+    out = run_example("replica_lifecycle.py", capsys)
+    assert "entries purged" in out
+    assert "chose donor" in out
+    assert "replicated to all" in out
+
+
+def test_cdn_hierarchy(capsys):
+    out = run_example("cdn_hierarchy.py", capsys)
+    assert "AS 2 (hot)" in out
+    assert "weak" in out and "fast" in out

@@ -1,0 +1,134 @@
+"""Tests for CDFs and result persistence (repro.experiments.cdf/.results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cdf import EmpiricalCdf, session_grid
+from repro.experiments.results import ExperimentResult, TrialResult, VariantSeries
+
+
+def make_trial(rep=0, time_all=5.0, time_top=1.0, **overrides):
+    defaults = dict(
+        rep=rep,
+        origin=0,
+        time_all=time_all,
+        time_top=time_top,
+        time_top1=time_top,
+        mean_time=3.0,
+        diameter=5,
+        messages=100,
+        bytes_sent=5000,
+    )
+    defaults.update(overrides)
+    return TrialResult(**defaults)
+
+
+class TestEmpiricalCdf:
+    def test_evaluate_step_function(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(4.0) == 1.0
+
+    def test_on_grid_monotone(self):
+        cdf = EmpiricalCdf([3.0, 1.0, 2.0, 8.0, 5.0])
+        grid = session_grid(10.0, 1.0)
+        values = cdf.on_grid(grid)
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_censored_samples_counted_not_included(self):
+        cdf = EmpiricalCdf([1.0, None, 2.0, None])
+        assert cdf.count == 2
+        assert cdf.censored == 2
+        assert cdf.mean() == 1.5
+
+    def test_quantiles(self):
+        cdf = EmpiricalCdf([0.0, 10.0])
+        assert cdf.quantile(0.0) == 0.0
+        assert cdf.quantile(0.5) == 5.0
+        assert cdf.quantile(1.0) == 10.0
+        with pytest.raises(ExperimentError):
+            cdf.quantile(1.5)
+
+    def test_single_sample_quantile(self):
+        assert EmpiricalCdf([4.0]).quantile(0.7) == 4.0
+
+    def test_std(self):
+        cdf = EmpiricalCdf([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert cdf.std() == pytest.approx(2.138, abs=0.01)
+        assert EmpiricalCdf([1.0]).std() == 0.0
+
+    def test_empty_set_raises(self):
+        empty = EmpiricalCdf([])
+        with pytest.raises(ExperimentError):
+            empty.mean()
+        with pytest.raises(ExperimentError):
+            empty.evaluate(1.0)
+        with pytest.raises(ExperimentError):
+            empty.summary()
+
+    def test_summary_row(self):
+        stats = EmpiricalCdf([1.0, 2.0, 3.0]).summary()
+        assert stats.count == 3
+        assert stats.mean == 2.0
+        assert stats.median == 2.0
+        assert stats.maximum == 3.0
+        assert len(stats.row()) == 7
+
+    def test_session_grid(self):
+        grid = session_grid(2.0, 0.5)
+        assert grid == [0.0, 0.5, 1.0, 1.5, 2.0]
+        with pytest.raises(ExperimentError):
+            session_grid(0.0, 0.5)
+
+
+class TestVariantSeries:
+    def test_cdfs_from_trials(self):
+        series = VariantSeries("fast")
+        series.add(make_trial(time_all=4.0, time_top=1.0))
+        series.add(make_trial(time_all=6.0, time_top=2.0))
+        assert series.cdf_all().mean() == 5.0
+        assert series.cdf_top().mean() == 1.5
+        assert series.cdf_top1().mean() == 1.5
+
+    def test_traffic_means(self):
+        series = VariantSeries("weak")
+        series.add(make_trial(messages=100, bytes_sent=1000))
+        series.add(make_trial(messages=200, bytes_sent=3000))
+        assert series.mean_messages() == 150.0
+        assert series.mean_bytes() == 2000.0
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ExperimentError):
+            VariantSeries("x").mean_messages()
+
+
+class TestExperimentResult:
+    def test_variant_get_or_create(self):
+        result = ExperimentResult("exp")
+        series = result.variant("fast")
+        assert result.variant("fast") is series
+
+    def test_json_roundtrip(self, tmp_path):
+        result = ExperimentResult("exp", params={"n": 50})
+        result.variant("weak").add(make_trial(rep=0))
+        result.variant("weak").add(make_trial(rep=1, time_all=None))
+        result.notes["paper"] = 6.15
+        path = tmp_path / "result.json"
+        result.save(path)
+        loaded = ExperimentResult.load(path)
+        assert loaded.name == "exp"
+        assert loaded.params["n"] == 50
+        assert loaded.notes["paper"] == 6.15
+        trials = loaded.series["weak"].trials
+        assert len(trials) == 2
+        assert trials[1].time_all is None
+        assert trials[0].messages == 100
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ExperimentError):
+            ExperimentResult.from_dict({"name": "x", "series": {"v": [{"bogus": 1}]}})

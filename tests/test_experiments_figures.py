@@ -1,0 +1,233 @@
+"""Tests for the per-figure experiment drivers (reduced fidelity).
+
+These tests run the real drivers with few repetitions; they assert the
+*shape* of the paper's results (who wins, roughly by how much), not the
+absolute values — see EXPERIMENTS.md for the calibrated runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    PAPER,
+    ablation_experiment,
+    partition_experiment,
+    skew_experiment,
+    staleness_experiment,
+    figure3,
+    figure_cdf,
+    islands_experiment,
+    overhead_experiment,
+    scaling_experiment,
+    strong_cost_experiment,
+    table1_orderings,
+    table2_dynamic,
+    uniform_topologies,
+)
+
+
+class TestTable1:
+    def test_paper_extremes_recovered(self):
+        result = table1_orderings()
+        assert result.worst == ("C", "A", "E", "D")
+        assert result.best == ("D", "E", "A", "C")
+        assert len(result.orders) == 24
+
+    def test_paper_series_values(self):
+        result = table1_orderings()
+        by_order = {order: series for order, series, _ in result.orders}
+        assert by_order[("C", "A", "E", "D")] == PAPER["fig3_worst"]
+        assert by_order[("D", "E", "A", "C")] == PAPER["fig3_optimal"]
+
+    def test_rows_render(self):
+        rows = table1_orderings().rows()
+        assert len(rows) == 24
+        assert all(len(r) == 6 for r in rows)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3(reps=20, seed=3)
+
+    def test_analytic_series_match_paper(self, result):
+        assert result.worst == PAPER["fig3_worst"]
+        assert result.optimal == PAPER["fig3_optimal"]
+
+    def test_fast_beats_optimal_early(self, result):
+        # §2: "our algorithm works even better than the optimal case."
+        assert result.fast_simulated[0] > result.optimal[0]
+
+    def test_fast_reaches_total_demand(self, result):
+        assert result.fast_simulated[-1] == pytest.approx(28.0, abs=1.0)
+
+    def test_rows_shape(self, result):
+        rows = result.rows()
+        assert len(rows) == 4
+
+
+class TestFigureCdf:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_cdf(n=30, reps=25, seed=2)
+
+    def test_ordering_weak_slowest_fast_fastest(self, result):
+        means = result.means
+        assert means["fast (all replicas)"] < means["weak (all replicas)"]
+        assert means["fast (high demand)"] < means["fast (all replicas)"]
+
+    def test_high_demand_replica_about_one_session(self, result):
+        assert result.means["fast (high demand)"] < 2.0
+
+    def test_speedup_in_paper_ballpark(self, result):
+        assert result.speedup_high_demand > 2.5
+
+    def test_curves_are_cdfs(self, result):
+        for name, values in result.curves.items():
+            assert values == sorted(values), name
+            assert 0.0 <= values[0] and values[-1] <= 1.0
+
+    def test_rows_include_paper_references(self):
+        result = figure_cdf(n=50, reps=5, seed=2)
+        rows = result.rows()
+        labels = [r[0] for r in rows]
+        assert "weak (all replicas)" in labels
+        paper_cells = {r[0]: r[1] for r in rows}
+        assert paper_cells["weak (all replicas)"] == "6.1499"
+
+
+class TestTable2Dynamic:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_dynamic(reps=30, seed=4)
+
+    def test_selection_sequences_match_paper(self, result):
+        # §4's table: static visits D, A, C; dynamic visits B-D, B-C', B-A'.
+        assert result.sequences["static"] == ["D", "A", "C"]
+        assert result.sequences["dynamic"] == ["D", "C'", "A'"]
+
+    def test_dynamic_reaches_hot_replica_sooner(self, result):
+        assert (
+            result.mean_time_to_c["dynamic-oracle"]
+            < result.mean_time_to_c["static-table"]
+        )
+
+    def test_advertised_close_to_oracle(self, result):
+        assert (
+            result.mean_time_to_c["dynamic-advertised"]
+            < result.mean_time_to_c["static-table"]
+        )
+
+    def test_dynamic_serves_more_requests_midway(self, result):
+        # At t=3 the dynamic variants have C' (9 req/unit) consistent
+        # more often than the static variant.
+        assert (
+            result.satisfied_at["dynamic-oracle"][2]
+            > result.satisfied_at["static-table"][2]
+        )
+
+
+class TestScaling:
+    def test_doubling_nodes_grows_sessions_sublinearly(self):
+        result = scaling_experiment(sizes=(25, 50), reps=10, seed=5)
+        s25 = result.rows_by_size[25]
+        s50 = result.rows_by_size[50]
+        # Doubling nodes must NOT double sessions (diameter effect, §5).
+        assert s50["weak_mean"] < 1.6 * s25["weak_mean"]
+        assert s50["fast_mean"] < 1.6 * s25["fast_mean"]
+
+    def test_rows_render(self):
+        result = scaling_experiment(sizes=(25,), reps=4, seed=5)
+        assert len(result.rows()) == 1
+
+
+class TestUniformTopologies:
+    def test_fast_wins_on_every_uniform_topology(self):
+        result = uniform_topologies(reps=8, seed=6)
+        for name, data in result.rows_by_name.items():
+            assert data["fast_mean"] <= data["weak_mean"] * 1.05, name
+            assert data["fast_top_mean"] < data["weak_mean"], name
+
+
+class TestIslands:
+    def test_bridging_helps(self):
+        result = islands_experiment(reps=4, seed=7)
+        assert result.islands_detected == 2
+        assert (
+            result.mean_far_leader["fast+bridges"]
+            < result.mean_far_leader["fast"]
+        )
+        assert (
+            result.mean_far_island["fast+bridges"]
+            < result.mean_far_island["fast"]
+        )
+
+
+class TestOverhead:
+    def test_fast_adds_small_byte_overhead_big_latency_win(self):
+        result = overhead_experiment(reps=4, seed=8, n=30, horizon=8.0)
+        weak = result.rows_by_variant["weak"]
+        fast = result.rows_by_variant["fast"]
+        # §8: "requires few additional bytes".
+        assert fast["bytes"] < weak["bytes"] * 1.35
+        assert fast["fast_share"] < 0.25
+        # And the latency benefit is real.
+        assert fast["time_top"] < weak["time_top"]
+
+
+class TestAblation:
+    def test_both_optimisations_contribute(self):
+        result = ablation_experiment(reps=10, seed=9, n=30)
+        rows = result.rows_by_variant
+        # Each optimisation alone beats weak on the high-demand metric...
+        assert rows["ordered-only"]["mean_top"] < rows["weak"]["mean_top"]
+        assert rows["push-only"]["mean_top"] < rows["weak"]["mean_top"]
+        # ...and the combination is the best of the paper variants.
+        assert rows["fast"]["mean_top"] <= rows["ordered-only"]["mean_top"]
+        assert rows["fast"]["mean_top"] <= rows["weak"]["mean_top"]
+
+
+class TestStrongCost:
+    def test_strong_pays_latency_and_messages(self):
+        result = strong_cost_experiment(sizes=(10, 25), reps=3, seed=10)
+        r10 = result.rows_by_size[10]
+        r25 = result.rows_by_size[25]
+        # Message cost grows linearly with n (3(n-1)).
+        assert r25["strong_messages"] > r10["strong_messages"]
+        assert r10["strong_messages"] == pytest.approx(27.0, abs=1.0)
+        # Strong writes block the client; weak writes return immediately.
+        assert r10["strong_latency"] > 0.0
+        assert r10["weak_latency"] == 0.0
+
+
+class TestStaleness:
+    def test_fresh_knowledge_beats_frozen_snapshot(self):
+        result = staleness_experiment(reps=8, seed=3, n=30)
+        rows = result.rows_by_variant
+        assert rows["oracle"]["mean_top"] <= rows["snapshot (§3)"]["mean_top"] * 1.1
+        # Advert traffic scales inversely with the period.
+        assert (
+            rows["advertised/0.5"]["advert_bytes"]
+            > rows["advertised/8"]["advert_bytes"]
+            > 0
+        )
+        assert rows["oracle"]["advert_bytes"] == 0
+
+
+class TestPartition:
+    def test_weak_consistency_survives_segmentation(self):
+        result = partition_experiment(reps=4, seed=5, n=20, heal_time=4.0)
+        rows = result.rows_by_variant
+        for variant in ("weak", "fast"):
+            assert rows[variant]["time_all"] > 4.0  # far side waited for heal
+            assert rows[variant]["after_heal"] < 10.0
+        assert result.strong_commit_rate_during_partition == 0.0
+
+
+class TestSkew:
+    def test_flat_demand_disables_push(self):
+        result = skew_experiment(reps=4, seed=6, n=24)
+        rows = result.rows_by_skew
+        assert rows["flat"]["push_fraction"] == 0.0
+        assert rows["uniform"]["push_fraction"] > 0.05

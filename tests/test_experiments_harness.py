@@ -1,0 +1,183 @@
+"""Tests for the experiment harness and scenario registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import fast_consistency, weak_consistency
+from repro.demand.static import UniformRandomDemand
+from repro.errors import ExperimentError
+from repro.experiments.harness import TrialSpec, run_experiment, run_trial
+from repro.experiments.scenarios import (
+    DEMANDS,
+    TOPOLOGIES,
+    VARIANTS,
+    build_demand,
+    build_system,
+    build_topology,
+    build_variant,
+)
+from repro.experiments.tables import format_kv, format_table
+from repro.topology.simple import ring
+
+
+class TestRunTrial:
+    def test_trial_measures_everything(self):
+        topo = ring(8)
+        spec = TrialSpec(
+            topology=topo,
+            demand=UniformRandomDemand(seed=1),
+            config=fast_consistency(),
+            seed=1,
+            origin=0,
+            max_time=60.0,
+        )
+        trial, system = run_trial(spec)
+        assert trial.time_all is not None
+        assert trial.time_top is not None
+        assert trial.time_top1 is not None
+        assert trial.time_top1 <= trial.time_all
+        assert trial.mean_time <= trial.time_all
+        assert trial.diameter == 4
+        assert trial.messages > 0
+        assert system.all_have((0, 1))
+
+    def test_trial_censors_on_timeout(self):
+        spec = TrialSpec(
+            topology=ring(12),
+            demand=UniformRandomDemand(seed=1),
+            config=weak_consistency(),
+            seed=1,
+            origin=0,
+            max_time=0.2,
+        )
+        trial, _ = run_trial(spec)
+        assert trial.time_all is None
+
+
+class TestRunExperiment:
+    def test_paired_reps_across_variants(self):
+        result = run_experiment(
+            name="t",
+            variants={"weak": weak_consistency(), "fast": fast_consistency()},
+            topology_factory=lambda s: ring(8),
+            demand_factory=lambda topo, s: UniformRandomDemand(seed=s),
+            reps=3,
+            seed=2,
+        )
+        assert set(result.series) == {"weak", "fast"}
+        for series in result.series.values():
+            assert len(series.trials) == 3
+        # Paired: same origins per rep in both variants.
+        origins_weak = [t.origin for t in result.series["weak"].trials]
+        origins_fast = [t.origin for t in result.series["fast"].trials]
+        assert origins_weak == origins_fast
+
+    def test_experiment_reproducible(self):
+        def run():
+            return run_experiment(
+                name="t",
+                variants={"weak": weak_consistency()},
+                topology_factory=lambda s: ring(6),
+                demand_factory=lambda topo, s: UniformRandomDemand(seed=s),
+                reps=2,
+                seed=5,
+            )
+
+        a, b = run(), run()
+        assert [t.time_all for t in a.series["weak"].trials] == [
+            t.time_all for t in b.series["weak"].trials
+        ]
+
+    def test_params_recorded(self):
+        result = run_experiment(
+            name="t",
+            variants={"weak": weak_consistency()},
+            topology_factory=lambda s: ring(6),
+            demand_factory=lambda topo, s: UniformRandomDemand(seed=s),
+            reps=1,
+            seed=0,
+            params={"n": 6},
+        )
+        assert result.params["n"] == 6
+        assert result.params["reps"] == 1
+
+    def test_zero_reps_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment(
+                name="t",
+                variants={"weak": weak_consistency()},
+                topology_factory=lambda s: ring(6),
+                demand_factory=lambda topo, s: UniformRandomDemand(seed=s),
+                reps=0,
+            )
+
+    def test_no_variants_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment(
+                name="t",
+                variants={},
+                topology_factory=lambda s: ring(6),
+                demand_factory=lambda topo, s: UniformRandomDemand(seed=s),
+                reps=1,
+            )
+
+
+class TestScenarioRegistry:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_every_topology_buildable_and_connected(self, name):
+        topo = build_topology(name, n=16, seed=1)
+        assert topo.num_nodes >= 4
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("name", sorted(DEMANDS))
+    def test_every_demand_buildable(self, name):
+        topo = build_topology("grid", n=16, seed=1)
+        model = build_demand(name, topo, seed=1)
+        value = model.demand(list(topo.nodes)[0], 0.0)
+        assert value >= 0.0
+
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_every_variant_buildable(self, name):
+        config = build_variant(name)
+        config.validate()
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ExperimentError):
+            build_topology("moebius", 10)
+        with pytest.raises(ExperimentError):
+            build_demand("psychic", ring(4))
+        with pytest.raises(ExperimentError):
+            build_variant("quantum")
+
+    def test_build_system_end_to_end(self):
+        system = build_system(topology="ring", variant="fast", n=8, seed=3)
+        system.start()
+        update = system.inject_write(0)
+        assert system.run_until_replicated(update.uid, max_time=80.0) is not None
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["name", "value"], [("weak", 6.15), ("fast", 3.93)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "6.15" in text and "fast" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ExperimentError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["k", "v"], [("x", 1), ("longlabel", 22)])
+        lines = text.splitlines()
+        assert lines[-1].endswith("22")
+        assert lines[-2].endswith(" 1")
+
+    def test_format_kv(self):
+        text = format_kv("title", [("a", 1), ("b", "two")])
+        assert text.splitlines() == ["title", "  a: 1", "  b: two"]

@@ -1,0 +1,353 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cdf import EmpiricalCdf
+from repro.replica.acks import AckTable
+from repro.replica.log import Update, WriteLog
+from repro.replica.store import ContentStore
+from repro.replica.timestamps import LamportClock, Timestamp
+from repro.replica.versions import SummaryVector, elementwise_min
+from repro.topology.brite import BriteConfig, barabasi_albert, waxman
+from repro.topology.powerlaws import fit_power_law
+
+import math
+import random
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+summary_entries = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=8),
+    values=st.integers(min_value=0, max_value=20),
+    max_size=6,
+)
+
+
+def updates_strategy(max_origins=3, max_seq=6):
+    """A list of distinct updates, possibly out of order and with gaps."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=max_origins - 1),
+            st.integers(min_value=1, max_value=max_seq),
+        ),
+        unique=True,
+        max_size=max_origins * max_seq,
+    ).map(
+        lambda uids: [
+            Update(
+                origin=o,
+                seq=s,
+                timestamp=Timestamp(s, o),
+                key=f"key{o % 2}",
+                value=(o, s),
+            )
+            for o, s in uids
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# SummaryVector algebra
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryVectorProperties:
+    @given(summary_entries, summary_entries)
+    def test_merge_commutative(self, a, b):
+        va, vb = SummaryVector(a), SummaryVector(b)
+        left = va.copy()
+        left.merge(vb)
+        right = vb.copy()
+        right.merge(va)
+        assert left == right
+
+    @given(summary_entries, summary_entries, summary_entries)
+    def test_merge_associative(self, a, b, c):
+        def merged(*vecs):
+            acc = SummaryVector()
+            for v in vecs:
+                acc.merge(SummaryVector(v))
+            return acc
+
+        assert merged(a, b, c) == merged(c, b, a)
+
+    @given(summary_entries)
+    def test_merge_idempotent(self, a):
+        va = SummaryVector(a)
+        vb = va.copy()
+        vb.merge(va)
+        assert va == vb
+
+    @given(summary_entries, summary_entries)
+    def test_merge_result_dominates_inputs(self, a, b):
+        va, vb = SummaryVector(a), SummaryVector(b)
+        merged = va.copy()
+        merged.merge(vb)
+        assert merged.dominates(va)
+        assert merged.dominates(vb)
+
+    @given(st.lists(summary_entries, min_size=1, max_size=4))
+    def test_elementwise_min_dominated_by_all(self, dicts):
+        vecs = [SummaryVector(d) for d in dicts]
+        ack = elementwise_min(vecs)
+        for vec in vecs:
+            assert vec.dominates(ack)
+
+
+# ---------------------------------------------------------------------------
+# WriteLog invariants
+# ---------------------------------------------------------------------------
+
+
+class TestWriteLogProperties:
+    @given(updates_strategy())
+    def test_summary_prefix_is_gapless(self, updates):
+        log = WriteLog()
+        log.add_all(updates)
+        present = {u.uid for u in updates}
+        for origin in {u.origin for u in updates}:
+            prefix = log.summary.get(origin)
+            # Every seq <= prefix was inserted.
+            for seq in range(1, prefix + 1):
+                assert (origin, seq) in present
+            # The next one was not (else the prefix would have advanced).
+            assert (origin, prefix + 1) not in present
+
+    @given(updates_strategy())
+    def test_insertion_order_does_not_matter(self, updates):
+        forward, backward = WriteLog(), WriteLog()
+        forward.add_all(updates)
+        backward.add_all(list(reversed(updates)))
+        assert forward.summary == backward.summary
+        assert [u.uid for u in forward.all_updates()] == [
+            u.uid for u in backward.all_updates()
+        ]
+
+    @given(updates_strategy(), summary_entries)
+    def test_updates_since_exactly_complements_peer_summary(self, updates, peer):
+        log = WriteLog()
+        log.add_all(updates)
+        peer_vec = SummaryVector(peer)
+        sent = log.updates_since(peer_vec)
+        sent_ids = {u.uid for u in sent}
+        for u in updates:
+            if u.seq > peer_vec.get(u.origin):
+                assert u.uid in sent_ids
+            else:
+                assert u.uid not in sent_ids
+
+
+# ---------------------------------------------------------------------------
+# Store convergence (the heart of weak consistency)
+# ---------------------------------------------------------------------------
+
+
+class TestStoreConvergence:
+    @given(updates_strategy(), st.randoms(use_true_random=False))
+    def test_lww_store_is_order_independent(self, updates, rng):
+        a, b = ContentStore(), ContentStore()
+        a.apply_all(updates)
+        shuffled = list(updates)
+        rng.shuffle(shuffled)
+        b.apply_all(shuffled)
+        assert a.content_signature() == b.content_signature()
+
+    @given(updates_strategy(), updates_strategy())
+    def test_union_of_logs_converges(self, batch_a, batch_b):
+        """Two replicas that exchange everything end up identical."""
+        # Deduplicate across batches by uid (each uid is one write).
+        seen = {}
+        for u in batch_a + batch_b:
+            seen.setdefault(u.uid, u)
+        all_updates = list(seen.values())
+        replica_a, replica_b = ContentStore(), ContentStore()
+        replica_a.apply_all(batch_a)
+        replica_a.apply_all([seen[u.uid] for u in batch_b])
+        replica_b.apply_all(batch_b)
+        replica_b.apply_all([seen[u.uid] for u in batch_a])
+        assert replica_a.content_signature() == replica_b.content_signature()
+
+
+# ---------------------------------------------------------------------------
+# Lamport clocks
+# ---------------------------------------------------------------------------
+
+
+class TestClockProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=30))
+    def test_local_timestamps_strictly_increase(self, witnessed):
+        clock = LamportClock(1)
+        last = None
+        for counter in witnessed:
+            clock.witness(Timestamp(counter, 2))
+            ts = clock.tick()
+            if last is not None:
+                assert ts > last
+            last = ts
+
+
+# ---------------------------------------------------------------------------
+# CDF properties
+# ---------------------------------------------------------------------------
+
+
+class TestCdfProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_cdf_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCdf(samples)
+        grid = [i * 5.0 for i in range(22)]
+        values = cdf.on_grid(grid)
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert values == sorted(values)
+        assert cdf.evaluate(max(samples)) == 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=60,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_within_sample_range(self, samples, p):
+        cdf = EmpiricalCdf(samples)
+        q = cdf.quantile(p)
+        assert min(samples) <= q <= max(samples)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_mean_between_min_and_max(self, samples):
+        cdf = EmpiricalCdf(samples)
+        assert min(samples) - 1e-9 <= cdf.mean() <= max(samples) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Topology generator invariants
+# ---------------------------------------------------------------------------
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=6, max_value=60),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_ba_always_connected_simple(self, n, m, seed):
+        if m >= n:
+            m = n - 1
+        topo = barabasi_albert(BriteConfig(n=n, m=m), random.Random(seed))
+        assert topo.is_connected()
+        topo.validate()
+        assert topo.num_edges == m * (m + 1) // 2 + m * (n - m - 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=6, max_value=40),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_waxman_always_connected(self, n, seed):
+        topo = waxman(BriteConfig(n=n, m=2), random.Random(seed))
+        assert topo.is_connected()
+        topo.validate()
+
+
+# ---------------------------------------------------------------------------
+# Power-law fit sanity
+# ---------------------------------------------------------------------------
+
+
+class TestFitProperties:
+    @given(
+        st.floats(min_value=-3.0, max_value=-0.1),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_fit_recovers_exact_laws(self, exponent, scale):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [scale * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert math.isclose(fit.exponent, exponent, rel_tol=1e-6, abs_tol=1e-6)
+        assert fit.r_squared > 0.999
+
+
+# ---------------------------------------------------------------------------
+# AckTable properties
+# ---------------------------------------------------------------------------
+
+observations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # observed node
+        summary_entries,                          # its summary
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    ),
+    max_size=20,
+)
+
+
+class TestAckTableProperties:
+    @given(observations)
+    def test_ack_vector_dominated_by_every_entry(self, obs):
+        table = AckTable(owner=0, population=[0, 1, 2, 3])
+        for node, entries, at in obs:
+            table.observe(node, SummaryVector(entries), at)
+        ack = table.ack_vector()
+        for node in (0, 1, 2, 3):
+            entry = table.entry(node)
+            if entry is not None:
+                assert entry.summary.dominates(ack)
+
+    @given(observations)
+    def test_knowledge_is_monotone(self, obs):
+        table = AckTable(owner=0, population=[0, 1, 2, 3])
+        previous_totals = {}
+        for node, entries, at in obs:
+            table.observe(node, SummaryVector(entries), at)
+            entry = table.entry(node)
+            total = entry.summary.total_writes()
+            assert total >= previous_totals.get(node, 0)
+            previous_totals[node] = total
+
+    @given(observations, observations)
+    def test_merge_commutative_on_summaries(self, obs_a, obs_b):
+        def build(obs):
+            table = AckTable(owner=0, population=[0, 1, 2, 3])
+            for node, entries, at in obs:
+                table.observe(node, SummaryVector(entries), at)
+            return table
+
+        ab = build(obs_a)
+        ab.merge(build(obs_b))
+        ba = build(obs_b)
+        ba.merge(build(obs_a))
+        for node in (0, 1, 2, 3):
+            entry_ab, entry_ba = ab.entry(node), ba.entry(node)
+            if entry_ab is None:
+                assert entry_ba is None
+            else:
+                assert entry_ab.summary == entry_ba.summary
+
+    @given(observations)
+    def test_incomplete_table_never_purges(self, obs):
+        table = AckTable(owner=0, population=[0, 1, 2, 3])
+        seen = set()
+        for node, entries, at in obs:
+            table.observe(node, SummaryVector(entries), at)
+            seen.add(node)
+        if seen != {0, 1, 2, 3}:
+            assert table.ack_vector() == SummaryVector()

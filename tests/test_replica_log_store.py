@@ -1,0 +1,220 @@
+"""Tests for write logs and the content store (repro.replica.log/.store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.replica.log import (
+    AckedTruncation,
+    KeepAll,
+    MaxEntries,
+    Update,
+    WriteLog,
+)
+from repro.replica.store import ContentStore
+from repro.replica.timestamps import Timestamp
+from repro.replica.versions import SummaryVector
+
+
+def make_update(origin: int, seq: int, key: str = "k", counter: int = None):
+    return Update(
+        origin=origin,
+        seq=seq,
+        timestamp=Timestamp(counter if counter is not None else seq, origin),
+        key=key,
+        value=f"v{origin}.{seq}",
+        payload_bytes=100,
+    )
+
+
+class TestUpdate:
+    def test_uid(self):
+        assert make_update(3, 2).uid == (3, 2)
+
+    def test_invalid_seq(self):
+        with pytest.raises(ReplicationError):
+            make_update(0, 0)
+
+    def test_size_accounts_header_key_payload(self):
+        u = make_update(0, 1, key="ab")
+        assert u.size_bytes() == 36 + 2 + 100
+
+
+class TestWriteLogOrdering:
+    def test_in_order_appends_advance_summary(self):
+        log = WriteLog()
+        assert log.add(make_update(1, 1)) is True
+        assert log.add(make_update(1, 2)) is True
+        assert log.summary.get(1) == 2
+        assert log.ahead_ids() == []
+
+    def test_duplicate_add_returns_false(self):
+        log = WriteLog()
+        log.add(make_update(1, 1))
+        assert log.add(make_update(1, 1)) is False
+        assert len(log) == 1
+
+    def test_out_of_order_held_ahead(self):
+        log = WriteLog()
+        log.add(make_update(1, 3))
+        assert log.summary.get(1) == 0
+        assert log.ahead_ids() == [(1, 3)]
+        assert log.has((1, 3))
+
+    def test_gap_fill_folds_ahead_entries(self):
+        log = WriteLog()
+        log.add(make_update(1, 3))
+        log.add(make_update(1, 2))
+        assert log.summary.get(1) == 0
+        log.add(make_update(1, 1))
+        assert log.summary.get(1) == 3
+        assert log.ahead_ids() == []
+
+    def test_multiple_origins_independent(self):
+        log = WriteLog()
+        log.add(make_update(1, 1))
+        log.add(make_update(2, 1))
+        log.add(make_update(2, 2))
+        assert log.summary.get(1) == 1
+        assert log.summary.get(2) == 2
+
+    def test_get_known_and_unknown(self):
+        log = WriteLog()
+        update = make_update(1, 1)
+        log.add(update)
+        assert log.get((1, 1)) is update
+        with pytest.raises(ReplicationError):
+            log.get((9, 9))
+
+    def test_add_all_returns_new_only(self):
+        log = WriteLog()
+        u1, u2 = make_update(1, 1), make_update(1, 2)
+        log.add(u1)
+        new = log.add_all([u1, u2])
+        assert new == [u2]
+
+
+class TestAntiEntropySupport:
+    def test_updates_since_respects_peer_summary(self):
+        log = WriteLog()
+        for seq in range(1, 5):
+            log.add(make_update(1, seq))
+        peer = SummaryVector({1: 2})
+        missing = log.updates_since(peer)
+        assert [u.seq for u in missing] == [3, 4]
+
+    def test_updates_since_ordered_per_origin(self):
+        log = WriteLog()
+        log.add(make_update(2, 1))
+        log.add(make_update(1, 2))
+        log.add(make_update(1, 1))
+        missing = log.updates_since(SummaryVector())
+        assert [u.uid for u in missing] == [(1, 1), (1, 2), (2, 1)]
+
+    def test_updates_since_includes_ahead_entries(self):
+        log = WriteLog()
+        log.add(make_update(1, 3))  # ahead of prefix
+        missing = log.updates_since(SummaryVector())
+        assert [u.uid for u in missing] == [(1, 3)]
+
+    def test_all_updates_sorted(self):
+        log = WriteLog()
+        log.add(make_update(2, 1))
+        log.add(make_update(1, 1))
+        assert [u.uid for u in log.all_updates()] == [(1, 1), (2, 1)]
+
+
+class TestTruncation:
+    def test_keep_all_never_purges(self):
+        log = WriteLog(policy=KeepAll())
+        for seq in range(1, 10):
+            log.add(make_update(1, seq))
+        assert log.purge() == 0
+        assert len(log) == 9
+
+    def test_max_entries_purges_oldest(self):
+        log = WriteLog(policy=MaxEntries(limit=3))
+        for seq in range(1, 6):
+            log.add(make_update(1, seq))
+        removed = log.purge()
+        assert removed == 2
+        assert len(log) == 3
+        assert not ((1, 1) in [u.uid for u in log.all_updates()])
+        # Purged writes are still "known" (has() true) so they are never
+        # re-accepted as new.
+        assert log.has((1, 1))
+        assert log.total_purged == 2
+
+    def test_acked_truncation_follows_ack_vector(self):
+        policy = AckedTruncation()
+        log = WriteLog(policy=policy)
+        for seq in range(1, 5):
+            log.add(make_update(1, seq))
+        policy.ack_vector = SummaryVector({1: 2})
+        assert log.purge() == 2
+        remaining = [u.seq for u in log.all_updates()]
+        assert remaining == [3, 4]
+
+    def test_ahead_entries_never_purged(self):
+        policy = AckedTruncation(ack_vector=SummaryVector({1: 5}))
+        log = WriteLog(policy=policy)
+        log.add(make_update(1, 3))  # ahead (no prefix yet)
+        assert log.purge() == 0
+        assert log.has((1, 3))
+
+    def test_can_serve_detects_purged_history(self):
+        log = WriteLog(policy=MaxEntries(limit=1))
+        for seq in range(1, 4):
+            log.add(make_update(1, seq))
+        log.purge()
+        behind_peer = SummaryVector()  # has nothing
+        assert log.can_serve(behind_peer) is False
+        caught_up = SummaryVector({1: 2})
+        assert log.can_serve(caught_up) is True
+
+
+class TestContentStore:
+    def test_apply_and_read(self):
+        store = ContentStore()
+        assert store.apply(make_update(1, 1, key="x")) is True
+        entry = store.read("x")
+        assert entry.value == "v1.1"
+        assert store.value("x") == "v1.1"
+        assert store.value("missing", "dflt") == "dflt"
+
+    def test_lww_newer_wins(self):
+        store = ContentStore()
+        store.apply(make_update(1, 1, key="x", counter=1))
+        assert store.apply(make_update(2, 1, key="x", counter=5)) is True
+        assert store.read("x").origin == 2
+
+    def test_lww_older_loses(self):
+        store = ContentStore()
+        store.apply(make_update(2, 1, key="x", counter=5))
+        assert store.apply(make_update(1, 1, key="x", counter=1)) is False
+        assert store.read("x").origin == 2
+        assert store.superseded_count == 1
+
+    def test_order_independence(self):
+        updates = [
+            make_update(1, 1, key="x", counter=1),
+            make_update(2, 1, key="x", counter=3),
+            make_update(3, 1, key="y", counter=2),
+        ]
+        a, b = ContentStore(), ContentStore()
+        a.apply_all(updates)
+        b.apply_all(list(reversed(updates)))
+        assert a.content_signature() == b.content_signature()
+
+    def test_signature_differs_on_content(self):
+        a, b = ContentStore(), ContentStore()
+        a.apply(make_update(1, 1, key="x"))
+        assert a.content_signature() != b.content_signature()
+
+    def test_keys_and_len(self):
+        store = ContentStore()
+        store.apply(make_update(1, 1, key="x"))
+        store.apply(make_update(1, 2, key="y"))
+        assert sorted(store.keys()) == ["x", "y"]
+        assert len(store) == 2

@@ -1,0 +1,109 @@
+"""Tests for wire messages and size accounting (repro.replica.messages)."""
+
+from __future__ import annotations
+
+from repro.replica.log import Update
+from repro.replica.messages import (
+    FAST_KINDS,
+    HEADER_BYTES,
+    OFFER_ENTRY_BYTES,
+    REPLY_ENTRY_BYTES,
+    SESSION_KINDS,
+    FastUpdateOffer,
+    FastUpdatePayload,
+    FastUpdateReply,
+    SessionAbort,
+    SessionBusy,
+    SessionRequest,
+    SummaryMessage,
+    UpdateBatch,
+    traffic_split,
+)
+from repro.replica.timestamps import Timestamp
+from repro.replica.versions import SummaryVector
+
+
+def make_update(origin=0, seq=1, payload=50):
+    return Update(
+        origin=origin,
+        seq=seq,
+        timestamp=Timestamp(seq, origin),
+        key="k",
+        value=None,
+        payload_bytes=payload,
+    )
+
+
+class TestSizes:
+    def test_session_request_is_header_only(self):
+        assert SessionRequest(1, 0).size_bytes() == HEADER_BYTES
+
+    def test_busy_is_header_only(self):
+        assert SessionBusy(1, 0).size_bytes() == HEADER_BYTES
+
+    def test_summary_message_scales_with_entries(self):
+        vec = SummaryVector({1: 2, 2: 3, 3: 4})
+        msg = SummaryMessage(1, 0, vec, is_reply=False)
+        assert msg.size_bytes() == HEADER_BYTES + 3 * 16
+
+    def test_update_batch_sums_update_sizes(self):
+        updates = (make_update(seq=1), make_update(seq=2, payload=10))
+        msg = UpdateBatch(1, 0, updates)
+        expected = HEADER_BYTES + sum(u.size_bytes() for u in updates)
+        assert msg.size_bytes() == expected
+
+    def test_abort_includes_reason(self):
+        assert SessionAbort(1, 0, "to").size_bytes() == HEADER_BYTES + 2
+
+    def test_offer_size(self):
+        entries = (((0, 1), Timestamp(1, 0)), ((0, 2), Timestamp(2, 0)))
+        offer = FastUpdateOffer(0, entries)
+        # +1 byte for the cascade-depth counter
+        assert offer.size_bytes() == HEADER_BYTES + 1 + 2 * OFFER_ENTRY_BYTES
+        assert offer.ids() == ((0, 1), (0, 2))
+
+    def test_reply_size_and_no(self):
+        reply = FastUpdateReply(0, ((0, 1),))
+        assert reply.size_bytes() == HEADER_BYTES + REPLY_ENTRY_BYTES
+        assert not reply.is_no
+        assert FastUpdateReply(0, ()).is_no
+
+    def test_payload_size(self):
+        msg = FastUpdatePayload(0, (make_update(),))
+        assert msg.size_bytes() == HEADER_BYTES + 1 + make_update().size_bytes()
+
+    def test_offer_is_much_smaller_than_payload(self):
+        # The §8 claim hinges on offers being cheap relative to bodies.
+        update = make_update(payload=256)
+        offer = FastUpdateOffer(0, (((0, 1), update.timestamp),))
+        payload = FastUpdatePayload(0, (update,))
+        assert offer.size_bytes() * 3 < payload.size_bytes()
+
+
+class TestKindGroups:
+    def test_kind_sets_disjoint(self):
+        assert not (SESSION_KINDS & FAST_KINDS)
+
+    def test_all_message_kinds_classified(self):
+        messages = [
+            SessionRequest(1, 0),
+            SessionBusy(1, 0),
+            SummaryMessage(1, 0, SummaryVector(), False),
+            UpdateBatch(1, 0, ()),
+            SessionAbort(1, 0),
+        ]
+        for msg in messages:
+            assert msg.kind in SESSION_KINDS
+        fast = [
+            FastUpdateOffer(0, ()),
+            FastUpdateReply(0, ()),
+            FastUpdatePayload(0, ()),
+        ]
+        for msg in fast:
+            assert msg.kind in FAST_KINDS
+
+    def test_traffic_split(self):
+        split = traffic_split(
+            {"summary": 5, "fast-offer": 2, "demand-advert": 3, "update-batch": 1}
+        )
+        assert split == {"session": 6, "fast": 2, "other": 3}

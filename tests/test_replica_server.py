@@ -1,0 +1,192 @@
+"""Tests for the replica server and client workload (repro.replica)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demand.dynamic import ScheduledDemand
+from repro.demand.static import ConstantDemand
+from repro.errors import ReplicationError
+from repro.replica.log import MaxEntries, Update
+from repro.replica.server import ReplicaServer
+from repro.replica.timestamps import Timestamp
+from repro.replica.versions import SummaryVector
+from repro.replica.workload import ClientWorkload, start_workloads
+
+
+def remote_update(origin: int, seq: int, counter: int, key: str = "k") -> Update:
+    return Update(
+        origin=origin, seq=seq, timestamp=Timestamp(counter, origin), key=key, value=seq
+    )
+
+
+class TestLocalWrites:
+    def test_local_write_applies_and_logs(self):
+        server = ReplicaServer(0)
+        update = server.local_write("x", "hello")
+        assert update.origin == 0
+        assert update.seq == 1
+        assert server.read("x").value == "hello"
+        assert server.summary().get(0) == 1
+        assert server.local_writes == 1
+
+    def test_sequences_are_dense(self):
+        server = ReplicaServer(0)
+        seqs = [server.local_write("x", i).seq for i in range(4)]
+        assert seqs == [1, 2, 3, 4]
+
+    def test_payload_bytes_default_and_override(self):
+        server = ReplicaServer(0, default_payload_bytes=64)
+        assert server.local_write("x", 1).payload_bytes == 64
+        assert server.local_write("x", 2, payload_bytes=8).payload_bytes == 8
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ReplicationError):
+            ReplicaServer(-1)
+
+
+class TestIntegration:
+    def test_integrate_returns_new_only(self):
+        server = ReplicaServer(0)
+        u1 = remote_update(1, 1, counter=1)
+        first = server.integrate([u1], "session", sender=1)
+        again = server.integrate([u1], "session", sender=1)
+        assert first == [u1]
+        assert again == []
+
+    def test_integrate_witnesses_timestamps(self):
+        server = ReplicaServer(0)
+        server.integrate([remote_update(1, 1, counter=10)], "session")
+        local = server.local_write("x", "after")
+        assert local.timestamp.counter == 11
+
+    def test_listeners_fire_with_source_and_sender(self):
+        server = ReplicaServer(0)
+        seen = []
+        server.on_new_updates(lambda ups, src, snd: seen.append((len(ups), src, snd)))
+        server.local_write("x", 1)
+        server.integrate([remote_update(1, 1, counter=1)], "fast", sender=7)
+        server.integrate([], "session", sender=2)  # empty -> no callback
+        assert seen == [(1, "client", None), (1, "fast", 7)]
+
+    def test_missing_for_peer(self):
+        server = ReplicaServer(0)
+        server.local_write("x", 1)
+        server.local_write("x", 2)
+        missing = server.missing_for(SummaryVector({0: 1}))
+        assert [u.seq for u in missing] == [2]
+
+    def test_has_update(self):
+        server = ReplicaServer(0)
+        update = server.local_write("x", 1)
+        assert server.has_update(update.uid)
+        assert not server.has_update((5, 1))
+
+    def test_is_consistent_with(self):
+        a, b = ReplicaServer(0), ReplicaServer(1)
+        update = a.local_write("x", "v")
+        assert not a.is_consistent_with(b)
+        b.integrate([update], "session", sender=0)
+        assert a.is_consistent_with(b)
+
+    def test_truncation_policy_wired(self):
+        server = ReplicaServer(0, truncation=MaxEntries(limit=2))
+        for i in range(5):
+            server.local_write("x", i)
+        assert server.log.purge() == 3
+
+
+class TestClientWorkload:
+    def test_poisson_request_counts_scale_with_demand(self, sim):
+        server = ReplicaServer(0)
+        workload = ClientWorkload(
+            sim, server, ConstantDemand(20.0), max_rate=20.0, write_fraction=0.0
+        )
+        workload.start()
+        sim.run(until=50.0)
+        # ~1000 expected; allow generous tolerance.
+        assert 700 < workload.stats.requests < 1300
+        assert workload.stats.reads == workload.stats.requests
+
+    def test_thinning_respects_time_varying_demand(self, sim):
+        server = ReplicaServer(0)
+        model = ScheduledDemand(initial={0: 20.0}, changes={0: [(10.0, 0.0)]})
+        workload = ClientWorkload(sim, server, model, max_rate=20.0)
+        workload.start()
+        sim.run(until=10.0)
+        before = workload.stats.requests
+        sim.run(until=30.0)
+        after = workload.stats.requests - before
+        assert before > 100
+        assert after == 0  # demand dropped to zero
+
+    def test_writes_fraction(self, sim):
+        server = ReplicaServer(0)
+        workload = ClientWorkload(
+            sim, server, ConstantDemand(20.0), max_rate=20.0, write_fraction=1.0
+        )
+        workload.start()
+        sim.run(until=10.0)
+        assert workload.stats.writes == workload.stats.requests > 0
+        assert server.local_writes == workload.stats.writes
+
+    def test_freshness_classification(self, sim):
+        server = ReplicaServer(0)
+        reference = (9, 1)
+        workload = ClientWorkload(
+            sim,
+            server,
+            ConstantDemand(20.0),
+            max_rate=20.0,
+            reference_update=reference,
+        )
+        workload.start()
+        sim.run(until=5.0)
+        stale_so_far = workload.stats.stale_reads
+        assert stale_so_far == workload.stats.reads > 0
+        server.integrate([remote_update(9, 1, counter=1)], "session")
+        sim.run(until=10.0)
+        assert workload.stats.fresh_reads > 0
+        assert workload.stats.stale_reads == stale_so_far
+
+    def test_zero_rate_never_fires(self, sim):
+        server = ReplicaServer(0)
+        workload = ClientWorkload(sim, server, ConstantDemand(0.0), max_rate=0.0)
+        workload.start()
+        sim.run(until=10.0)
+        assert workload.stats.requests == 0
+
+    def test_stop(self, sim):
+        server = ReplicaServer(0)
+        workload = ClientWorkload(sim, server, ConstantDemand(10.0), max_rate=10.0)
+        workload.start()
+        sim.run(until=5.0)
+        count = workload.stats.requests
+        workload.stop()
+        sim.run(until=20.0)
+        assert workload.stats.requests == count
+
+    def test_double_start_rejected(self, sim):
+        server = ReplicaServer(0)
+        workload = ClientWorkload(sim, server, ConstantDemand(1.0), max_rate=1.0)
+        workload.start()
+        with pytest.raises(ReplicationError):
+            workload.start()
+
+    def test_invalid_parameters(self, sim):
+        server = ReplicaServer(0)
+        with pytest.raises(ReplicationError):
+            ClientWorkload(sim, server, ConstantDemand(1.0), max_rate=-1.0)
+        with pytest.raises(ReplicationError):
+            ClientWorkload(
+                sim, server, ConstantDemand(1.0), max_rate=1.0, write_fraction=2.0
+            )
+
+    def test_start_workloads_helper(self, sim):
+        servers = {i: ReplicaServer(i) for i in range(3)}
+        workloads = start_workloads(
+            sim, servers, ConstantDemand(10.0), max_rate=10.0
+        )
+        sim.run(until=5.0)
+        assert set(workloads) == {0, 1, 2}
+        assert all(w.stats.requests > 0 for w in workloads.values())

@@ -1,0 +1,67 @@
+"""Tests for event primitives (repro.sim.events)."""
+
+from __future__ import annotations
+
+from repro.sim.events import (
+    DEFAULT_PRIORITY,
+    LATE_PRIORITY,
+    Event,
+    EventHandle,
+    next_sequence,
+)
+
+
+class TestSequence:
+    def test_monotonically_increasing(self):
+        values = [next_sequence() for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+
+
+class TestEventHandleOrdering:
+    def test_time_dominates(self):
+        early = EventHandle(time=1.0, priority=99, seq=99)
+        late = EventHandle(time=2.0, priority=0, seq=0)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        low = EventHandle(time=1.0, priority=0, seq=99)
+        high = EventHandle(time=1.0, priority=10, seq=0)
+        assert low < high
+
+    def test_sequence_breaks_full_ties(self):
+        first = EventHandle(time=1.0, priority=0, seq=1)
+        second = EventHandle(time=1.0, priority=0, seq=2)
+        assert first < second
+
+    def test_late_priority_after_default(self):
+        normal = EventHandle(time=1.0, priority=DEFAULT_PRIORITY, seq=5)
+        late = EventHandle(time=1.0, priority=LATE_PRIORITY, seq=1)
+        assert normal < late
+
+
+class TestEvent:
+    def test_fire_invokes_callback_with_args(self):
+        got = []
+        event = Event(
+            handle=EventHandle(1.0, 0, next_sequence()),
+            callback=lambda *args: got.append(args),
+            args=(1, "two"),
+        )
+        event.fire()
+        assert got == [(1, "two")]
+
+    def test_sort_key_matches_handle(self):
+        handle = EventHandle(3.0, 2, 7)
+        event = Event(handle=handle, callback=lambda: None, args=())
+        assert event.sort_key == (3.0, 2, 7)
+
+    def test_event_comparison_uses_sort_key(self):
+        a = Event(EventHandle(1.0, 0, 1), lambda: None, ())
+        b = Event(EventHandle(1.0, 0, 2), lambda: None, ())
+        assert a < b
+
+    def test_label_default_empty(self):
+        event = Event(EventHandle(1.0, 0, 1), lambda: None, ())
+        assert event.label == ""
+        assert event.cancelled is False

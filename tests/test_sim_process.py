@@ -1,0 +1,210 @@
+"""Tests for generator-based processes (repro.sim.process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Interrupted, Process, Signal
+
+
+class TestBasicExecution:
+    def test_periodic_ticks(self, sim):
+        ticks = []
+
+        def clock():
+            while True:
+                yield 1.0
+                ticks.append(sim.now)
+
+        Process(sim, clock(), name="clock")
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_process_result_and_finished_at(self, sim):
+        def worker():
+            yield 2.0
+            return "done"
+
+        proc = Process(sim, worker())
+        sim.run()
+        assert proc.result == "done"
+        assert proc.alive is False
+        assert proc.finished_at == 2.0
+
+    def test_process_starts_at_current_time(self, sim):
+        seen = []
+
+        def worker():
+            seen.append(sim.now)
+            yield 1.0
+            seen.append(sim.now)
+
+        sim.schedule(5.0, lambda: Process(sim, worker()))
+        sim.run()
+        assert seen == [5.0, 6.0]
+
+    def test_creation_order_decides_same_time_interleaving(self, sim):
+        order = []
+
+        def worker(tag):
+            order.append(tag)
+            yield 0.0
+
+        Process(sim, worker("a"))
+        Process(sim, worker("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Process(sim, lambda: None)
+
+    def test_negative_sleep_raises(self, sim):
+        def worker():
+            yield -1.0
+
+        Process(sim, worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bad_yield_value_raises(self, sim):
+        def worker():
+            yield "nope"
+
+        Process(sim, worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestSignals:
+    def test_signal_wakes_waiter_with_value(self, sim):
+        sig = Signal(sim, "data-ready")
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append((sim.now, value))
+
+        Process(sim, waiter())
+        sim.schedule(2.0, sig.trigger, "payload")
+        sim.run()
+        assert got == [(2.0, "payload")]
+
+    def test_trigger_wakes_all_waiters(self, sim):
+        sig = Signal(sim)
+        woken = []
+
+        def waiter(tag):
+            yield sig
+            woken.append(tag)
+
+        Process(sim, waiter("a"))
+        Process(sim, waiter("b"))
+        sim.schedule(1.0, sig.trigger)
+        sim.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_trigger_returns_waiter_count(self, sim):
+        sig = Signal(sim)
+
+        def waiter():
+            yield sig
+
+        Process(sim, waiter())
+        sim.run()  # park the process
+        assert sig.trigger() == 1
+        assert sig.trigger() == 0
+        assert sig.trigger_count == 2
+
+    def test_waiter_not_rewoken_by_second_trigger(self, sim):
+        sig = Signal(sim)
+        wakes = []
+
+        def waiter():
+            yield sig
+            wakes.append(sim.now)
+            yield 10.0
+
+        Process(sim, waiter())
+        sim.schedule(1.0, sig.trigger)
+        sim.schedule(2.0, sig.trigger)
+        sim.run()
+        assert wakes == [1.0]
+
+
+class TestInterruptAndKill:
+    def test_interrupt_raises_inside_generator(self, sim):
+        events = []
+
+        def worker():
+            try:
+                yield 10.0
+            except Interrupted as exc:
+                events.append(("interrupted", exc.cause, sim.now))
+
+        proc = Process(sim, worker())
+        sim.run(until=1.0)
+        assert proc.interrupt("reason") is True
+        sim.run()
+        assert events == [("interrupted", "reason", 1.0)]
+        assert proc.alive is False
+
+    def test_interrupt_can_be_survived(self, sim):
+        events = []
+
+        def worker():
+            try:
+                yield 10.0
+            except Interrupted:
+                events.append("caught")
+            yield 1.0
+            events.append("resumed")
+
+        proc = Process(sim, worker())
+        sim.run(until=1.0)
+        proc.interrupt()
+        sim.run()
+        assert events == ["caught", "resumed"]
+        assert proc.finished_at == 2.0
+
+    def test_interrupt_dead_process_returns_false(self, sim):
+        def worker():
+            yield 1.0
+
+        proc = Process(sim, worker())
+        sim.run()
+        assert proc.interrupt() is False
+
+    def test_interrupt_while_waiting_on_signal(self, sim):
+        sig = Signal(sim)
+        events = []
+
+        def worker():
+            try:
+                yield sig
+            except Interrupted:
+                events.append("interrupted")
+
+        proc = Process(sim, worker())
+        sim.run()
+        proc.interrupt()
+        sim.run()
+        assert events == ["interrupted"]
+        # No dangling waiter: trigger wakes nobody.
+        assert sig.trigger() == 0
+
+    def test_kill_terminates_silently(self, sim):
+        progressed = []
+
+        def worker():
+            yield 10.0
+            progressed.append(True)
+
+        proc = Process(sim, worker())
+        sim.run(until=1.0)
+        proc.kill()
+        sim.run()
+        assert proc.alive is False
+        assert progressed == []
+        assert sim.pending_count() == 0

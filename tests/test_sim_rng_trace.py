@@ -1,0 +1,130 @@
+"""Tests for RNG streams (repro.sim.rng) and tracing (repro.sim.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import Tracer
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_result_fits_64_bits(self):
+        assert 0 <= derive_seed(123, "stream") < 2**64
+
+
+class TestRngRegistry:
+    def test_streams_are_cached(self):
+        rngs = RngRegistry(0)
+        assert rngs.stream("s", 1) is rngs.stream("s", 1)
+
+    def test_streams_are_independent(self):
+        rngs = RngRegistry(0)
+        a = rngs.stream("a")
+        b = rngs.stream("b")
+        seq_a = [a.random() for _ in range(3)]
+        # Draws on b must not perturb a fresh registry's a stream.
+        fresh = RngRegistry(0)
+        fresh.stream("b").random()
+        assert [fresh.stream("a").random() for _ in range(3)] == seq_a
+
+    def test_empty_stream_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(0).stream()
+
+    def test_multipart_names(self):
+        rngs = RngRegistry(0)
+        assert rngs.stream("a", 1) is not rngs.stream("a", 2)
+        # ("a", 1) and ("a/1",) name the same stream by design.
+        assert rngs.stream("a", 1) is rngs.stream("a/1")
+
+    def test_spawn_derives_child_registry(self):
+        parent = RngRegistry(7)
+        child_a = parent.spawn("rep", 0)
+        child_b = parent.spawn("rep", 1)
+        assert child_a.master_seed != child_b.master_seed
+        # Reproducible
+        again = RngRegistry(7).spawn("rep", 0)
+        assert again.master_seed == child_a.master_seed
+
+    def test_stream_names_listed(self):
+        rngs = RngRegistry(0)
+        rngs.stream("x")
+        rngs.stream("y", 2)
+        assert set(rngs.stream_names()) == {"x", "y/2"}
+
+
+class TestTracer:
+    def test_records_are_stored(self):
+        tracer = Tracer()
+        tracer.record(1.0, "session.start", node=3)
+        assert len(tracer) == 1
+        rec = tracer.records[0]
+        assert rec.time == 1.0
+        assert rec.category == "session.start"
+        assert rec.get("node") == 3
+        assert rec.get("missing", "dflt") == "dflt"
+
+    def test_disable_stops_recording(self):
+        tracer = Tracer()
+        tracer.disable()
+        tracer.record(1.0, "x")
+        assert len(tracer) == 0
+        tracer.enable()
+        tracer.record(2.0, "x")
+        assert len(tracer) == 1
+
+    def test_enable_only_filters_by_prefix(self):
+        tracer = Tracer()
+        tracer.enable_only(["session"])
+        tracer.record(1.0, "session.start")
+        tracer.record(1.0, "session.end")
+        tracer.record(1.0, "net.drop")
+        assert len(tracer) == 2
+        assert tracer.wants("session.anything")
+        assert not tracer.wants("net.drop")
+
+    def test_select_by_category_prefix(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a.x")
+        tracer.record(2.0, "a.y")
+        tracer.record(3.0, "b")
+        assert len(tracer.select("a")) == 2
+        assert len(tracer.select("b")) == 1
+        assert tracer.select("a.x")[0].time == 1.0
+
+    def test_listeners_fire_on_record(self):
+        tracer = Tracer()
+        seen = []
+        tracer.on_record(lambda rec: seen.append(rec.category))
+        tracer.record(0.0, "x")
+        assert seen == ["x"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_csv_export_contains_fields(self):
+        tracer = Tracer()
+        tracer.record(1.5, "cat", a=1, b="two")
+        text = tracer.to_csv()
+        assert "time,category,fields" in text
+        assert "1.500000" in text
+        assert "a=1;b=two" in text
+
+    def test_iteration(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x")
+        tracer.record(1.0, "y")
+        assert [r.category for r in tracer] == ["x", "y"]

@@ -1,0 +1,163 @@
+"""Tests for graph analysis and power laws (repro.topology.analysis/.powerlaws)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.analysis import (
+    DegreeStats,
+    average_clustering,
+    average_path_length,
+    bfs_distances,
+    clustering_coefficient,
+    diameter,
+    eccentricities,
+    hop_pair_counts,
+    radius,
+    shortest_path,
+    summarize,
+)
+from repro.topology.brite import BriteConfig, barabasi_albert
+from repro.topology.graph import Topology
+from repro.topology.powerlaws import (
+    PowerLawFit,
+    eigen_exponent,
+    fit_power_law,
+    hop_plot_exponent,
+    outdegree_exponent,
+    rank_exponent,
+    verify_internet_like,
+)
+from repro.topology.simple import complete, grid, line, ring, star
+
+
+class TestPathMetrics:
+    def test_bfs_distances_on_line(self, line5):
+        assert bfs_distances(line5, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_unknown_source(self, line5):
+        with pytest.raises(TopologyError):
+            bfs_distances(line5, 42)
+
+    def test_shortest_path_endpoints(self, line5):
+        assert shortest_path(line5, 0, 4) == [0, 1, 2, 3, 4]
+        assert shortest_path(line5, 2, 2) == [2]
+
+    def test_shortest_path_no_route(self):
+        topo = Topology()
+        topo.add_node(0)
+        topo.add_node(1)
+        with pytest.raises(TopologyError):
+            shortest_path(topo, 0, 1)
+
+    def test_diameter_radius(self, line5, ring6):
+        assert diameter(line5) == 4
+        assert radius(line5) == 2
+        assert diameter(ring6) == 3
+        assert diameter(complete(5)) == 1
+        assert diameter(grid(3, 3)) == 4
+
+    def test_eccentricities_require_connected(self):
+        topo = Topology()
+        topo.add_node(0)
+        topo.add_node(1)
+        with pytest.raises(TopologyError):
+            eccentricities(topo)
+
+    def test_average_path_length_line3(self):
+        # distances: (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3
+        assert average_path_length(line(3)) == pytest.approx(4 / 3)
+
+    def test_hop_pair_counts_cumulative(self, line5):
+        counts = hop_pair_counts(line5)
+        assert counts[0] == 5  # each node with itself
+        assert counts[4] == 25  # all ordered pairs reachable
+        assert all(counts[h] <= counts[h + 1] for h in range(4))
+
+
+class TestDegreeAndClustering:
+    def test_degree_stats(self, star5):
+        stats = DegreeStats.of(star5)
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.mean == pytest.approx(8 / 5)
+
+    def test_clustering_triangle(self, triangle):
+        assert clustering_coefficient(triangle, 0) == 1.0
+        assert average_clustering(triangle) == 1.0
+
+    def test_clustering_star_is_zero(self, star5):
+        assert clustering_coefficient(star5, 0) == 0.0
+        assert average_clustering(star5) == 0.0
+
+    def test_summarize_fields(self, ring6):
+        info = summarize(ring6)
+        assert info["nodes"] == 6
+        assert info["edges"] == 6
+        assert info["connected"] is True
+        assert info["diameter"] == 3
+        assert info["degree_mean"] == 2.0
+
+
+class TestPowerLawFitting:
+    def test_fit_recovers_exponent(self):
+        xs = [1, 2, 3, 4, 5, 10, 20]
+        ys = [3.0 * x**-1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(-1.5, abs=1e-9)
+        assert fit.intercept == pytest.approx(math.log(3.0), abs=1e-9)
+        assert abs(fit.correlation) == pytest.approx(1.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=-1.0, intercept=math.log(10.0), correlation=-1.0, points=5)
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_nonpositive_points_filtered(self):
+        fit = fit_power_law([0, 1, 2, 4], [5, 10, 5, 2.5])
+        assert fit.points == 3
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(TopologyError):
+            fit_power_law([1], [1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(TopologyError):
+            fit_power_law([1, 2], [1])
+
+
+class TestInternetPowerLaws:
+    @pytest.fixture(scope="class")
+    def ba200(self):
+        return barabasi_albert(BriteConfig(n=200, m=2), random.Random(13))
+
+    def test_rank_exponent_negative_and_tight(self, ba200):
+        fit = rank_exponent(ba200)
+        assert fit.exponent < -0.3
+        assert abs(fit.correlation) > 0.8
+
+    def test_outdegree_exponent_negative(self, ba200):
+        fit = outdegree_exponent(ba200)
+        assert fit.exponent < -1.0
+
+    def test_eigen_exponent_negative(self, ba200):
+        fit = eigen_exponent(ba200, k=15)
+        assert fit.exponent < 0
+
+    def test_hop_plot_positive_exponent(self, ba200):
+        fit = hop_plot_exponent(ba200)
+        assert fit.exponent > 0  # more pairs within more hops
+
+    def test_verify_internet_like_accepts_ba(self, ba200):
+        fits = verify_internet_like(ba200, min_correlation=0.8)
+        assert set(fits) == {"rank", "outdegree", "eigen"}
+
+    def test_verify_rejects_uniform_topology(self):
+        # A ring has a degenerate degree distribution; the outdegree law
+        # cannot even be fitted (single degree value) -> TopologyError.
+        with pytest.raises(TopologyError):
+            verify_internet_like(ring(50))

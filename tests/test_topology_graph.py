@@ -1,0 +1,164 @@
+"""Tests for the Topology graph type (repro.topology.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+
+def build_path(n: int) -> Topology:
+    topo = Topology("path")
+    for i in range(n):
+        topo.add_node(i)
+    for i in range(n - 1):
+        topo.add_edge(i, i + 1)
+    return topo
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        topo = Topology()
+        topo.add_node(0)
+        topo.add_node(0)
+        assert topo.num_nodes == 1
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_node(-1)
+
+    def test_add_edge_symmetric(self):
+        topo = build_path(2)
+        assert topo.has_edge(0, 1)
+        assert topo.has_edge(1, 0)
+        assert topo.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_node(0)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self):
+        topo = build_path(2)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 1)
+        with pytest.raises(TopologyError):
+            topo.add_edge(1, 0)
+
+    def test_edge_to_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_node(0)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 1)
+
+    def test_non_positive_weight_rejected(self):
+        topo = Topology()
+        topo.add_node(0)
+        topo.add_node(1)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 1, weight=0.0)
+
+    def test_default_weight_from_coordinates(self):
+        topo = Topology()
+        topo.add_node(0, (0.0, 0.0))
+        topo.add_node(1, (3.0, 4.0))
+        topo.add_edge(0, 1)
+        assert topo.edge_weight(0, 1) == pytest.approx(5.0)
+
+    def test_default_weight_without_coordinates_is_one(self):
+        topo = build_path(2)
+        assert topo.edge_weight(0, 1) == 1.0
+
+    def test_remove_edge(self):
+        topo = build_path(3)
+        topo.remove_edge(0, 1)
+        assert not topo.has_edge(0, 1)
+        with pytest.raises(TopologyError):
+            topo.remove_edge(0, 1)
+
+
+class TestQueries:
+    def test_neighbors(self):
+        topo = build_path(3)
+        assert sorted(topo.neighbors(1)) == [0, 2]
+        assert topo.degree(1) == 2
+        assert topo.degree(0) == 1
+
+    def test_neighbors_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            build_path(2).neighbors(9)
+
+    def test_edge_weight_missing_raises(self):
+        with pytest.raises(TopologyError):
+            build_path(3).edge_weight(0, 2)
+
+    def test_edges_yields_each_once(self):
+        topo = build_path(4)
+        edges = list(topo.edges())
+        assert len(edges) == 3
+        assert all(a < b for a, b, _ in edges)
+
+    def test_contains(self):
+        topo = build_path(2)
+        assert 0 in topo
+        assert 5 not in topo
+
+    def test_positions(self):
+        topo = Topology()
+        topo.add_node(0)
+        assert topo.position(0) is None
+        topo.set_position(0, (1.0, 2.0))
+        assert topo.position(0) == (1.0, 2.0)
+        with pytest.raises(TopologyError):
+            topo.set_position(9, (0, 0))
+
+    def test_degrees_map(self):
+        topo = build_path(3)
+        assert topo.degrees() == {0: 1, 1: 2, 2: 1}
+
+    def test_repr_mentions_counts(self):
+        assert "nodes=3" in repr(build_path(3))
+
+
+class TestStructure:
+    def test_connected_components(self):
+        topo = build_path(3)
+        topo.add_node(10)
+        topo.add_node(11)
+        topo.add_edge(10, 11)
+        components = topo.connected_components()
+        assert sorted(len(c) for c in components) == [2, 3]
+        assert not topo.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert Topology().is_connected()
+
+    def test_subgraph_keeps_internal_edges(self):
+        topo = build_path(4)
+        sub = topo.subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 1)
+
+    def test_subgraph_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            build_path(2).subgraph([0, 99])
+
+    def test_copy_is_deep(self):
+        topo = build_path(3)
+        dup = topo.copy()
+        dup.remove_edge(0, 1)
+        assert topo.has_edge(0, 1)
+        assert not dup.has_edge(0, 1)
+
+    def test_validate_passes_on_well_formed(self):
+        build_path(5).validate()
+
+    def test_validate_catches_asymmetry(self):
+        topo = build_path(2)
+        # Corrupt internals deliberately.
+        del topo._adjacency[1][0]
+        with pytest.raises(TopologyError):
+            topo.validate()

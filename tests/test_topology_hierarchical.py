@@ -1,0 +1,131 @@
+"""Tests for the two-tier hierarchical topology generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.hierarchical import (
+    HierarchicalConfig,
+    as_members,
+    as_of,
+    hierarchical,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"autonomous_systems": 1},
+            {"routers_per_as": 1},
+            {"as_model": "smallworld"},
+            {"border_links": 0},
+            {"as_m": 0},
+            {"autonomous_systems": 3, "as_m": 3},
+            {"routers_per_as": 4, "router_m": 4},
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        with pytest.raises(TopologyError):
+            HierarchicalConfig(**overrides).validate()
+
+
+class TestGeneration:
+    def test_node_count_and_connectivity(self):
+        config = HierarchicalConfig(autonomous_systems=4, routers_per_as=10)
+        topo = hierarchical(config, seed=1)
+        assert topo.num_nodes == 40
+        assert topo.is_connected()
+        topo.validate()
+
+    def test_determinism(self):
+        config = HierarchicalConfig(autonomous_systems=3, routers_per_as=8)
+        a = hierarchical(config, seed=5)
+        b = hierarchical(config, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_keyword_overrides(self):
+        topo = hierarchical(seed=2, autonomous_systems=3, routers_per_as=6)
+        assert topo.num_nodes == 18
+
+    def test_config_and_overrides_conflict(self):
+        with pytest.raises(TopologyError):
+            hierarchical(HierarchicalConfig(), autonomous_systems=3)
+
+    def test_intra_as_edges_denser_than_inter(self):
+        config = HierarchicalConfig(
+            autonomous_systems=4, routers_per_as=10, border_links=1
+        )
+        topo = hierarchical(config, seed=3)
+        intra = inter = 0
+        for a, b, _ in topo.edges():
+            if as_of(a, config) == as_of(b, config):
+                intra += 1
+            else:
+                inter += 1
+        assert intra > inter
+        # Inter-AS links exist for every AS edge (>= as-graph edge count).
+        assert inter >= 3  # BA over 4 nodes with m=2 has >= 3 edges
+
+    def test_waxman_tiers(self):
+        config = HierarchicalConfig(
+            autonomous_systems=3,
+            routers_per_as=8,
+            as_model="waxman",
+            router_model="waxman",
+        )
+        topo = hierarchical(config, seed=4)
+        assert topo.is_connected()
+
+    def test_positions_within_plane(self):
+        config = HierarchicalConfig(
+            autonomous_systems=4, routers_per_as=6, plane_size=100.0
+        )
+        topo = hierarchical(config, seed=5)
+        for node in topo.nodes:
+            x, y = topo.position(node)
+            assert 0 <= x <= 100
+            assert 0 <= y <= 100
+
+    def test_as_cells_separate_positions(self):
+        config = HierarchicalConfig(
+            autonomous_systems=4, routers_per_as=6, plane_size=100.0
+        )
+        topo = hierarchical(config, seed=6)
+        # Routers of AS 0 live in the first cell (x < 50, y < 50).
+        for node in as_members(0, config):
+            x, y = topo.position(node)
+            assert x < 50 and y < 50
+
+
+class TestHelpers:
+    def test_as_of(self):
+        config = HierarchicalConfig(autonomous_systems=3, routers_per_as=10)
+        assert as_of(0, config) == 0
+        assert as_of(9, config) == 0
+        assert as_of(10, config) == 1
+        with pytest.raises(TopologyError):
+            as_of(-1, config)
+
+    def test_as_members(self):
+        config = HierarchicalConfig(autonomous_systems=3, routers_per_as=4)
+        assert as_members(1, config) == [4, 5, 6, 7]
+        with pytest.raises(TopologyError):
+            as_members(9, config)
+
+    def test_system_runs_on_hierarchical_topology(self):
+        from repro import ReplicationSystem, fast_consistency
+        from repro.demand import UniformRandomDemand
+
+        topo = hierarchical(
+            HierarchicalConfig(autonomous_systems=3, routers_per_as=8), seed=7
+        )
+        system = ReplicationSystem(
+            topo, UniformRandomDemand(seed=7), fast_consistency(), seed=7
+        )
+        system.start()
+        update = system.inject_write(0)
+        assert system.run_until_replicated(update.uid, max_time=80.0) is not None

@@ -1,0 +1,77 @@
+"""Tests for topology persistence (repro.topology.io)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.brite import internet_like
+from repro.topology.io import (
+    dumps_brite,
+    dumps_edge_list,
+    load_edge_list,
+    loads_edge_list,
+    save_brite,
+    save_edge_list,
+)
+from repro.topology.simple import grid
+
+
+class TestEdgeListRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        topo = internet_like(30, seed=3)
+        text = dumps_edge_list(topo)
+        back = loads_edge_list(text)
+        assert back.name == topo.name
+        assert back.num_nodes == topo.num_nodes
+        original = {(a, b): w for a, b, w in topo.edges()}
+        restored = {(a, b): w for a, b, w in back.edges()}
+        assert set(original) == set(restored)
+        for key, weight in original.items():
+            assert restored[key] == pytest.approx(weight, abs=1e-5)
+
+    def test_roundtrip_preserves_positions(self):
+        topo = grid(3, 3)
+        back = loads_edge_list(dumps_edge_list(topo))
+        for node in topo.nodes:
+            assert back.position(node) == pytest.approx(topo.position(node))
+
+    def test_file_roundtrip(self, tmp_path):
+        topo = grid(2, 3)
+        path = tmp_path / "topo.edges"
+        save_edge_list(topo, path)
+        back = load_edge_list(path)
+        assert back.num_edges == topo.num_edges
+
+    def test_node_without_position(self):
+        text = "node 0\nnode 1\nedge 0 1 2.5\n"
+        topo = loads_edge_list(text)
+        assert topo.position(0) is None
+        assert topo.edge_weight(0, 1) == 2.5
+
+    def test_blank_lines_and_comments_ignored(self):
+        text = "# comment\n\nnode 0\nnode 1\nedge 0 1 1.0\n"
+        assert loads_edge_list(text).num_edges == 1
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(TopologyError, match="line 2"):
+            loads_edge_list("node 0\ngarbage here\n")
+
+    def test_malformed_edge_raises(self):
+        with pytest.raises(TopologyError):
+            loads_edge_list("node 0\nedge 0\n")
+
+
+class TestBriteExport:
+    def test_sections_present(self):
+        topo = grid(2, 2)
+        text = dumps_brite(topo)
+        assert "Topology: ( 4 Nodes, 4 Edges )" in text
+        assert "Nodes: (4)" in text
+        assert "Edges: (4)" in text
+        assert "RT_NODE" in text
+
+    def test_save_brite(self, tmp_path):
+        path = tmp_path / "t.brite"
+        save_brite(grid(2, 2), path)
+        assert path.read_text().startswith("Topology:")

@@ -1,0 +1,150 @@
+"""Tests for ASCII visualisation (repro.viz)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demand.field import SurfaceDemand, Valley
+from repro.errors import DemandError, ExperimentError
+from repro.topology.simple import grid
+from repro.viz.ascii import bar_chart, cdf_plot, line_plot
+from repro.viz.export import curves_to_csv, rows_to_csv, save_curves_csv
+from repro.viz.surface import RAMP, render_surface, render_topology_demand
+
+
+class TestLinePlot:
+    def test_contains_title_axis_and_legend(self):
+        text = line_plot(
+            {"a": [0.0, 0.5, 1.0]},
+            xs=[0.0, 1.0, 2.0],
+            title="My Plot",
+            x_label="sessions",
+        )
+        assert "My Plot" in text
+        assert "legend: *=a" in text
+        assert "sessions" in text
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = line_plot(
+            {"one": [0, 1, 2], "two": [2, 1, 0]}, xs=[0, 1, 2]
+        )
+        assert "*" in text and "o" in text
+        assert "*=one" in text and "o=two" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ExperimentError):
+            line_plot({"a": [1.0]}, xs=[0.0, 1.0])
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ExperimentError):
+            line_plot({}, xs=[0, 1])
+
+    def test_too_few_x_values_raises(self):
+        with pytest.raises(ExperimentError):
+            line_plot({"a": [1.0]}, xs=[0.0])
+
+    def test_cdf_plot_fixed_range(self):
+        text = cdf_plot({"c": [0.0, 0.5, 1.0]}, grid=[0, 1, 2])
+        assert "1.00" in text  # y-axis top label
+        assert "0.00" in text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"weak": 6.0, "fast": 3.0}, width=10)
+        lines = text.splitlines()
+        weak_line = next(line for line in lines if line.startswith("weak"))
+        fast_line = next(line for line in lines if line.startswith("fast"))
+        assert weak_line.count("#") == 10
+        assert fast_line.count("#") == 5
+
+    def test_zero_values_render(self):
+        text = bar_chart({"a": 0.0})
+        assert "0.000" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({})
+
+
+class TestSurface:
+    def field(self):
+        return SurfaceDemand(
+            positions={0: (0.0, 0.0), 1: (10.0, 10.0)},
+            valleys=[Valley(center=(5.0, 5.0), peak=100.0, radius=2.0)],
+            base=1.0,
+        )
+
+    def test_render_surface_marks_valley_center_dense(self):
+        art = render_surface(self.field(), bounds=(0, 0, 10, 10), width=21, height=21)
+        lines = art.splitlines()
+        # Centre cell should carry the densest glyph.
+        assert lines[10][10] == RAMP[-1]
+        # Corners are hills (lightest glyph).
+        assert lines[0][0] == RAMP[0]
+
+    def test_scale_legend_present(self):
+        art = render_surface(self.field(), bounds=(0, 0, 10, 10))
+        assert "valleys = high demand" in art
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(DemandError):
+            render_surface(self.field(), bounds=(0, 0, 0, 10))
+
+    def test_render_topology_demand(self):
+        topo = grid(3, 3)
+        demand = {n: float(n) for n in topo.nodes}
+        art = render_topology_demand(topo, demand, width=9, height=9)
+        assert RAMP[-1] in art  # hottest node uses densest glyph
+
+    def test_render_topology_requires_positions(self):
+        from repro.topology.graph import Topology
+
+        topo = Topology()
+        topo.add_node(0)
+        with pytest.raises(DemandError):
+            render_topology_demand(topo, {0: 1.0})
+
+
+class TestCsvExport:
+    def test_curves_to_csv_layout(self):
+        text = curves_to_csv({"weak": [0.0, 0.5], "fast": [0.2, 1.0]}, xs=[0, 1])
+        lines = text.strip().splitlines()
+        assert lines[0] == "sessions,weak,fast"
+        assert lines[1] == "0,0.000000,0.200000"
+        assert lines[2] == "1,0.500000,1.000000"
+
+    def test_curves_length_mismatch(self):
+        with pytest.raises(ExperimentError):
+            curves_to_csv({"a": [1.0]}, xs=[0, 1])
+
+    def test_empty_curves_rejected(self):
+        with pytest.raises(ExperimentError):
+            curves_to_csv({}, xs=[0, 1])
+
+    def test_save_curves_csv(self, tmp_path):
+        path = tmp_path / "fig5.csv"
+        save_curves_csv({"c": [0.0, 1.0]}, xs=[0, 1], path=path)
+        assert path.read_text().startswith("sessions,c")
+
+    def test_rows_to_csv(self):
+        text = rows_to_csv(["variant", "mean"], [("weak", 6.15), ("fast", 3.93)])
+        assert "variant,mean" in text
+        assert "fast,3.93" in text
+
+    def test_rows_width_mismatch(self):
+        with pytest.raises(ExperimentError):
+            rows_to_csv(["a", "b"], [("only",)])
+
+    def test_figure_curves_roundtrip_through_csv(self):
+        import csv as _csv
+        import io as _io
+
+        from repro.experiments.cdf import session_grid
+
+        grid = session_grid(2.0, 1.0)
+        curves = {"weak": [0.0, 0.5, 1.0]}
+        text = curves_to_csv(curves, grid)
+        parsed = list(_csv.reader(_io.StringIO(text)))
+        assert len(parsed) == 4  # header + 3 points
+        assert float(parsed[-1][1]) == 1.0
