@@ -7,6 +7,7 @@ from Fig. 5 adds less than one session (the diameter effect).
 
 from __future__ import annotations
 
+from repro.experiments.backends import SerialBackend
 from repro.experiments.figures import figure6
 from repro.experiments.tables import format_table
 from repro.viz.ascii import cdf_plot
@@ -15,8 +16,12 @@ REPS = 30
 
 
 def test_fig6_cdf_100_nodes(benchmark, report):
+    # figure6 runs through the declarative plan pipeline; the backend is
+    # pinned so the benchmark times single-core execution.
     result = benchmark.pedantic(
-        lambda: figure6(reps=REPS, seed=1), rounds=1, iterations=1
+        lambda: figure6(reps=REPS, seed=1, backend=SerialBackend()),
+        rounds=1,
+        iterations=1,
     )
 
     table = format_table(

@@ -1,0 +1,80 @@
+"""Serial vs parallel execution of one declarative experiment plan.
+
+The repetition grid of every paper experiment is embarrassingly
+parallel: scenarios are picklable (registry keys + derived seeds) and
+every trial is deterministic given its seeds, so a process pool must
+return results *bit-identical* to the serial loop — only wall-clock may
+differ. This benchmark asserts the identity and records both timings in
+``BENCH_pipeline.json`` at the repo root so the perf trajectory is
+tracked across PRs.
+
+Note: the recorded speedup is honest hardware-dependent data — on a
+single-core CI runner the pool's fork/IPC overhead can make it < 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.plan import ExperimentPlan
+
+REPS = 12
+NODES = 30
+WORKERS = 2
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _plan() -> ExperimentPlan:
+    return ExperimentPlan(
+        name="pipeline-bench",
+        topology="ba",
+        demand="uniform",
+        variants=("weak", "ordered", "fast"),
+        n=NODES,
+        reps=REPS,
+        seed=7,
+    )
+
+
+def test_pipeline_parallel_bit_identical(benchmark, report):
+    plan = _plan()
+
+    t0 = time.perf_counter()
+    serial_result = plan.run(SerialBackend())
+    t_serial = time.perf_counter() - t0
+
+    parallel_backend = ProcessPoolBackend(max_workers=WORKERS)
+    t0 = time.perf_counter()
+    parallel_result = benchmark.pedantic(
+        lambda: plan.run(parallel_backend), rounds=1, iterations=1
+    )
+    t_parallel = time.perf_counter() - t0
+
+    # The acceptance bar: a process pool is an implementation detail,
+    # not a source of noise. Compare the full serialised payloads.
+    serial_dict = serial_result.to_dict()
+    parallel_dict = parallel_result.to_dict()
+    assert serial_dict["series"] == parallel_dict["series"]
+    assert serial_dict["params"] == parallel_dict["params"]
+
+    payload = {
+        "experiment": plan.name,
+        "trials": plan.total_trials(),
+        "nodes": NODES,
+        "reps": REPS,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(t_serial, 4),
+        "parallel_seconds": round(t_parallel, 4),
+        "speedup": round(t_serial / t_parallel, 3) if t_parallel else None,
+        "bit_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [f"{key}: {value}" for key, value in payload.items()]
+    report.add("pipeline-parallel", "\n".join(lines))

@@ -9,6 +9,7 @@ the whole Internet (diameter ~20).
 
 from __future__ import annotations
 
+from repro.experiments.backends import SerialBackend
 from repro.experiments.figures import scaling_experiment
 from repro.experiments.tables import format_table
 
@@ -17,8 +18,10 @@ REPS = 15
 
 
 def test_scaling_sessions_vs_diameter(benchmark, report):
+    # Each size expands to one declarative ExperimentPlan; the backend
+    # is pinned so the benchmark times single-core execution.
     result = benchmark.pedantic(
-        lambda: scaling_experiment(sizes=SIZES, reps=REPS, seed=1),
+        lambda: scaling_experiment(sizes=SIZES, reps=REPS, seed=1, backend=SerialBackend()),
         rounds=1,
         iterations=1,
     )

@@ -47,6 +47,7 @@ from .errors import (
     ConfigurationError,
     DemandError,
     ExperimentError,
+    ExperimentSizeWarning,
     ReplicationError,
     ReproError,
     SimulationError,
@@ -76,4 +77,5 @@ __all__ = [
     "ReplicationError",
     "ConfigurationError",
     "ExperimentError",
+    "ExperimentSizeWarning",
 ]

@@ -3,13 +3,20 @@
 Examples::
 
     repro fig5 --reps 500            # Fig. 5 CDFs (paper used 10,000)
+    repro fig5 --workers 4           # same, fanned out over 4 processes
     repro fig3                       # Fig. 3 request-satisfaction series
     repro table2                     # §3-4 dynamic-demand comparison
     repro scaling --reps 20          # §5 sessions-vs-diameter sweep
+    repro sweep --topology ba --variants weak fast --reps 50 --json out.json
     repro islands                    # §6 leader-bridge extension
     repro surface                    # Fig. 1 demand landscape
     repro run --variant fast -n 80   # one ad-hoc simulation
     repro all --reps 30              # everything, reduced fidelity
+
+Commands that run through the declarative experiment pipeline (fig5,
+fig6, scaling, sweep) accept ``--workers N`` to execute repetitions on
+a process pool — results are bit-identical to serial — and ``--json
+PATH`` to export the full :class:`ExperimentResult` for archiving.
 
 Also available as ``python -m repro``.
 """
@@ -22,7 +29,10 @@ from typing import List, Optional
 
 from .core.metrics import reach_time
 from .demand.field import SurfaceDemand, Valley
+from .errors import ExperimentError, ReproError
 from .experiments import figures
+from .experiments.backends import resolve_backend
+from .experiments.plan import ExperimentPlan
 from .experiments.scenarios import DEMANDS, TOPOLOGIES, VARIANTS, build_system
 from .experiments.tables import format_kv, format_table
 from .viz.ascii import bar_chart, cdf_plot
@@ -32,6 +42,26 @@ from .viz.surface import render_surface
 def _add_common(parser: argparse.ArgumentParser, reps: int) -> None:
     parser.add_argument("--reps", type=int, default=reps, help="repetitions")
     parser.add_argument("--seed", type=int, default=1, help="master seed")
+
+
+def _add_pipeline(parser: argparse.ArgumentParser) -> None:
+    """Options shared by commands backed by the declarative pipeline."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; 1 = serial (results are identical)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the raw ExperimentResult as JSON",
+    )
+
+
+def _backend(args) -> object:
+    return resolve_backend(getattr(args, "workers", None))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, n in (("fig5", 50), ("fig6", 100)):
         p = sub.add_parser(name, help=f"Fig. {name[-1]}: CDF of sessions, {n} nodes")
         _add_common(p, reps=120)
+        _add_pipeline(p)
         p.add_argument("--nodes", type=int, default=n)
         p.add_argument("--plot", action="store_true", help="render the ASCII CDF plot")
 
@@ -63,9 +94,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scaling", help="§5: sessions vs diameter across sizes")
     _add_common(p, reps=40)
+    _add_pipeline(p)
     p.add_argument(
         "--sizes", type=int, nargs="+", default=[25, 50, 100, 200], help="node counts"
     )
+
+    p = sub.add_parser(
+        "sweep", help="run any registry-named experiment grid (plan + backend)"
+    )
+    _add_common(p, reps=50)
+    _add_pipeline(p)
+    p.add_argument("--topology", choices=sorted(TOPOLOGIES), default="ba")
+    p.add_argument("--demand", choices=sorted(DEMANDS), default="uniform")
+    p.add_argument(
+        "--variants",
+        nargs="+",
+        choices=sorted(VARIANTS),
+        default=["weak", "fast"],
+        help="protocol variants to compare (paired repetitions)",
+    )
+    p.add_argument("-n", "--nodes", type=int, default=50)
+    p.add_argument("--max-time", type=float, default=80.0)
+    p.add_argument("--loss", type=float, default=0.0)
 
     p = sub.add_parser("uniform", help="§5: linear / ring / grid topologies")
     _add_common(p, reps=30)
@@ -149,9 +199,24 @@ def cmd_fig3(args) -> str:
     )
 
 
+def _export_json(args, experiment) -> List[str]:
+    """Save ``experiment`` when ``--json`` was given; returns report lines."""
+    path = getattr(args, "json", None)
+    if not path:
+        return []
+    try:
+        experiment.save(path)
+    except OSError as exc:
+        raise ExperimentError(f"cannot write results to {path}: {exc}") from exc
+    return [f"raw results written to {path}"]
+
+
 def _fig_cdf(args, default_n: int) -> str:
     result = figures.figure_cdf(
-        n=getattr(args, "nodes", default_n), reps=args.reps, seed=args.seed
+        n=getattr(args, "nodes", default_n),
+        reps=args.reps,
+        seed=args.seed,
+        backend=_backend(args),
     )
     out = [
         format_table(
@@ -164,6 +229,7 @@ def _fig_cdf(args, default_n: int) -> str:
     if getattr(args, "plot", False):
         out.append("")
         out.append(cdf_plot(result.curves, result.grid, title="CDF of sessions"))
+    out.extend(_export_json(args, result.experiment))
     return "\n".join(out)
 
 
@@ -192,13 +258,56 @@ def cmd_table2(args) -> str:
 
 def cmd_scaling(args) -> str:
     result = figures.scaling_experiment(
-        sizes=tuple(args.sizes), reps=args.reps, seed=args.seed
+        sizes=tuple(args.sizes), reps=args.reps, seed=args.seed, backend=_backend(args)
     )
     return format_table(
         ["nodes", "diameter", "weak mean", "fast mean", "fast top-10% mean"],
         result.rows(),
         title="§5 — sessions-to-consistency vs network size (diameter effect)",
     )
+
+
+def cmd_sweep(args) -> str:
+    plan = ExperimentPlan(
+        name=f"sweep-{args.topology}-{args.demand}",
+        topology=args.topology,
+        demand=args.demand,
+        variants=tuple(args.variants),
+        n=args.nodes,
+        reps=args.reps,
+        seed=args.seed,
+        max_time=args.max_time,
+        loss=args.loss,
+    )
+    backend = _backend(args)
+    result = plan.run(backend)
+    rows = []
+    for variant in plan.variants:
+        series = result.series[variant]
+        rows.append(
+            (
+                variant,
+                f"{series.cdf_all().mean():.3f}",
+                f"{series.cdf_top().mean():.3f}",
+                f"{series.cdf_top1().mean():.3f}",
+                f"{series.mean_messages():.0f}",
+            )
+        )
+    title = (
+        f"sweep — {args.topology} n={args.nodes}, demand={args.demand}, "
+        f"reps={args.reps}, backend={result.notes['backend']}"
+    )
+    if "effective_n" in result.params:
+        title += f" (effective n={result.params['effective_n']})"
+    out = [
+        format_table(
+            ["variant", "mean (all)", "mean (top 10%)", "mean (hottest)", "msgs"],
+            rows,
+            title=title,
+        )
+    ]
+    out.extend(_export_json(args, result))
+    return "\n".join(out)
 
 
 def cmd_uniform(args) -> str:
@@ -357,6 +466,7 @@ _COMMANDS = {
     "fig6": cmd_fig6,
     "table2": cmd_table2,
     "scaling": cmd_scaling,
+    "sweep": cmd_sweep,
     "uniform": cmd_uniform,
     "islands": cmd_islands,
     "overhead": cmd_overhead,
@@ -375,7 +485,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     command = _COMMANDS[args.command]
-    print(command(args))
+    try:
+        print(command(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

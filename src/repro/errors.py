@@ -42,3 +42,12 @@ class ConfigurationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification cannot be built or executed."""
+
+
+class ExperimentSizeWarning(UserWarning):
+    """An experiment runs with a different size than requested.
+
+    Emitted, for instance, when a grid/torus topology rounds a
+    non-square node count to the nearest square; the effective count is
+    recorded in ``TrialResult.n_nodes``.
+    """

@@ -1,10 +1,29 @@
-"""Evaluation harness: trials, repetitions, CDFs, per-figure drivers.
+"""Evaluation harness: plans, backends, trials, CDFs, figure drivers.
 
-Every table/figure of the paper maps to one driver in
-:mod:`repro.experiments.figures`; see DESIGN.md for the index and
-EXPERIMENTS.md for recorded paper-vs-measured values.
+The layer is split in three:
+
+* **Declarative plans** (:mod:`repro.experiments.plan`) — an
+  :class:`ExperimentPlan` names topology/demand/variants by registry
+  key and expands ``reps x variants`` into picklable
+  :class:`ScenarioSpec` objects.
+* **Execution backends** (:mod:`repro.experiments.backends`) — a
+  :class:`SerialBackend` or :class:`ProcessPoolBackend` turns scenarios
+  into :class:`TrialResult` rows; all backends are bit-identical, only
+  wall-clock differs.
+* **Figure drivers** (:mod:`repro.experiments.figures`) — every
+  table/figure of the paper maps to one driver; see DESIGN.md for the
+  index and EXPERIMENTS.md for recorded paper-vs-measured values.
+
+The legacy factory-based :func:`run_experiment` remains for scenarios
+the registries cannot express.
 """
 
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from .cdf import EmpiricalCdf, SummaryStats, session_grid
 from .figures import (
     PAPER,
@@ -31,12 +50,17 @@ from .figures import (
     table2_dynamic,
     uniform_topologies,
 )
+from .figures import figure_cdf_plan, scaling_plans
 from .harness import (
     DEFAULT_TOP_FRACTION,
+    LiveTrial,
+    RepSeeds,
     TrialSpec,
+    rep_seeds,
     run_experiment,
     run_trial,
 )
+from .plan import ExperimentPlan, ScenarioSpec, run_plan, run_scenario
 from .results import ExperimentResult, TrialResult, VariantSeries
 from .scenarios import (
     DEMANDS,
@@ -60,6 +84,21 @@ __all__ = [
     "run_trial",
     "run_experiment",
     "DEFAULT_TOP_FRACTION",
+    "RepSeeds",
+    "rep_seeds",
+    "LiveTrial",
+    # declarative pipeline
+    "ExperimentPlan",
+    "ScenarioSpec",
+    "run_plan",
+    "run_scenario",
+    "figure_cdf_plan",
+    "scaling_plans",
+    # execution backends
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
     "format_table",
     "format_kv",
     # figure drivers

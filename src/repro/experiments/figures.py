@@ -4,6 +4,14 @@ Each public function regenerates one artefact of the paper (see the
 per-experiment index in DESIGN.md) and returns a structured result the
 benchmarks and the CLI render. Paper reference values are collected in
 :data:`PAPER` so reports always print paper-vs-measured side by side.
+
+Registry-expressible drivers (:func:`figure_cdf`, the Figs. 5-6 grids,
+:func:`scaling_experiment`) build declarative
+:class:`~repro.experiments.plan.ExperimentPlan` objects and accept a
+``backend`` argument, so their repetition grids parallelise over an
+:class:`~repro.experiments.backends.ExecutionBackend` with bit-identical
+results; the bespoke scenarios (fixed chains, scheduled demand shifts,
+partitions) keep their hand-rolled loops over the live-object harness.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from ..topology.simple import ring as ring_topology
 from ..topology.simple import star as star_topology
 from .cdf import EmpiricalCdf, session_grid
 from .harness import TrialSpec, run_experiment, run_trial
+from .plan import ExperimentPlan
 from .results import ExperimentResult
 
 #: Reference values quoted in the paper (§2, §5).
@@ -116,12 +125,31 @@ class FigureCdfResult:
         return rows
 
 
-def _figure_variants() -> Dict[str, ProtocolConfig]:
-    return {
-        "weak": weak_consistency(),
-        "ordered": high_demand_consistency(),
-        "fast": fast_consistency(),
-    }
+def figure_cdf_plan(
+    n: int,
+    reps: int = 120,
+    seed: int = 1,
+    m: int = 2,
+    top_fraction: float = 0.1,
+    max_time: float = 80.0,
+) -> ExperimentPlan:
+    """The declarative plan behind Figs. 5-6 (see :func:`figure_cdf`)."""
+    if m not in (2, 3):
+        raise ExperimentError(
+            f"figure_cdf_plan supports the registered BA topologies (m=2, 3), got m={m}"
+        )
+    return ExperimentPlan(
+        name=f"fig-cdf-{n}",
+        topology="ba" if m == 2 else "ba-m3",
+        demand="uniform",
+        variants=("weak", "ordered", "fast"),
+        n=n,
+        reps=reps,
+        seed=seed,
+        max_time=max_time,
+        top_fraction=top_fraction,
+        params={"m": m},
+    )
 
 
 def figure_cdf(
@@ -131,24 +159,39 @@ def figure_cdf(
     m: int = 2,
     top_fraction: float = 0.1,
     max_time: float = 80.0,
+    backend=None,
 ) -> FigureCdfResult:
     """The Figs. 5-6 experiment for ``n`` replicas.
 
     BRITE-BA topologies, uniform random demands, a write injected at a
     random replica, repeated ``reps`` times (paper: 10,000 — pass a
-    larger ``reps`` via the CLI for full fidelity).
+    larger ``reps`` via the CLI for full fidelity). Runs through the
+    declarative plan pipeline for the registered BA densities (m=2, 3),
+    so passing a parallel ``backend`` (e.g. ``ProcessPoolBackend``) fans
+    the repetitions out over cores with bit-identical results; other
+    ``m`` values fall back to the factory-based harness.
     """
-    experiment = run_experiment(
-        name=f"fig-cdf-{n}",
-        variants=_figure_variants(),
-        topology_factory=lambda s: internet_like(n, m=m, seed=s),
-        demand_factory=lambda topo, s: UniformRandomDemand(0.0, 100.0, seed=s),
-        reps=reps,
-        seed=seed,
-        max_time=max_time,
-        top_fraction=top_fraction,
-        params={"n": n, "m": m},
-    )
+    if m in (2, 3):
+        experiment = figure_cdf_plan(
+            n, reps=reps, seed=seed, m=m, top_fraction=top_fraction, max_time=max_time
+        ).run(backend)
+    else:
+        experiment = run_experiment(
+            name=f"fig-cdf-{n}",
+            variants={
+                "weak": weak_consistency(),
+                "ordered": high_demand_consistency(),
+                "fast": fast_consistency(),
+            },
+            topology_factory=lambda s: internet_like(n, m=m, seed=s),
+            demand_factory=lambda topo, s: UniformRandomDemand(0.0, 100.0, seed=s),
+            reps=reps,
+            seed=seed,
+            max_time=max_time,
+            top_fraction=top_fraction,
+            params={"n": n, "m": m},
+            backend=backend,
+        )
     grid = session_grid(12.0, 0.5)
     weak_all = experiment.series["weak"].cdf_all()
     ordered_all = experiment.series["ordered"].cdf_all()
@@ -532,29 +575,43 @@ class ScalingResult:
         return rows
 
 
+def scaling_plans(
+    sizes: Sequence[int] = (25, 50, 100, 200),
+    reps: int = 40,
+    seed: int = 1,
+) -> Dict[int, ExperimentPlan]:
+    """One declarative plan per network size of the §5 scaling sweep."""
+    return {
+        n: ExperimentPlan(
+            name=f"scaling-{n}",
+            topology="ba",
+            demand="uniform",
+            variants=("weak", "fast"),
+            n=n,
+            reps=reps,
+            seed=derive_seed(seed, f"scaling/{n}"),
+        )
+        for n in sizes
+    }
+
+
 def scaling_experiment(
     sizes: Sequence[int] = (25, 50, 100, 200),
     reps: int = 40,
     seed: int = 1,
+    backend=None,
 ) -> ScalingResult:
     """§5's observation: doubling nodes barely moves the session count.
 
     The paper notes 50 -> 100 nodes moves fast consistency only from
     3.93 to 4.78 sessions and ties this to the diameter; this experiment
     reports mean diameter and mean sessions per size so the correlation
-    is visible (and testable).
+    is visible (and testable). Each size is one declarative plan run on
+    ``backend`` (serial by default).
     """
     rows: Dict[int, Dict[str, float]] = {}
-    for n in sizes:
-        experiment = run_experiment(
-            name=f"scaling-{n}",
-            variants={"weak": weak_consistency(), "fast": fast_consistency()},
-            topology_factory=lambda s, _n=n: internet_like(_n, m=2, seed=s),
-            demand_factory=lambda topo, s: UniformRandomDemand(0.0, 100.0, seed=s),
-            reps=reps,
-            seed=derive_seed(seed, f"scaling/{n}"),
-            params={"n": n},
-        )
+    for n, plan in scaling_plans(sizes, reps=reps, seed=seed).items():
+        experiment = plan.run(backend)
         weak_cdf = experiment.series["weak"].cdf_all()
         fast_cdf = experiment.series["fast"].cdf_all()
         fast_top = experiment.series["fast"].cdf_top()

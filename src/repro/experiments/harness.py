@@ -6,13 +6,28 @@ the write is everywhere (the paper's §5 procedure). The harness repeats
 trials with derived seeds and — crucially — gives every variant the
 *same* topology, demand, origin and timer streams within a repetition,
 so variant comparisons are paired and low-variance.
+
+Two front ends share this machinery:
+
+* :class:`~repro.experiments.plan.ExperimentPlan` — the declarative,
+  picklable path: scenarios are named by registry key, expand into
+  :class:`~repro.experiments.plan.ScenarioSpec` objects and run on any
+  :class:`~repro.experiments.backends.ExecutionBackend` (serial or
+  process pool). Prefer this for anything registry-expressible.
+* :func:`run_experiment` — the legacy factory-based path, kept for
+  custom topologies/demands that are not in the registries. It is a
+  thin wrapper over the same repetition expansion and backend protocol;
+  live objects restrict it to in-process backends unless they pickle.
+
+Both derive per-repetition seeds with :func:`rep_seeds`, so the two
+paths produce bit-identical results for equivalent inputs.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, Mapping, NamedTuple, Optional, Tuple
 
 from ..core.config import ProtocolConfig
 from ..core.metrics import mean_reach_time, reach_time
@@ -22,7 +37,7 @@ from ..errors import ExperimentError
 from ..sim.rng import derive_seed
 from ..topology.analysis import diameter as topo_diameter
 from ..topology.graph import Topology
-from .results import ExperimentResult, TrialResult, VariantSeries
+from .results import ExperimentResult, TrialResult
 
 #: Builds the repetition's topology from a derived seed.
 TopologyFactory = Callable[[int], Topology]
@@ -32,6 +47,31 @@ DemandFactory = Callable[[Topology, int], DemandModel]
 
 #: Fraction of nodes counted as the "high demand" subset (Figs. 5-6).
 DEFAULT_TOP_FRACTION = 0.1
+
+
+class RepSeeds(NamedTuple):
+    """The four independent seed streams of one repetition."""
+
+    topology: int
+    demand: int
+    simulator: int
+    origin: int
+
+
+def rep_seeds(seed: int, rep: int) -> RepSeeds:
+    """Derive repetition ``rep``'s seeds from the master ``seed``.
+
+    This is the single source of truth for the derivation scheme; the
+    declarative plan layer and the legacy factory loop both use it, so
+    the same (seed, rep) always reproduces the same trial no matter
+    which path — or which process — runs it.
+    """
+    return RepSeeds(
+        topology=derive_seed(seed, f"topo/{rep}"),
+        demand=derive_seed(seed, f"demand/{rep}"),
+        simulator=derive_seed(seed, f"sim/{rep}"),
+        origin=derive_seed(seed, f"origin/{rep}"),
+    )
 
 
 @dataclass(frozen=True)
@@ -82,8 +122,29 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
         diameter=topo_diameter(spec.topology),
         messages=system.network.counters.messages_sent,
         bytes_sent=system.network.counters.bytes_sent,
+        n_nodes=spec.topology.num_nodes,
     )
     return trial, system
+
+
+@dataclass(frozen=True)
+class LiveTrial:
+    """A backend work unit wrapping an already-built :class:`TrialSpec`.
+
+    The declarative path ships :class:`~repro.experiments.plan.ScenarioSpec`
+    objects to workers; this is its live-object counterpart used by the
+    legacy factory loop. It satisfies the same ``.run()`` contract, so a
+    backend does not care which kind of unit it executes (a process pool
+    additionally needs the payload to pickle, which live topologies and
+    demand models built from plain data do).
+    """
+
+    rep: int
+    spec: TrialSpec
+
+    def run(self) -> TrialResult:
+        trial, _system = run_trial(self.spec)
+        return replace(trial, rep=self.rep)
 
 
 def run_experiment(
@@ -97,17 +158,55 @@ def run_experiment(
     top_fraction: float = DEFAULT_TOP_FRACTION,
     loss: float = 0.0,
     params: Optional[Dict[str, object]] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> ExperimentResult:
     """Run ``reps`` paired repetitions of every variant.
 
     For repetition *i*, every variant sees the same topology (seed
     ``derive(seed, 'topo', i)``), demand (``derive(seed, 'demand', i)``),
     origin replica and simulator seed — only the protocol differs.
+
+    This is the factory-based compatibility front end: it expands the
+    grid into :class:`LiveTrial` units and hands them to ``backend``
+    (serial by default). Registry-expressible experiments should build
+    an :class:`~repro.experiments.plan.ExperimentPlan` instead, whose
+    picklable scenarios parallelise without restrictions.
     """
     if reps < 1:
         raise ExperimentError(f"reps must be >= 1, got {reps}")
     if not variants:
         raise ExperimentError("no variants given")
+
+    def expand() -> Iterator[LiveTrial]:
+        # A generator, not a list: a serial backend consumes it rep by
+        # rep, so only one repetition's topology/demand are alive at a
+        # time even for paper-fidelity reps counts.
+        for rep in range(reps):
+            seeds = rep_seeds(seed, rep)
+            topology = topology_factory(seeds.topology)
+            demand = demand_factory(topology, seeds.demand)
+            origin = random.Random(seeds.origin).choice(list(topology.nodes))
+            for config in variants.values():
+                yield LiveTrial(
+                    rep=rep,
+                    spec=TrialSpec(
+                        topology=topology,
+                        demand=demand,
+                        config=config,
+                        seed=seeds.simulator,
+                        origin=origin,
+                        max_time=max_time,
+                        top_fraction=top_fraction,
+                        loss=loss,
+                    ),
+                )
+
+    if backend is None:
+        from .backends import SerialBackend
+
+        backend = SerialBackend()
+    trials = backend.run_trials(expand())
+    variant_names = [name_ for _ in range(reps) for name_ in variants]
     result = ExperimentResult(
         name=name,
         params={
@@ -119,38 +218,6 @@ def run_experiment(
             **(params or {}),
         },
     )
-    for rep in range(reps):
-        topo_seed = derive_seed(seed, f"topo/{rep}")
-        demand_seed = derive_seed(seed, f"demand/{rep}")
-        sim_seed = derive_seed(seed, f"sim/{rep}")
-        topology = topology_factory(topo_seed)
-        demand = demand_factory(topology, demand_seed)
-        origin_rng = random.Random(derive_seed(seed, f"origin/{rep}"))
-        origin = origin_rng.choice(list(topology.nodes))
-        for variant_name, config in variants.items():
-            trial, _system = run_trial(
-                TrialSpec(
-                    topology=topology,
-                    demand=demand,
-                    config=config,
-                    seed=sim_seed,
-                    origin=origin,
-                    max_time=max_time,
-                    top_fraction=top_fraction,
-                    loss=loss,
-                )
-            )
-            result.variant(variant_name).add(
-                TrialResult(
-                    rep=rep,
-                    origin=trial.origin,
-                    time_all=trial.time_all,
-                    time_top=trial.time_top,
-                    time_top1=trial.time_top1,
-                    mean_time=trial.mean_time,
-                    diameter=trial.diameter,
-                    messages=trial.messages,
-                    bytes_sent=trial.bytes_sent,
-                )
-            )
+    for variant_name, trial in zip(variant_names, trials):
+        result.variant(variant_name).add(trial)
     return result

@@ -1,0 +1,257 @@
+"""Declarative, picklable experiment plans.
+
+The paper's evaluation is hundreds of paired repetitions across
+topology x demand x variant grids. A :class:`ScenarioSpec` describes one
+repetition of one variant *by registry name* (see
+:mod:`repro.experiments.scenarios`) plus derived seeds — no live
+:class:`~repro.topology.graph.Topology` or
+:class:`~repro.demand.base.DemandModel` objects — so specs cross process
+boundaries and the grid can fan out over an
+:class:`~repro.experiments.backends.ExecutionBackend`.
+
+:class:`ExperimentPlan` is the declarative front end: it expands
+``reps x variants`` into scenario specs with the same seed-derivation
+scheme the legacy :func:`~repro.experiments.harness.run_experiment` loop
+uses, so a plan executed on any backend reproduces the serial harness
+bit-for-bit. Every registry builder is a pure function of its seeds,
+which is what makes "rebuild inside the worker" equivalent to "share
+one object across variants".
+
+Example::
+
+    plan = ExperimentPlan(
+        name="fig5", topology="ba", demand="uniform",
+        variants=("weak", "fast"), n=50, reps=120, seed=1,
+    )
+    result = plan.run(ProcessPoolBackend(max_workers=4))
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..topology.graph import Topology
+from .harness import DEFAULT_TOP_FRACTION, TrialSpec, rep_seeds, run_trial
+from .results import ExperimentResult, TrialResult
+from .scenarios import DEMANDS, TOPOLOGIES, VARIANTS
+
+
+def _check_registry_key(kind: str, registry: Mapping[str, object], name: str) -> None:
+    if name not in registry:
+        raise ExperimentError(
+            f"unknown {kind} {name!r}; known: {sorted(registry)}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One repetition of one variant, named by registry keys.
+
+    Unlike :class:`~repro.experiments.harness.TrialSpec` (which carries
+    live objects), every field here is a plain string or number, so the
+    spec pickles cheaply and the worker process rebuilds the topology,
+    demand model and protocol config from the registries.
+
+    Attributes:
+        experiment: Name of the owning experiment (for reports).
+        rep: Repetition index within the experiment.
+        variant: :data:`~repro.experiments.scenarios.VARIANTS` key.
+        topology: :data:`~repro.experiments.scenarios.TOPOLOGIES` key.
+        demand: :data:`~repro.experiments.scenarios.DEMANDS` key.
+        n: Requested node count (generators may round; the effective
+            count is recorded in ``TrialResult.n_nodes``).
+        topo_seed / demand_seed / sim_seed / origin_seed: Derived seeds;
+            every variant of the same repetition shares them, which is
+            what makes variant comparisons paired.
+        max_time / top_fraction / loss: Run knobs, as in ``TrialSpec``.
+    """
+
+    experiment: str
+    rep: int
+    variant: str
+    topology: str
+    demand: str
+    n: int
+    topo_seed: int
+    demand_seed: int
+    sim_seed: int
+    origin_seed: int
+    max_time: float = 80.0
+    top_fraction: float = DEFAULT_TOP_FRACTION
+    loss: float = 0.0
+    bridge_islands: bool = False
+    island_percentile: float = 75.0
+
+    def validate(self) -> "ScenarioSpec":
+        """Raise :class:`ExperimentError` if any registry key is unknown."""
+        _check_registry_key("topology", TOPOLOGIES, self.topology)
+        _check_registry_key("demand", DEMANDS, self.demand)
+        _check_registry_key("variant", VARIANTS, self.variant)
+        return self
+
+    # -- materialisation (runs inside the worker process) -----------------
+
+    def build_topology(self) -> Topology:
+        return TOPOLOGIES[self.topology](self.n, self.topo_seed)
+
+    def resolve_origin(self, topology: Topology) -> int:
+        """Pick the write origin exactly like the serial harness does."""
+        return random.Random(self.origin_seed).choice(list(topology.nodes))
+
+    def to_trial_spec(self) -> TrialSpec:
+        """Build the live :class:`TrialSpec` this scenario describes."""
+        self.validate()
+        topology = self.build_topology()
+        demand = DEMANDS[self.demand](topology, self.demand_seed)
+        return TrialSpec(
+            topology=topology,
+            demand=demand,
+            config=VARIANTS[self.variant](),
+            seed=self.sim_seed,
+            origin=self.resolve_origin(topology),
+            max_time=self.max_time,
+            top_fraction=self.top_fraction,
+            bridge_islands=self.bridge_islands,
+            island_percentile=self.island_percentile,
+            loss=self.loss,
+        )
+
+    def run(self) -> TrialResult:
+        """Execute this scenario and return its measurements."""
+        trial, _system = run_trial(self.to_trial_spec())
+        return replace(trial, rep=self.rep)
+
+
+def run_scenario(spec: ScenarioSpec) -> TrialResult:
+    """Module-level entry point so process pools can pickle the work."""
+    return spec.run()
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A reps x variants grid over one (topology, demand) scenario.
+
+    Attributes:
+        name: Experiment id recorded in the result.
+        topology / demand: Registry keys resolved inside each trial.
+        variants: Registry keys, one series per entry (order preserved).
+        n: Requested node count per topology.
+        reps: Paired repetitions per variant.
+        seed: Master seed; repetition *i* derives its topology, demand,
+            simulator and origin seeds from it exactly like
+            :func:`~repro.experiments.harness.run_experiment`.
+        max_time / top_fraction / loss: Run knobs for every trial.
+        params: Extra parameters recorded verbatim in the result.
+    """
+
+    name: str
+    topology: str = "ba"
+    demand: str = "uniform"
+    variants: Tuple[str, ...] = ("weak", "fast")
+    n: int = 50
+    reps: int = 50
+    seed: int = 0
+    max_time: float = 80.0
+    top_fraction: float = DEFAULT_TOP_FRACTION
+    loss: float = 0.0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variants", tuple(self.variants))
+
+    def validate(self) -> "ExperimentPlan":
+        if self.reps < 1:
+            raise ExperimentError(f"reps must be >= 1, got {self.reps}")
+        if not self.variants:
+            raise ExperimentError("no variants given")
+        if len(set(self.variants)) != len(self.variants):
+            raise ExperimentError(f"duplicate variants in {self.variants}")
+        _check_registry_key("topology", TOPOLOGIES, self.topology)
+        _check_registry_key("demand", DEMANDS, self.demand)
+        for variant in self.variants:
+            _check_registry_key("variant", VARIANTS, variant)
+        return self
+
+    # -- expansion --------------------------------------------------------
+
+    def scenarios(self) -> List[ScenarioSpec]:
+        """Expand into scenario specs, repetition-major.
+
+        Every variant of repetition *i* shares that repetition's derived
+        seeds, so comparisons stay paired no matter which backend runs
+        the specs or in what order the pool schedules them.
+        """
+        self.validate()
+        specs: List[ScenarioSpec] = []
+        for rep in range(self.reps):
+            seeds = rep_seeds(self.seed, rep)
+            for variant in self.variants:
+                specs.append(
+                    ScenarioSpec(
+                        experiment=self.name,
+                        rep=rep,
+                        variant=variant,
+                        topology=self.topology,
+                        demand=self.demand,
+                        n=self.n,
+                        topo_seed=seeds.topology,
+                        demand_seed=seeds.demand,
+                        sim_seed=seeds.simulator,
+                        origin_seed=seeds.origin,
+                        max_time=self.max_time,
+                        top_fraction=self.top_fraction,
+                        loss=self.loss,
+                    )
+                )
+        return specs
+
+    def total_trials(self) -> int:
+        """Number of trials the plan expands to (``reps * variants``)."""
+        return self.reps * len(self.variants)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, backend: Optional["ExecutionBackend"] = None) -> ExperimentResult:
+        """Execute every scenario on ``backend`` (serial by default).
+
+        Results are assembled in expansion order, so the returned
+        :class:`ExperimentResult` is identical for every backend.
+        """
+        from .backends import SerialBackend
+
+        if backend is None:
+            backend = SerialBackend()
+        specs = self.scenarios()
+        trials = backend.run_trials(specs)
+        result = ExperimentResult(
+            name=self.name,
+            params={
+                "reps": self.reps,
+                "seed": self.seed,
+                "max_time": self.max_time,
+                "top_fraction": self.top_fraction,
+                "loss": self.loss,
+                "topology": self.topology,
+                "demand": self.demand,
+                "variants": list(self.variants),
+                "n": self.n,
+                **dict(self.params),
+            },
+        )
+        for spec, trial in zip(specs, trials):
+            result.variant(spec.variant).add(trial)
+        effective = {t.n_nodes for t in trials if t.n_nodes is not None}
+        if effective and effective != {self.n}:
+            result.params["effective_n"] = sorted(effective)[0]
+        result.notes["backend"] = backend.name
+        return result
+
+
+def run_plan(
+    plan: ExperimentPlan, backend: Optional["ExecutionBackend"] = None
+) -> ExperimentResult:
+    """Functional alias for :meth:`ExperimentPlan.run`."""
+    return plan.run(backend)

@@ -36,6 +36,10 @@ class TrialResult:
         diameter: Topology diameter for this repetition.
         messages: Total messages the network carried.
         bytes_sent: Total bytes the network carried.
+        n_nodes: Effective node count of the built topology (may differ
+            from the requested ``n`` for generators that round, e.g.
+            grid/torus squaring; None in results recorded before this
+            field existed).
     """
 
     rep: int
@@ -47,6 +51,7 @@ class TrialResult:
     diameter: int
     messages: int
     bytes_sent: int
+    n_nodes: Optional[int] = None
 
 
 @dataclass

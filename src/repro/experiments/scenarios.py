@@ -1,10 +1,18 @@
-"""Declarative scenario construction (used by the CLI and examples).
+"""The scenario registries: names -> builders.
 
-A scenario names a topology family, a demand model and a protocol
-variant by string; :func:`build_topology`, :func:`build_demand` and
-:func:`build_variant` resolve those names, and :func:`build_system`
-assembles the whole thing. This keeps the CLI thin and gives tests one
-place to verify the registry stays in sync with the library.
+:data:`TOPOLOGIES`, :data:`DEMANDS` and :data:`VARIANTS` are the single
+source of truth for everything addressable by name — the CLI, the
+examples, and (crucially) the declarative experiment pipeline:
+:class:`~repro.experiments.plan.ScenarioSpec` carries registry keys and
+seeds across process boundaries and workers rebuild the live objects
+through these tables. Every builder must therefore be a pure function
+of its arguments (same ``(n, seed)`` -> equal topology, same
+``(topology, seed)`` -> equal demand values), or parallel and serial
+execution would diverge.
+
+:func:`build_topology`, :func:`build_demand` and :func:`build_variant`
+resolve names with helpful errors, and :func:`build_system` assembles a
+whole system for one-off runs.
 """
 
 from __future__ import annotations
@@ -24,13 +32,14 @@ from ..core.variants import (
 from ..demand.base import DemandModel
 from ..demand.field import two_valley_field
 from ..demand.static import ConstantDemand, UniformRandomDemand, ZipfDemand
-from ..errors import ExperimentError
+from ..errors import ExperimentError, ExperimentSizeWarning
 from ..topology.brite import internet_like, waxman, BriteConfig
 from ..topology.graph import Topology
 from ..topology.simple import complete, grid, line, ring, star, torus
 
 import math
 import random
+import warnings
 
 #: name -> topology factory taking (n, seed).
 TOPOLOGIES: Dict[str, Callable[[int, int], Topology]] = {
@@ -65,7 +74,24 @@ VARIANTS: Dict[str, Callable[[], ProtocolConfig]] = {
 
 
 def _square_sides(n: int) -> tuple:
+    """Sides of the (near-)square grid/torus for ``n`` requested nodes.
+
+    Grid and torus topologies are built ``side x side``; when ``n`` is
+    not a perfect square the effective node count differs from the
+    request, which silently skews per-node comparisons. We warn loudly
+    (and the harness records the effective count in
+    ``TrialResult.n_nodes``) instead of failing, since sweeps routinely
+    pass round numbers like 50.
+    """
     side = max(2, int(round(math.sqrt(n))))
+    if side * side != n:
+        warnings.warn(
+            f"grid/torus topologies are square: requested n={n} nodes but "
+            f"building {side}x{side} = {side * side}; results record the "
+            "effective node count in n_nodes",
+            ExperimentSizeWarning,
+            stacklevel=3,
+        )
     return side, side
 
 

@@ -54,7 +54,7 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer()
         self._heap: List[Event] = []
-        self._events: Dict[EventHandle, Event] = {}
+        self._pending = 0
         self._stopping = False
         self._running = False
         self.events_executed = 0
@@ -92,8 +92,10 @@ class Simulator:
             raise SimulationError(f"callback {callback!r} is not callable")
         handle = EventHandle(time=float(time), priority=priority, seq=next_sequence())
         event = Event(handle=handle, callback=callback, args=args, label=label)
+        event.sim = self
+        handle._event = event
         heapq.heappush(self._heap, event)
-        self._events[handle] = event
+        self._pending += 1
         return handle
 
     def cancel(self, handle: EventHandle) -> bool:
@@ -101,18 +103,22 @@ class Simulator:
 
         Returns:
             True if the event was pending and is now cancelled; False if
-            it had already fired or was already cancelled.
+            it had already fired, was already cancelled, or belongs to a
+            different simulator.
         """
-        event = self._events.get(handle)
-        if event is None or event.cancelled:
+        event = getattr(handle, "_event", None)
+        if event is None or event.cancelled or event.sim is not self:
             return False
         event.cancelled = True
-        del self._events[handle]
+        # Release the handle -> event back-reference so retained handles
+        # do not keep the callback and its arguments alive.
+        handle._event = None
+        self._pending -= 1
         return True
 
     def pending_count(self) -> int:
         """Number of events scheduled and not yet fired or cancelled."""
-        return len(self._events)
+        return self._pending
 
     # -- pub/sub ----------------------------------------------------------
 
@@ -132,7 +138,9 @@ class Simulator:
         Returns:
             The number of handlers invoked.
         """
-        handlers = self._subscribers.get(topic, ())
+        handlers = self._subscribers.get(topic)
+        if not handlers:
+            return 0
         for handler in tuple(handlers):
             handler(**payload)
         return len(handlers)
@@ -149,8 +157,12 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            del self._events[event.handle]
-            self.now = event.handle.time
+            # Drop the handle -> event back-reference: a late cancel()
+            # through the handle then reports False, and a retained
+            # handle no longer keeps the fired callback and args alive.
+            event.handle._event = None
+            self._pending -= 1
+            self.now = event.sort_key[0]
             self.events_executed += 1
             event.fire()
             return True
@@ -186,7 +198,7 @@ class Simulator:
                     if until is not None and until > self.now:
                         self.now = until
                     return RUN_EXHAUSTED
-                if until is not None and event.handle.time > until:
+                if until is not None and event.sort_key[0] > until:
                     self.now = until
                     return RUN_UNTIL
                 self.step()

@@ -8,13 +8,16 @@ before it fires.
 Events at the same timestamp are ordered by ``priority`` (lower fires
 first) and then by insertion order, which makes simulations fully
 deterministic for a fixed seed.
+
+Both classes use ``__slots__``: a simulation allocates one event per
+message hop and per session timer, so the per-instance dict of a plain
+class is measurable overhead in large parallel sweeps.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Tuple
 
 #: Priority used when the caller does not specify one.
 DEFAULT_PRIORITY = 0
@@ -30,7 +33,6 @@ def next_sequence() -> int:
     return next(_sequence)
 
 
-@dataclass(frozen=True)
 class EventHandle:
     """Opaque handle identifying a scheduled event.
 
@@ -40,9 +42,15 @@ class EventHandle:
         seq: Insertion-order tie break.
     """
 
-    time: float
-    priority: int
-    seq: int
+    __slots__ = ("time", "priority", "seq", "_event")
+
+    def __init__(self, time: float, priority: int, seq: int):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        # Back-reference to the scheduled Event, set by the engine; lets
+        # Simulator.cancel work without a handle -> event dict.
+        self._event = None
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -51,8 +59,25 @@ class EventHandle:
             other.seq,
         )
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventHandle):
+            return NotImplemented
+        return (self.time, self.priority, self.seq) == (
+            other.time,
+            other.priority,
+            other.seq,
+        )
 
-@dataclass
+    def __hash__(self) -> int:
+        return hash((self.time, self.priority, self.seq))
+
+    def __repr__(self) -> str:
+        return (
+            f"EventHandle(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r})"
+        )
+
+
 class Event:
     """A scheduled callback inside the engine's heap.
 
@@ -62,22 +87,41 @@ class Event:
             ``handle.time`` with ``args``.
         args: Positional arguments passed to ``callback``.
         cancelled: Set by :meth:`Simulator.cancel`; cancelled events are
-            skipped (lazily removed) when popped from the heap.
+            skipped (lazily removed) when popped from the heap. When an
+            event fires (or is cancelled) the engine clears the handle's
+            back-reference instead, so a handle can never cancel an
+            already-executed event.
+        sort_key: Precomputed ``(time, priority, seq)`` heap key.
     """
 
-    handle: EventHandle
-    callback: Callable[..., Any]
-    args: tuple
-    cancelled: bool = False
-    label: str = ""
+    __slots__ = ("handle", "callback", "args", "cancelled", "label", "sort_key", "sim")
 
-    sort_key: tuple = field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        self.sort_key = (self.handle.time, self.handle.priority, self.handle.seq)
+    def __init__(
+        self,
+        handle: EventHandle,
+        callback: Callable[..., Any],
+        args: tuple,
+        cancelled: bool = False,
+        label: str = "",
+    ):
+        self.handle = handle
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self.label = label
+        self.sort_key: Tuple[float, int, int] = (handle.time, handle.priority, handle.seq)
+        # Owning simulator, set by Simulator.schedule_at; cancel() uses it
+        # to reject handles that belong to a different simulator.
+        self.sim = None
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(handle={self.handle!r}, label={self.label!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
 
     def fire(self) -> None:
         """Invoke the callback (the engine checks ``cancelled`` first)."""

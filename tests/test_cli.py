@@ -102,3 +102,42 @@ class TestCommands:
         )
         assert "sessions to all replicas" in out
         assert "messages" in out
+
+    def test_sweep(self, capsys):
+        out = run_cli(
+            capsys,
+            "sweep", "--topology", "ring", "--variants", "weak", "fast",
+            "-n", "8", "--reps", "2",
+        )
+        assert "backend=serial" in out
+        assert "weak" in out and "fast" in out
+
+    def test_sweep_parallel_matches_serial(self, capsys, tmp_path):
+        import json
+
+        argv = [
+            "sweep", "--topology", "ring", "--variants", "weak",
+            "-n", "8", "--reps", "2", "--seed", "3",
+        ]
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        run_cli(capsys, *argv, "--json", str(serial_path))
+        out = run_cli(
+            capsys, *argv, "--workers", "2", "--json", str(parallel_path)
+        )
+        assert "backend=process[2]" in out
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert serial["series"] == parallel["series"]
+
+    def test_fig5_workers_flag_parses(self):
+        args = build_parser().parse_args(["fig5", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_unwritable_json_path_is_clean_error(self, capsys):
+        code = main(
+            ["sweep", "--topology", "ring", "--variants", "weak",
+             "-n", "8", "--reps", "1", "--json", "/nonexistent-dir/out.json"]
+        )
+        assert code == 2
+        assert "cannot write results" in capsys.readouterr().err

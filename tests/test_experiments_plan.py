@@ -1,0 +1,219 @@
+"""Tests for the declarative experiment pipeline (plan + backends)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError, ExperimentSizeWarning
+from repro.experiments.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.experiments.harness import rep_seeds, run_experiment
+from repro.experiments.plan import ExperimentPlan, ScenarioSpec, run_plan, run_scenario
+from repro.experiments.scenarios import DEMANDS, TOPOLOGIES, VARIANTS
+from repro.core.variants import fast_consistency, weak_consistency
+from repro.demand.static import UniformRandomDemand
+from repro.topology.simple import ring
+
+
+def small_plan(**overrides) -> ExperimentPlan:
+    defaults = dict(
+        name="t",
+        topology="ring",
+        demand="uniform",
+        variants=("weak", "fast"),
+        n=10,
+        reps=3,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ExperimentPlan(**defaults)
+
+
+class TestPlanExpansion:
+    def test_expansion_counts(self):
+        plan = small_plan(reps=4, variants=("weak", "ordered", "fast"))
+        specs = plan.scenarios()
+        assert len(specs) == plan.total_trials() == 12
+        assert [s.rep for s in specs] == [r for r in range(4) for _ in range(3)]
+        assert [s.variant for s in specs[:3]] == ["weak", "ordered", "fast"]
+
+    def test_variants_paired_within_rep(self):
+        specs = small_plan().scenarios()
+        by_rep = {}
+        for spec in specs:
+            by_rep.setdefault(spec.rep, []).append(spec)
+        for rep, group in by_rep.items():
+            seeds = rep_seeds(5, rep)
+            for spec in group:
+                assert spec.topo_seed == seeds.topology
+                assert spec.demand_seed == seeds.demand
+                assert spec.sim_seed == seeds.simulator
+                assert spec.origin_seed == seeds.origin
+
+    def test_knobs_propagate_to_specs(self):
+        plan = small_plan(max_time=33.0, top_fraction=0.2, loss=0.01)
+        for spec in plan.scenarios():
+            assert spec.max_time == 33.0
+            assert spec.top_fraction == 0.2
+            assert spec.loss == 0.01
+
+    def test_validation_rejects_bad_plans(self):
+        with pytest.raises(ExperimentError):
+            small_plan(reps=0).scenarios()
+        with pytest.raises(ExperimentError):
+            small_plan(variants=()).scenarios()
+        with pytest.raises(ExperimentError):
+            small_plan(variants=("weak", "weak")).scenarios()
+        with pytest.raises(ExperimentError):
+            small_plan(topology="moebius").scenarios()
+        with pytest.raises(ExperimentError):
+            small_plan(demand="psychic").scenarios()
+        with pytest.raises(ExperimentError):
+            small_plan(variants=("quantum",)).scenarios()
+
+    def test_scenario_spec_is_picklable(self):
+        spec = small_plan().scenarios()[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert run_scenario(clone).time_all == run_scenario(spec).time_all
+
+
+class TestBackendDeterminism:
+    def test_process_pool_bit_identical_to_serial(self):
+        plan = small_plan(topology="ba", n=12, reps=2)
+        serial = plan.run(SerialBackend())
+        parallel = plan.run(ProcessPoolBackend(max_workers=2, chunksize=1))
+        assert serial.to_dict()["series"] == parallel.to_dict()["series"]
+        assert serial.notes["backend"] == "serial"
+        assert parallel.notes["backend"] == "process[2]"
+
+    def test_plan_matches_legacy_run_experiment(self):
+        plan = small_plan(topology="ring", reps=2)
+        via_plan = plan.run()
+        legacy = run_experiment(
+            name="t",
+            variants={"weak": weak_consistency(), "fast": fast_consistency()},
+            topology_factory=lambda s: ring(10),
+            demand_factory=lambda topo, s: UniformRandomDemand(0.0, 100.0, seed=s),
+            reps=2,
+            seed=5,
+        )
+        assert via_plan.to_dict()["series"] == legacy.to_dict()["series"]
+
+    def test_run_plan_alias(self):
+        plan = small_plan(reps=1)
+        assert run_plan(plan).to_dict() == plan.run().to_dict()
+
+    def test_plan_reproducible(self):
+        plan = small_plan(reps=2)
+        assert plan.run().to_dict() == plan.run().to_dict()
+
+
+class TestRegistryCompleteness:
+    """Every registry key must build and run through a ScenarioSpec."""
+
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_every_topology_runs(self, topology):
+        plan = ExperimentPlan(
+            name="t", topology=topology, demand="uniform",
+            variants=("fast",), n=9, reps=1, seed=3, max_time=120.0,
+        )
+        result = plan.run()
+        trial = result.series["fast"].trials[0]
+        assert trial.n_nodes >= 4
+        assert trial.messages > 0
+
+    @pytest.mark.parametrize("demand", sorted(DEMANDS))
+    def test_every_demand_runs(self, demand):
+        # grid carries node positions, which "two-valleys" requires.
+        plan = ExperimentPlan(
+            name="t", topology="grid", demand=demand,
+            variants=("fast",), n=9, reps=1, seed=3, max_time=120.0,
+        )
+        trial = plan.run().series["fast"].trials[0]
+        assert trial.time_top1 is not None
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_every_variant_runs(self, variant):
+        plan = ExperimentPlan(
+            name="t", topology="ring", demand="uniform",
+            variants=(variant,), n=8, reps=1, seed=3, max_time=120.0,
+        )
+        trial = plan.run().series[variant].trials[0]
+        assert trial.time_all is not None
+
+
+class TestEffectiveSize:
+    def test_non_square_grid_warns_and_records_effective_n(self):
+        plan = ExperimentPlan(
+            name="t", topology="grid", demand="uniform",
+            variants=("weak",), n=10, reps=1, seed=1, max_time=120.0,
+        )
+        with pytest.warns(ExperimentSizeWarning):
+            result = plan.run()
+        assert result.params["effective_n"] == 9
+        assert result.series["weak"].trials[0].n_nodes == 9
+
+    def test_square_grid_does_not_warn(self):
+        import warnings
+
+        plan = ExperimentPlan(
+            name="t", topology="grid", demand="uniform",
+            variants=("weak",), n=9, reps=1, seed=1, max_time=120.0,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ExperimentSizeWarning)
+            result = plan.run()
+        assert "effective_n" not in result.params
+        assert result.series["weak"].trials[0].n_nodes == 9
+
+
+class TestResolveBackend:
+    def test_none_and_small_counts_are_serial(self):
+        for spec in (None, 0, 1, "serial"):
+            assert isinstance(resolve_backend(spec), SerialBackend)
+
+    def test_counts_above_one_use_process_pool(self):
+        backend = resolve_backend(3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.max_workers == 3
+        assert resolve_backend("process:4").max_workers == 4
+
+    def test_backend_instances_pass_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_backends_satisfy_protocol(self):
+        assert isinstance(SerialBackend(), ExecutionBackend)
+        assert isinstance(ProcessPoolBackend(max_workers=2), ExecutionBackend)
+
+    def test_malformed_specs_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_backend("warp-drive")
+        with pytest.raises(ExperimentError):
+            resolve_backend("process:many")
+        with pytest.raises(ExperimentError):
+            resolve_backend(-4)
+        with pytest.raises(ExperimentError):
+            ProcessPoolBackend(max_workers=0)
+
+
+class TestFigureCdfFrontEnd:
+    def test_unregistered_m_falls_back_to_factory_harness(self):
+        from repro.experiments.figures import figure_cdf
+
+        result = figure_cdf(n=10, reps=1, seed=2, m=4)
+        assert result.experiment.params["m"] == 4
+        assert set(result.experiment.series) == {"weak", "ordered", "fast"}
+
+    def test_plan_constructor_rejects_unregistered_m(self):
+        from repro.experiments.figures import figure_cdf_plan
+
+        with pytest.raises(ExperimentError):
+            figure_cdf_plan(10, m=4)

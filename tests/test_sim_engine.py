@@ -107,6 +107,25 @@ class TestCancellation:
         sim.cancel(handles[0])
         assert sim.pending_count() == 2
 
+    def test_cancel_foreign_handle_returns_false(self, sim):
+        other = Simulator(seed=99)
+        fired = []
+        handle = other.schedule(1.0, fired.append, "x")
+        assert sim.cancel(handle) is False
+        assert sim.pending_count() == 0
+        assert other.pending_count() == 1
+        other.run()
+        assert fired == ["x"]
+
+    def test_handle_releases_event_after_fire_and_cancel(self, sim):
+        fired_handle = sim.schedule(1.0, lambda: None)
+        cancelled_handle = sim.schedule(2.0, lambda: None)
+        sim.cancel(cancelled_handle)
+        sim.run()
+        # No lingering back-references keeping callbacks/args alive.
+        assert fired_handle._event is None
+        assert cancelled_handle._event is None
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):
