@@ -62,19 +62,35 @@ def test_pipeline_parallel_bit_identical(benchmark, report):
     assert serial_dict["series"] == parallel_dict["series"]
     assert serial_dict["params"] == parallel_dict["params"]
 
+    cpu_count = os.cpu_count() or 1
+    speedup = round(t_serial / t_parallel, 3) if t_parallel else None
     payload = {
         "experiment": plan.name,
         "trials": plan.total_trials(),
         "nodes": NODES,
         "reps": REPS,
         "workers": WORKERS,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "serial_seconds": round(t_serial, 4),
         "parallel_seconds": round(t_parallel, 4),
-        "speedup": round(t_serial / t_parallel, 3) if t_parallel else None,
+        "speedup": speedup,
+        "speedup_asserted": cpu_count >= 2,
         "bit_identical": True,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # On a single-core runner the pool's fork/IPC overhead legitimately
+    # makes speedup < 1 — recorded as honest data, not a failure. With
+    # real parallel hardware the gate only catches pathology (a pool
+    # markedly slower than serial, e.g. pickling regressions): the
+    # workload is sub-second, so scheduler noise on contended CI runners
+    # makes a tight >1.0 bar flaky. The honest speedup number is always
+    # recorded in BENCH_pipeline.json for trend tracking.
+    if cpu_count >= 2:
+        assert speedup is not None and speedup > 0.75, (
+            f"process pool pathologically slower than serial on "
+            f"{cpu_count} cores: speedup={speedup}"
+        )
 
     lines = [f"{key}: {value}" for key, value in payload.items()]
     report.add("pipeline-parallel", "\n".join(lines))

@@ -48,11 +48,13 @@ from .errors import (
     DemandError,
     ExperimentError,
     ExperimentSizeWarning,
+    FaultError,
     ReplicationError,
     ReproError,
     SimulationError,
     TopologyError,
 )
+from .faults import FaultProcess, FaultSchedule
 
 __version__ = "1.0.0"
 
@@ -69,8 +71,12 @@ __all__ = [
     "static_table_consistency",
     "detect_islands",
     "bridge_system",
+    # faults
+    "FaultSchedule",
+    "FaultProcess",
     # errors
     "ReproError",
+    "FaultError",
     "SimulationError",
     "TopologyError",
     "DemandError",

@@ -8,6 +8,7 @@ Examples::
     repro table2                     # §3-4 dynamic-demand comparison
     repro scaling --reps 20          # §5 sessions-vs-diameter sweep
     repro sweep --topology ba --variants weak fast --reps 50 --json out.json
+    repro sweep --topology line --faults none split_brain   # fault sweep
     repro islands                    # §6 leader-bridge extension
     repro surface                    # Fig. 1 demand landscape
     repro run --variant fast -n 80   # one ad-hoc simulation
@@ -33,7 +34,7 @@ from .errors import ExperimentError, ReproError
 from .experiments import figures
 from .experiments.backends import resolve_backend
 from .experiments.plan import ExperimentPlan
-from .experiments.scenarios import DEMANDS, TOPOLOGIES, VARIANTS, build_system
+from .experiments.scenarios import DEMANDS, FAULTS, TOPOLOGIES, VARIANTS, build_system
 from .experiments.tables import format_kv, format_table
 from .viz.ascii import bar_chart, cdf_plot
 from .viz.surface import render_surface
@@ -61,7 +62,12 @@ def _add_pipeline(parser: argparse.ArgumentParser) -> None:
 
 
 def _backend(args) -> object:
-    return resolve_backend(getattr(args, "workers", None))
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        # resolve_backend(0) means "serial" for API callers, but on the
+        # command line a zero-or-negative pool is always a typo.
+        raise ExperimentError(f"--workers must be >= 1, got {workers}")
+    return resolve_backend(workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,14 +110,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p, reps=50)
     _add_pipeline(p)
-    p.add_argument("--topology", choices=sorted(TOPOLOGIES), default="ba")
-    p.add_argument("--demand", choices=sorted(DEMANDS), default="uniform")
+    # Registry keys are validated by the plan itself, so an unknown name
+    # exits with a one-line ReproError naming the known keys instead of
+    # an argparse usage dump.
+    p.add_argument("--topology", metavar="NAME", default="ba",
+                   help=f"topology registry key ({', '.join(sorted(TOPOLOGIES))})")
+    p.add_argument("--demand", metavar="NAME", default="uniform",
+                   help=f"demand registry key ({', '.join(sorted(DEMANDS))})")
     p.add_argument(
         "--variants",
         nargs="+",
-        choices=sorted(VARIANTS),
+        metavar="NAME",
         default=["weak", "fast"],
-        help="protocol variants to compare (paired repetitions)",
+        help="protocol variants to compare, paired repetitions "
+        f"({', '.join(sorted(VARIANTS))})",
+    )
+    p.add_argument(
+        "--faults",
+        nargs="+",
+        metavar="NAME",
+        default=["none"],
+        help="fault regimes to sweep, paired with the same seeds "
+        f"({', '.join(sorted(FAULTS))})",
     )
     p.add_argument("-n", "--nodes", type=int, default=50)
     p.add_argument("--max-time", type=float, default=80.0)
@@ -268,6 +288,7 @@ def cmd_scaling(args) -> str:
 
 
 def cmd_sweep(args) -> str:
+    faults = tuple(getattr(args, "faults", None) or ("none",))
     plan = ExperimentPlan(
         name=f"sweep-{args.topology}-{args.demand}",
         topology=args.topology,
@@ -278,34 +299,35 @@ def cmd_sweep(args) -> str:
         seed=args.seed,
         max_time=args.max_time,
         loss=args.loss,
+        faults=faults,
     )
     backend = _backend(args)
     result = plan.run(backend)
+    faulted = faults != ("none",)
     rows = []
-    for variant in plan.variants:
-        series = result.series[variant]
-        rows.append(
-            (
-                variant,
-                f"{series.cdf_all().mean():.3f}",
-                f"{series.cdf_top().mean():.3f}",
-                f"{series.cdf_top1().mean():.3f}",
-                f"{series.mean_messages():.0f}",
-            )
-        )
+    for label in plan.series_labels():
+        series = result.series[label]
+        row = [
+            label,
+            f"{series.cdf_all().mean():.3f}",
+            f"{series.cdf_top().mean():.3f}",
+            f"{series.cdf_top1().mean():.3f}",
+            f"{series.mean_messages():.0f}",
+        ]
+        if faulted:
+            post_heal = series.mean_post_heal()
+            row.append("n/a" if post_heal is None else f"{post_heal:.3f}")
+        rows.append(tuple(row))
     title = (
         f"sweep — {args.topology} n={args.nodes}, demand={args.demand}, "
         f"reps={args.reps}, backend={result.notes['backend']}"
     )
     if "effective_n" in result.params:
         title += f" (effective n={result.params['effective_n']})"
-    out = [
-        format_table(
-            ["variant", "mean (all)", "mean (top 10%)", "mean (hottest)", "msgs"],
-            rows,
-            title=title,
-        )
-    ]
+    headers = ["series", "mean (all)", "mean (top 10%)", "mean (hottest)", "msgs"]
+    if faulted:
+        headers.append("post-heal")
+    out = [format_table(headers, rows, title=title)]
     out.extend(_export_json(args, result))
     return "\n".join(out)
 

@@ -117,6 +117,55 @@ def coverage_fraction(
     return covered / len(nodes)
 
 
+def post_heal_convergence_time(
+    times: Mapping[int, float],
+    nodes: Iterable[int],
+    heal_time: float,
+) -> Optional[float]:
+    """Sessions after a partition heals until every node has the update.
+
+    Nodes that converged before (or at) ``heal_time`` contribute zero —
+    the metric isolates the *recovery* cost the fault added, so an
+    un-partitioned run scores 0.0. Returns None when some node never
+    received the update within the run.
+    """
+    worst = 0.0
+    for node in nodes:
+        at = times.get(int(node))
+        if at is None:
+            return None
+        worst = max(worst, at - heal_time)
+    return max(0.0, worst)
+
+
+def staleness_under_partition(
+    times: Mapping[int, float],
+    nodes: Sequence[int],
+    start: float,
+    heal: float,
+) -> float:
+    """Mean per-node stale time within the partition window ``[start, heal]``.
+
+    A node is stale from ``start`` (or from the write, if later — times
+    before ``start`` contribute nothing) until it first applies the
+    update; a node that only converges after the heal — or never — is
+    stale for the whole window. The result is in session-time units,
+    bounded by ``heal - start``; lower is better, and the gap between
+    variants quantifies how much demand-ordering buys while the network
+    is split.
+    """
+    if not nodes:
+        raise ExperimentError("empty node set")
+    if heal <= start:
+        raise ExperimentError(f"empty partition window [{start}, {heal}]")
+    total = 0.0
+    for node in nodes:
+        at = times.get(int(node))
+        stale_until = heal if at is None else min(max(at, start), heal)
+        total += stale_until - start
+    return total / len(nodes)
+
+
 def satisfied_requests_series(
     times: Mapping[int, float],
     demand: Mapping[int, float],

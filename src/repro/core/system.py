@@ -106,6 +106,9 @@ class ReplicationSystem:
         self.tables: Dict[int, DemandTable] = {}
         self._apply_times: Dict[UpdateId, Dict[int, float]] = {}
         self._watch: Dict[UpdateId, Tuple[Set[int], float]] = {}
+        #: Set by fault-aware assemblers (build_system, run_trial) to the
+        #: installed :class:`~repro.faults.process.FaultProcess`.
+        self.fault_process = None
         self._build()
 
     # -- construction ------------------------------------------------------

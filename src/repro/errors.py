@@ -44,6 +44,15 @@ class ExperimentError(ReproError):
     """An experiment specification cannot be built or executed."""
 
 
+class FaultError(ReproError):
+    """A fault schedule is malformed or cannot be applied.
+
+    Raised, for instance, for an unknown fault action, a partition with
+    an empty group, or a generator asked to fault a topology with too
+    few nodes.
+    """
+
+
 class ExperimentSizeWarning(UserWarning):
     """An experiment runs with a different size than requested.
 

@@ -64,9 +64,11 @@ from .plan import ExperimentPlan, ScenarioSpec, run_plan, run_scenario
 from .results import ExperimentResult, TrialResult, VariantSeries
 from .scenarios import (
     DEMANDS,
+    FAULTS,
     TOPOLOGIES,
     VARIANTS,
     build_demand,
+    build_faults,
     build_system,
     build_topology,
     build_variant,
@@ -129,8 +131,10 @@ __all__ = [
     "TOPOLOGIES",
     "DEMANDS",
     "VARIANTS",
+    "FAULTS",
     "build_topology",
     "build_demand",
     "build_variant",
+    "build_faults",
     "build_system",
 ]

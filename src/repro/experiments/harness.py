@@ -30,10 +30,12 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, Mapping, NamedTuple, Optional, Tuple
 
 from ..core.config import ProtocolConfig
-from ..core.metrics import mean_reach_time, reach_time
+from ..core.metrics import mean_reach_time, post_heal_convergence_time, reach_time
 from ..core.system import ReplicationSystem
 from ..demand.base import DemandModel
 from ..errors import ExperimentError
+from ..faults.process import FaultProcess, prepare_demand
+from ..faults.schedule import FaultSchedule
 from ..sim.rng import derive_seed
 from ..topology.analysis import diameter as topo_diameter
 from ..topology.graph import Topology
@@ -50,12 +52,13 @@ DEFAULT_TOP_FRACTION = 0.1
 
 
 class RepSeeds(NamedTuple):
-    """The four independent seed streams of one repetition."""
+    """The five independent seed streams of one repetition."""
 
     topology: int
     demand: int
     simulator: int
     origin: int
+    faults: int
 
 
 def rep_seeds(seed: int, rep: int) -> RepSeeds:
@@ -64,13 +67,16 @@ def rep_seeds(seed: int, rep: int) -> RepSeeds:
     This is the single source of truth for the derivation scheme; the
     declarative plan layer and the legacy factory loop both use it, so
     the same (seed, rep) always reproduces the same trial no matter
-    which path — or which process — runs it.
+    which path — or which process — runs it. The faults stream is
+    independent of the others, so adding a fault regime to a sweep never
+    perturbs the topology, demand, simulator or origin of a repetition.
     """
     return RepSeeds(
         topology=derive_seed(seed, f"topo/{rep}"),
         demand=derive_seed(seed, f"demand/{rep}"),
         simulator=derive_seed(seed, f"sim/{rep}"),
         origin=derive_seed(seed, f"origin/{rep}"),
+        faults=derive_seed(seed, f"faults/{rep}"),
     )
 
 
@@ -88,13 +94,22 @@ class TrialSpec:
     bridge_islands: bool = False
     island_percentile: float = 75.0
     loss: float = 0.0
+    faults: Optional[FaultSchedule] = None
 
 
 def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
-    """Execute one trial; returns the measurements and the used system."""
+    """Execute one trial; returns the measurements and the used system.
+
+    With ``spec.faults``, the schedule is armed on the simulator before
+    the run starts (demand shocks wrap the demand model first — see
+    :func:`repro.faults.process.prepare_demand`), and the trial
+    additionally records the post-heal convergence time when the
+    schedule contains a healed partition.
+    """
+    demand = prepare_demand(spec.demand, spec.faults)
     system = ReplicationSystem(
         topology=spec.topology,
-        demand=spec.demand,
+        demand=demand,
         config=spec.config,
         seed=spec.seed,
         loss=spec.loss,
@@ -103,6 +118,8 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
         from ..core.islands import bridge_system
 
         bridge_system(system, percentile=spec.island_percentile)
+    if spec.faults is not None and spec.faults.events:
+        system.fault_process = FaultProcess(system, spec.faults)
     system.sim.trace.disable()
     system.start()
     update = system.inject_write(spec.origin)
@@ -112,6 +129,22 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
     nodes = spec.topology.nodes
     top_nodes = spec.demand.top_fraction(nodes, spec.top_fraction, time=0.0)
     top1 = spec.demand.ranked(nodes, time=0.0)[0]
+    time_post_heal = None
+    time_top_shocked = None
+    if spec.faults is not None:
+        heal_at = spec.faults.last_heal_time()
+        if heal_at is not None:
+            time_post_heal = post_heal_convergence_time(times, nodes, heal_at)
+        shock_at = spec.faults.last_shock_time()
+        if shock_at is not None:
+            # Rank by the *post-shock* demand surface (system.demand is
+            # the ShockableDemand wrapper here): without this, no sweep
+            # metric could tell whether a variant re-routed toward the
+            # newly hot region — the point of the demand_shock regime.
+            shocked_top = system.demand.top_fraction(
+                nodes, spec.top_fraction, time=shock_at
+            )
+            time_top_shocked = reach_time(times, shocked_top, t0)
     trial = TrialResult(
         rep=-1,
         origin=spec.origin,
@@ -123,6 +156,8 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
         messages=system.network.counters.messages_sent,
         bytes_sent=system.network.counters.bytes_sent,
         n_nodes=spec.topology.num_nodes,
+        time_post_heal=time_post_heal,
+        time_top_shocked=time_top_shocked,
     )
     return trial, system
 

@@ -33,10 +33,11 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
+from ..faults.schedule import FaultSchedule
 from ..topology.graph import Topology
 from .harness import DEFAULT_TOP_FRACTION, TrialSpec, rep_seeds, run_trial
 from .results import ExperimentResult, TrialResult
-from .scenarios import DEMANDS, TOPOLOGIES, VARIANTS
+from .scenarios import DEMANDS, FAULTS, TOPOLOGIES, VARIANTS
 
 
 def _check_registry_key(kind: str, registry: Mapping[str, object], name: str) -> None:
@@ -44,6 +45,16 @@ def _check_registry_key(kind: str, registry: Mapping[str, object], name: str) ->
         raise ExperimentError(
             f"unknown {kind} {name!r}; known: {sorted(registry)}"
         )
+
+
+def series_label(variant: str, faults: str) -> str:
+    """Result-series name for a (variant, fault regime) pair.
+
+    Healthy trials keep the bare variant name (existing results stay
+    stable); faulted trials append the regime, so a plan sweeping fault
+    regimes yields one comparable series per pair.
+    """
+    return variant if faults == "none" else f"{variant}@{faults}"
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,12 @@ class ScenarioSpec:
             every variant of the same repetition shares them, which is
             what makes variant comparisons paired.
         max_time / top_fraction / loss: Run knobs, as in ``TrialSpec``.
+        faults: :data:`~repro.experiments.scenarios.FAULTS` key naming
+            the fault regime replayed during the trial (``"none"`` = a
+            healthy network).
+        fault_seed: Derived seed the fault generator runs with; shared
+            by every variant of a repetition so fault comparisons are
+            paired too.
     """
 
     experiment: str
@@ -84,13 +101,20 @@ class ScenarioSpec:
     loss: float = 0.0
     bridge_islands: bool = False
     island_percentile: float = 75.0
+    faults: str = "none"
+    fault_seed: int = 0
 
     def validate(self) -> "ScenarioSpec":
         """Raise :class:`ExperimentError` if any registry key is unknown."""
         _check_registry_key("topology", TOPOLOGIES, self.topology)
         _check_registry_key("demand", DEMANDS, self.demand)
         _check_registry_key("variant", VARIANTS, self.variant)
+        _check_registry_key("fault regime", FAULTS, self.faults)
         return self
+
+    def series_label(self) -> str:
+        """Name of the result series this trial belongs to."""
+        return series_label(self.variant, self.faults)
 
     # -- materialisation (runs inside the worker process) -----------------
 
@@ -100,6 +124,11 @@ class ScenarioSpec:
     def resolve_origin(self, topology: Topology) -> int:
         """Pick the write origin exactly like the serial harness does."""
         return random.Random(self.origin_seed).choice(list(topology.nodes))
+
+    def build_faults(self, topology: Topology) -> Optional[FaultSchedule]:
+        """Generate the fault schedule (None for ``"none"``/empty ones)."""
+        schedule = FAULTS[self.faults](topology, self.fault_seed)
+        return schedule if schedule.events else None
 
     def to_trial_spec(self) -> TrialSpec:
         """Build the live :class:`TrialSpec` this scenario describes."""
@@ -117,6 +146,7 @@ class ScenarioSpec:
             bridge_islands=self.bridge_islands,
             island_percentile=self.island_percentile,
             loss=self.loss,
+            faults=self.build_faults(topology),
         )
 
     def run(self) -> TrialResult:
@@ -141,9 +171,14 @@ class ExperimentPlan:
         n: Requested node count per topology.
         reps: Paired repetitions per variant.
         seed: Master seed; repetition *i* derives its topology, demand,
-            simulator and origin seeds from it exactly like
+            simulator, origin and fault seeds from it exactly like
             :func:`~repro.experiments.harness.run_experiment`.
         max_time / top_fraction / loss: Run knobs for every trial.
+        faults: Fault-regime registry keys to sweep (default: a healthy
+            network). Each extra regime multiplies the grid; every
+            (variant, regime) pair of a repetition shares the
+            repetition's seeds, so fault comparisons are paired the same
+            way variant comparisons are.
         params: Extra parameters recorded verbatim in the result.
     """
 
@@ -157,10 +192,15 @@ class ExperimentPlan:
     max_time: float = 80.0
     top_fraction: float = DEFAULT_TOP_FRACTION
     loss: float = 0.0
+    faults: Tuple[str, ...] = ("none",)
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "variants", tuple(self.variants))
+        # A bare string is a single key, not an iterable of characters.
+        for attr in ("variants", "faults"):
+            value = getattr(self, attr)
+            coerced = (value,) if isinstance(value, str) else tuple(value)
+            object.__setattr__(self, attr, coerced)
 
     def validate(self) -> "ExperimentPlan":
         if self.reps < 1:
@@ -169,10 +209,16 @@ class ExperimentPlan:
             raise ExperimentError("no variants given")
         if len(set(self.variants)) != len(self.variants):
             raise ExperimentError(f"duplicate variants in {self.variants}")
+        if not self.faults:
+            raise ExperimentError("no fault regimes given (use ('none',))")
+        if len(set(self.faults)) != len(self.faults):
+            raise ExperimentError(f"duplicate fault regimes in {self.faults}")
         _check_registry_key("topology", TOPOLOGIES, self.topology)
         _check_registry_key("demand", DEMANDS, self.demand)
         for variant in self.variants:
             _check_registry_key("variant", VARIANTS, variant)
+        for fault in self.faults:
+            _check_registry_key("fault regime", FAULTS, fault)
         return self
 
     # -- expansion --------------------------------------------------------
@@ -180,37 +226,50 @@ class ExperimentPlan:
     def scenarios(self) -> List[ScenarioSpec]:
         """Expand into scenario specs, repetition-major.
 
-        Every variant of repetition *i* shares that repetition's derived
-        seeds, so comparisons stay paired no matter which backend runs
-        the specs or in what order the pool schedules them.
+        Every (fault regime, variant) pair of repetition *i* shares that
+        repetition's derived seeds, so comparisons stay paired no matter
+        which backend runs the specs or in what order the pool schedules
+        them. Variants are innermost, so a plan with the default healthy
+        regime expands exactly as before the faults axis existed.
         """
         self.validate()
         specs: List[ScenarioSpec] = []
         for rep in range(self.reps):
             seeds = rep_seeds(self.seed, rep)
-            for variant in self.variants:
-                specs.append(
-                    ScenarioSpec(
-                        experiment=self.name,
-                        rep=rep,
-                        variant=variant,
-                        topology=self.topology,
-                        demand=self.demand,
-                        n=self.n,
-                        topo_seed=seeds.topology,
-                        demand_seed=seeds.demand,
-                        sim_seed=seeds.simulator,
-                        origin_seed=seeds.origin,
-                        max_time=self.max_time,
-                        top_fraction=self.top_fraction,
-                        loss=self.loss,
+            for fault in self.faults:
+                for variant in self.variants:
+                    specs.append(
+                        ScenarioSpec(
+                            experiment=self.name,
+                            rep=rep,
+                            variant=variant,
+                            topology=self.topology,
+                            demand=self.demand,
+                            n=self.n,
+                            topo_seed=seeds.topology,
+                            demand_seed=seeds.demand,
+                            sim_seed=seeds.simulator,
+                            origin_seed=seeds.origin,
+                            max_time=self.max_time,
+                            top_fraction=self.top_fraction,
+                            loss=self.loss,
+                            faults=fault,
+                            fault_seed=seeds.faults,
+                        )
                     )
-                )
         return specs
 
+    def series_labels(self) -> Tuple[str, ...]:
+        """Result-series names in expansion order (fault-major)."""
+        return tuple(
+            series_label(variant, fault)
+            for fault in self.faults
+            for variant in self.variants
+        )
+
     def total_trials(self) -> int:
-        """Number of trials the plan expands to (``reps * variants``)."""
-        return self.reps * len(self.variants)
+        """Number of trials the plan expands to (``reps * faults * variants``)."""
+        return self.reps * len(self.faults) * len(self.variants)
 
     # -- execution --------------------------------------------------------
 
@@ -237,12 +296,13 @@ class ExperimentPlan:
                 "topology": self.topology,
                 "demand": self.demand,
                 "variants": list(self.variants),
+                "faults": list(self.faults),
                 "n": self.n,
                 **dict(self.params),
             },
         )
         for spec, trial in zip(specs, trials):
-            result.variant(spec.variant).add(trial)
+            result.variant(spec.series_label()).add(trial)
         effective = {t.n_nodes for t in trials if t.n_nodes is not None}
         if effective and effective != {self.n}:
             result.params["effective_n"] = sorted(effective)[0]

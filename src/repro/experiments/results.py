@@ -40,6 +40,16 @@ class TrialResult:
             from the requested ``n`` for generators that round, e.g.
             grid/torus squaring; None in results recorded before this
             field existed).
+        time_post_heal: Sessions between the last partition heal and
+            full convergence, for trials run under a fault schedule
+            containing a healed partition (None otherwise, and in
+            results recorded before this field existed).
+        time_top_shocked: Sessions until the high-demand subset ranked
+            by the *post-shock* demand surface had the update, for
+            trials whose fault schedule contains a demand shock (None
+            otherwise). ``time_top`` always ranks by pre-shock demand,
+            so the pair shows whether a variant re-routed toward the
+            newly hot region.
     """
 
     rep: int
@@ -52,6 +62,8 @@ class TrialResult:
     messages: int
     bytes_sent: int
     n_nodes: Optional[int] = None
+    time_post_heal: Optional[float] = None
+    time_top_shocked: Optional[float] = None
 
 
 @dataclass
@@ -75,6 +87,18 @@ class VariantSeries:
     def cdf_top1(self) -> EmpiricalCdf:
         """CDF of sessions to the single most-demanded replica."""
         return EmpiricalCdf(t.time_top1 for t in self.trials)
+
+    def mean_post_heal(self) -> Optional[float]:
+        """Mean post-heal convergence time over faulted trials.
+
+        None when no trial carries the measurement (no fault schedule,
+        or no healed partition in it); trials that never converged are
+        excluded, as in the CDF accessors.
+        """
+        values = [t.time_post_heal for t in self.trials if t.time_post_heal is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
 
     def mean_messages(self) -> float:
         if not self.trials:

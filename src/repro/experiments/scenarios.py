@@ -1,8 +1,8 @@
 """The scenario registries: names -> builders.
 
-:data:`TOPOLOGIES`, :data:`DEMANDS` and :data:`VARIANTS` are the single
-source of truth for everything addressable by name — the CLI, the
-examples, and (crucially) the declarative experiment pipeline:
+:data:`TOPOLOGIES`, :data:`DEMANDS`, :data:`VARIANTS` and :data:`FAULTS`
+are the single source of truth for everything addressable by name — the
+CLI, the examples, and (crucially) the declarative experiment pipeline:
 :class:`~repro.experiments.plan.ScenarioSpec` carries registry keys and
 seeds across process boundaries and workers rebuild the live objects
 through these tables. Every builder must therefore be a pure function
@@ -33,6 +33,15 @@ from ..demand.base import DemandModel
 from ..demand.field import two_valley_field
 from ..demand.static import ConstantDemand, UniformRandomDemand, ZipfDemand
 from ..errors import ExperimentError, ExperimentSizeWarning
+from ..faults.generators import (
+    demand_shock_storm,
+    flapping_links,
+    poisson_churn,
+    rolling_restart,
+    split_brain,
+)
+from ..faults.process import FaultProcess, prepare_demand
+from ..faults.schedule import FaultSchedule
 from ..topology.brite import internet_like, waxman, BriteConfig
 from ..topology.graph import Topology
 from ..topology.simple import complete, grid, line, ring, star, torus
@@ -60,6 +69,16 @@ DEMANDS: Dict[str, Callable[[Topology, int], DemandModel]] = {
     "zipf": lambda topo, seed: ZipfDemand(topo.nodes, exponent=1.0, seed=seed),
     "constant": lambda topo, seed: ConstantDemand(10.0),
     "two-valleys": lambda topo, seed: _two_valleys(topo),
+}
+
+#: name -> fault-schedule factory taking (topology, seed).
+FAULTS: Dict[str, Callable[[Topology, int], FaultSchedule]] = {
+    "none": lambda topo, seed: FaultSchedule(name="none"),
+    "split_brain": split_brain,
+    "poisson_churn": poisson_churn,
+    "flapping_links": flapping_links,
+    "demand_shock": demand_shock_storm,
+    "rolling_restart": rolling_restart,
 }
 
 #: name -> protocol variant constructor.
@@ -132,6 +151,17 @@ def build_demand(name: str, topology: Topology, seed: int = 0) -> DemandModel:
     return factory(topology, seed)
 
 
+def build_faults(name: str, topology: Topology, seed: int = 0) -> FaultSchedule:
+    """Build a fault schedule by registry name (``"none"`` is empty)."""
+    try:
+        factory = FAULTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown fault regime {name!r}; known: {sorted(FAULTS)}"
+        ) from None
+    return factory(topology, seed)
+
+
 def build_variant(name: str) -> ProtocolConfig:
     """Build a protocol configuration by registry name."""
     try:
@@ -150,11 +180,25 @@ def build_system(
     n: int = 50,
     seed: int = 0,
     loss: float = 0.0,
+    faults: Optional[str] = None,
 ) -> ReplicationSystem:
-    """One-call system assembly from registry names."""
+    """One-call system assembly from registry names.
+
+    With ``faults`` (a :data:`FAULTS` key), the schedule is generated
+    from the topology and seed, its replay is armed on the simulator
+    before the system starts, and the installed
+    :class:`~repro.faults.process.FaultProcess` is exposed as
+    ``system.fault_process`` (None otherwise).
+    """
     topo = build_topology(topology, n, seed)
     model = build_demand(demand, topo, seed)
     config = build_variant(variant)
-    return ReplicationSystem(
+    schedule = None
+    if faults is not None:
+        schedule = build_faults(faults, topo, seed)
+        model = prepare_demand(model, schedule)
+    system = ReplicationSystem(
         topology=topo, demand=model, config=config, seed=seed, loss=loss
     )
+    system.fault_process = FaultProcess(system, schedule) if schedule else None
+    return system

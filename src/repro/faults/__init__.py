@@ -1,0 +1,69 @@
+"""Fault & churn scenario subsystem.
+
+The paper motivates demand-driven replication with unreliable wide-area
+networks; this package makes that unreliability a first-class,
+sweepable experiment axis:
+
+* :mod:`repro.faults.schedule` — declarative, picklable
+  :class:`FaultSchedule` / :class:`FaultEvent` data (node crashes, link
+  flaps, partitions, demand shocks, churn) plus constructor helpers.
+* :mod:`repro.faults.generators` — seeded schedule generators
+  (:func:`poisson_churn`, :func:`flapping_links`, :func:`split_brain`,
+  :func:`demand_shock_storm`, :func:`rolling_restart`), pure functions
+  of ``(topology, seed)`` like the demand registry's builders.
+* :mod:`repro.faults.process` — :class:`FaultProcess`, which replays a
+  schedule inside a live simulation deterministically, and
+  :class:`ShockableDemand` / :func:`prepare_demand` for demand shocks.
+
+Registry names (``"split_brain"``, ``"poisson_churn"``, ...) live in
+:data:`repro.experiments.scenarios.FAULTS`; ``repro sweep --faults``
+and :class:`~repro.experiments.plan.ExperimentPlan` sweep them across
+execution backends bit-identically.
+"""
+
+from .generators import (
+    demand_shock_storm,
+    flapping_links,
+    poisson_churn,
+    rolling_restart,
+    split_brain,
+)
+from .process import FAULT_PRIORITY, FaultProcess, ShockableDemand, prepare_demand
+from .schedule import (
+    ACTIONS,
+    FaultEvent,
+    FaultSchedule,
+    demand_shock,
+    heal,
+    join,
+    leave,
+    link_down,
+    link_up,
+    node_down,
+    node_up,
+    partition,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FAULT_PRIORITY",
+    "FaultEvent",
+    "FaultProcess",
+    "FaultSchedule",
+    "ShockableDemand",
+    "demand_shock",
+    "demand_shock_storm",
+    "flapping_links",
+    "heal",
+    "join",
+    "leave",
+    "link_down",
+    "link_up",
+    "node_down",
+    "node_up",
+    "partition",
+    "poisson_churn",
+    "prepare_demand",
+    "rolling_restart",
+    "split_brain",
+]

@@ -1,0 +1,247 @@
+"""Seeded fault-schedule generators.
+
+Each generator is a pure function of ``(topology, seed, parameters)``
+returning a :class:`~repro.faults.schedule.FaultSchedule` — the same
+contract the demand registry uses for its builders, and for the same
+reason: the experiment pipeline rebuilds schedules from registry names
+and derived seeds inside worker processes, so the same ``(topology,
+seed)`` must always produce the same schedule or serial and parallel
+runs would diverge.
+
+All generators keep the system *recoverable*: every crash is paired
+with a recovery and every partition with a heal, so convergence
+experiments still have a well-defined completion time (asserted by
+:meth:`FaultSchedule.always_recovers` in tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import FaultError
+from .schedule import (
+    FaultEvent,
+    FaultSchedule,
+    demand_shock,
+    heal,
+    join,
+    leave,
+    link_down,
+    link_up,
+    node_down,
+    node_up,
+    partition,
+)
+
+
+def _nodes_of(topology) -> List[int]:
+    nodes = sorted(int(n) for n in topology.nodes)
+    if not nodes:
+        raise FaultError("cannot generate faults for an empty topology")
+    return nodes
+
+
+def poisson_churn(
+    topology,
+    seed: int,
+    rate: float = 0.08,
+    mean_downtime: float = 3.0,
+    horizon: float = 30.0,
+    max_concurrent_fraction: float = 0.34,
+) -> FaultSchedule:
+    """Memoryless node churn: leaves arrive Poisson, downtimes exponential.
+
+    Crash arrivals form a Poisson process of ``rate`` events per session
+    time over ``[0, horizon)``; each picks a currently-up node uniformly
+    and takes it down (``leave``) for an Exp(``mean_downtime``) period
+    (``join``), truncated so every node is back before
+    ``horizon + 3 * mean_downtime``. At most
+    ``max_concurrent_fraction`` of the nodes are down at once, so the
+    network never empties out.
+    """
+    if rate < 0:
+        raise FaultError(f"churn rate must be >= 0, got {rate}")
+    if mean_downtime <= 0:
+        raise FaultError(f"mean_downtime must be > 0, got {mean_downtime}")
+    if horizon <= 0:
+        raise FaultError(f"horizon must be > 0, got {horizon}")
+    nodes = _nodes_of(topology)
+    rng = random.Random(seed)
+    max_down = max(1, int(len(nodes) * max_concurrent_fraction))
+    deadline = horizon + 3.0 * mean_downtime
+    events: List[FaultEvent] = []
+    up_until = {node: 0.0 for node in nodes}  # node -> time it is up again
+    now = 0.0
+    while rate > 0:
+        now += rng.expovariate(rate)
+        if now >= horizon:
+            break
+        candidates = [n for n in nodes if up_until[n] <= now]
+        down_count = sum(1 for n in nodes if up_until[n] > now)
+        if not candidates or down_count >= max_down:
+            continue
+        victim = rng.choice(candidates)
+        downtime = min(rng.expovariate(1.0 / mean_downtime), deadline - now)
+        events.append(leave(now, victim))
+        events.append(join(now + downtime, victim))
+        up_until[victim] = now + downtime
+    return FaultSchedule(events=tuple(events), name="poisson_churn").validate()
+
+
+def flapping_links(
+    topology,
+    seed: int,
+    fraction: float = 0.2,
+    period: float = 4.0,
+    duty: float = 0.5,
+    start: float = 1.0,
+    horizon: float = 25.0,
+) -> FaultSchedule:
+    """A random subset of links flaps down/up on a fixed period.
+
+    ``fraction`` of the edges (at least one) are chosen with the seeded
+    RNG; each flaps independently with a random phase: down for
+    ``duty * period``, up for the rest, from ``start`` until ``horizon``
+    — and is always restored at the end.
+    """
+    if not 0 < fraction <= 1:
+        raise FaultError(f"fraction must be in (0, 1], got {fraction}")
+    if period <= 0 or not 0 < duty < 1:
+        raise FaultError(f"invalid flap period {period} / duty {duty}")
+    edges = sorted((min(a, b), max(a, b)) for a, b, _ in topology.edges())
+    if not edges:
+        raise FaultError("topology has no links to flap")
+    rng = random.Random(seed)
+    count = max(1, round(len(edges) * fraction))
+    flappers = rng.sample(edges, count)
+    events: List[FaultEvent] = []
+    for a, b in flappers:
+        t = start + rng.uniform(0.0, period)
+        while t < horizon:
+            t_up = min(t + duty * period, horizon)
+            events.append(link_down(t, a, b))
+            events.append(link_up(t_up, a, b))
+            t += period
+    return FaultSchedule(events=tuple(events), name="flapping_links").validate()
+
+
+def split_brain(
+    topology,
+    seed: int,
+    at: float = 4.0,
+    heal_at: float = 16.0,
+    balance: float = 0.5,
+) -> FaultSchedule:
+    """One clean two-way partition: split at ``at``, heal at ``heal_at``.
+
+    The cut is an edge of a BFS spanning tree grown from a seeded root:
+    removing one tree edge leaves exactly two components, each connected
+    through the remaining tree edges, so *both* sides are connected
+    subgraphs (a geographic cut, not random assignment) and anti-entropy
+    keeps converging within each side while the brain is split. Among
+    all tree edges, the one whose subtree size is closest to ``balance``
+    of the nodes is cut (ties broken by node id for determinism).
+    """
+    if heal_at <= at:
+        raise FaultError(f"heal_at {heal_at} must be after at {at}")
+    if not 0 < balance < 1:
+        raise FaultError(f"balance must be in (0, 1), got {balance}")
+    nodes = _nodes_of(topology)
+    if len(nodes) < 2:
+        raise FaultError("split_brain needs at least 2 nodes")
+    rng = random.Random(seed)
+    target = max(1, min(len(nodes) - 1, round(len(nodes) * balance)))
+    root = rng.choice(nodes)
+
+    # BFS spanning tree (deterministic: sorted neighbour order).
+    parent = {root: None}
+    order = [root]
+    frontier = [root]
+    while frontier:
+        node = frontier.pop(0)
+        for neighbor in sorted(int(n) for n in topology.neighbors(node)):
+            if neighbor not in parent:
+                parent[neighbor] = node
+                order.append(neighbor)
+                frontier.append(neighbor)
+
+    if len(parent) < len(nodes):
+        # An unreachable node would be lumped arbitrarily into one side,
+        # silently breaking the both-sides-connected guarantee.
+        raise FaultError(
+            "split_brain needs a connected topology; "
+            f"{len(nodes) - len(parent)} node(s) unreachable from {root}"
+        )
+
+    # Subtree sizes, accumulated leaves-first along the BFS order.
+    size = {node: 1 for node in order}
+    for node in reversed(order[1:]):
+        size[parent[node]] += size[node]
+
+    # Cut the tree edge whose subtree is closest to the target size.
+    cut = min(order[1:], key=lambda n: (abs(size[n] - target), n))
+    side_a = {cut}
+    for node in order:
+        if parent[node] in side_a:
+            side_a.add(node)
+    side_b = [n for n in nodes if n not in side_a]
+    events = (
+        partition(at, (tuple(sorted(side_a)), tuple(side_b))),
+        heal(heal_at),
+    )
+    return FaultSchedule(events=events, name="split_brain").validate()
+
+
+def demand_shock_storm(
+    topology,
+    seed: int,
+    at: float = 3.0,
+    fraction: float = 0.1,
+    factor: float = 25.0,
+) -> FaultSchedule:
+    """A flash crowd: a seeded node subset's true demand jumps at ``at``.
+
+    Models the introduction's breaking-news motif while an update is in
+    flight — dynamic variants should re-route pushes toward the newly
+    hot region, static tables keep serving the stale ranking.
+    """
+    if not 0 < fraction <= 1:
+        raise FaultError(f"fraction must be in (0, 1], got {fraction}")
+    nodes = _nodes_of(topology)
+    rng = random.Random(seed)
+    count = max(1, round(len(nodes) * fraction))
+    hot = rng.sample(nodes, count)
+    return FaultSchedule(
+        events=(demand_shock(at, hot, factor),), name="demand_shock"
+    ).validate()
+
+
+def rolling_restart(
+    topology,
+    seed: int,
+    start: float = 2.0,
+    downtime: float = 1.5,
+    gap: float = 0.5,
+    fraction: float = 1.0,
+) -> FaultSchedule:
+    """Restart nodes one at a time in seeded-random order.
+
+    Every chosen node crashes for ``downtime`` and recovers before the
+    next one goes down (an operator draining a fleet) — the heaviest
+    recoverable churn pattern: eventually every replica was offline once.
+    """
+    if downtime <= 0 or gap < 0:
+        raise FaultError(f"invalid downtime {downtime} / gap {gap}")
+    if not 0 < fraction <= 1:
+        raise FaultError(f"fraction must be in (0, 1], got {fraction}")
+    nodes = _nodes_of(topology)
+    rng = random.Random(seed)
+    order = rng.sample(nodes, max(1, round(len(nodes) * fraction)))
+    events: List[FaultEvent] = []
+    t = start
+    for node in order:
+        events.append(node_down(t, node))
+        events.append(node_up(t + downtime, node))
+        t += downtime + gap
+    return FaultSchedule(events=tuple(events), name="rolling_restart").validate()

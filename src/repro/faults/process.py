@@ -1,0 +1,194 @@
+"""Replaying a fault schedule inside a live simulation.
+
+:class:`FaultProcess` turns the declarative events of a
+:class:`~repro.faults.schedule.FaultSchedule` into calls on a running
+:class:`~repro.core.system.ReplicationSystem`'s network (crash/recover,
+link flaps, partitions) and demand model (shocks). Events are scheduled
+at construction time with a priority that beats ordinary protocol
+events, so a fault takes effect *at* its timestamp — before any message
+delivery or session timer due at the same instant — which keeps replays
+deterministic and bit-identical across execution backends.
+
+Demand shocks need a mutable hook into the otherwise-static demand
+model: :class:`ShockableDemand` wraps any
+:class:`~repro.demand.base.DemandModel` with time-aware multipliers.
+The wrapper must be in place *before* the system is built (demand views
+capture the model reference at construction), which is what
+:func:`prepare_demand` is for — the harness and ``build_system`` call it
+when a schedule carries shocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..demand.base import DemandModel
+from ..errors import FaultError
+from .schedule import (
+    ACTION_DEMAND_SHOCK,
+    ACTION_HEAL,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ACTION_LINK_DOWN,
+    ACTION_LINK_UP,
+    ACTION_NODE_DOWN,
+    ACTION_NODE_UP,
+    ACTION_PARTITION,
+    FaultEvent,
+    FaultSchedule,
+)
+
+#: Same-time ordering: faults apply before protocol events (lower wins).
+FAULT_PRIORITY = -100
+
+
+class ShockableDemand(DemandModel):
+    """Wrap a demand model with time-aware multiplicative shocks.
+
+    ``demand(node, time)`` is the inner model's value times the factors
+    of every shock applied at or before ``time`` that covers ``node`` —
+    so queries about the pre-shock past stay unshocked and replaying the
+    same schedule always yields the same demand surface.
+    """
+
+    def __init__(self, inner: DemandModel):
+        self.inner = inner
+        self._shocks: List[Tuple[float, frozenset, float]] = []
+
+    def apply_shock(self, nodes: Iterable[int], factor: float, at: float) -> None:
+        """Multiply ``nodes``' demand by ``factor`` from time ``at`` on."""
+        if factor < 0:
+            raise FaultError(f"shock factor must be >= 0, got {factor}")
+        self._shocks.append((float(at), frozenset(int(n) for n in nodes), factor))
+
+    def demand(self, node: int, time: float) -> float:
+        value = self.inner.demand(node, time)
+        node = int(node)
+        for at, nodes, factor in self._shocks:
+            if at <= time and node in nodes:
+                value *= factor
+        return value
+
+
+def prepare_demand(
+    demand: DemandModel, schedule: Optional[FaultSchedule]
+) -> DemandModel:
+    """Wrap ``demand`` for shock injection when ``schedule`` needs it.
+
+    Must run before the :class:`ReplicationSystem` is constructed:
+    demand views and advertisers capture the model reference at build
+    time, so a later swap would leave them reading the unwrapped model.
+    """
+    if schedule is not None and schedule.has_demand_shocks():
+        return ShockableDemand(demand)
+    return demand
+
+
+class FaultProcess:
+    """Schedules and applies every event of a fault schedule.
+
+    Args:
+        system: The live system whose network/demand the faults hit.
+        schedule: The (validated) declarative schedule to replay.
+
+    Attributes:
+        stats: action name -> how many events of it were applied.
+        skipped: events that could not be applied (e.g. a demand shock
+            against a system built without :func:`prepare_demand`).
+    """
+
+    def __init__(self, system, schedule: FaultSchedule):
+        schedule.validate()
+        self.system = system
+        self.schedule = schedule
+        self.stats: Dict[str, int] = {}
+        self.skipped: List[FaultEvent] = []
+        self._parked_handlers: Dict[int, object] = {}
+        sim = system.sim
+        for event in schedule.events:
+            if event.time < sim.now:
+                raise FaultError(
+                    f"fault at t={event.time} is in the past (now={sim.now})"
+                )
+            sim.schedule_at(
+                event.time,
+                self._apply,
+                event,
+                priority=FAULT_PRIORITY,
+                label=f"fault.{event.action}",
+            )
+
+    # -- event application ------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        network = self.system.network
+        action, args = event.action, event.args
+        if action == ACTION_NODE_DOWN:
+            network.set_node_down(args[0])
+        elif action == ACTION_NODE_UP:
+            self._recover(args[0])
+        elif action == ACTION_LINK_DOWN:
+            network.set_link_down(args[0], args[1])
+        elif action == ACTION_LINK_UP:
+            network.set_link_up(args[0], args[1])
+        elif action == ACTION_PARTITION:
+            network.partition(args[0])
+        elif action == ACTION_HEAL:
+            network.heal_partition()
+        elif action == ACTION_LEAVE:
+            self._leave(args[0])
+        elif action == ACTION_JOIN:
+            self._join(args[0])
+        elif action == ACTION_DEMAND_SHOCK:
+            if not self._shock(args[0], args[1]):
+                self.skipped.append(event)
+                self.system.sim.trace.record(
+                    self.system.sim.now, "fault.skipped", action=action
+                )
+                return
+        self.stats[action] = self.stats.get(action, 0) + 1
+        self.system.sim.trace.record(
+            self.system.sim.now, "fault.apply", action=action, args=args
+        )
+
+    def _leave(self, node: int) -> None:
+        """Churn out: crash the node and park its delivery handler."""
+        network = self.system.network
+        handler = network.handler_for(node)
+        if handler is not None:
+            self._parked_handlers[node] = handler
+        network.detach(node)
+        network.set_node_down(node)
+
+    def _recover(self, node: int) -> None:
+        """Bring a crashed node back, restoring any handler a leave parked.
+
+        ``node_up`` after ``leave`` must re-attach too — the schedule
+        data model pairs any down action with any up action
+        (:meth:`FaultSchedule.down_intervals`), so recovery semantics
+        cannot depend on which up action closed the interval. A node
+        that was only ``node_down`` keeps whatever handler is attached.
+        """
+        network = self.system.network
+        handler = self._parked_handlers.pop(node, None)
+        if handler is not None:
+            network.attach(node, handler)
+        network.set_node_up(node)
+
+    def _join(self, node: int) -> None:
+        """Churn in: restore the handler (parked or the node's own) and recover."""
+        if node not in self._parked_handlers:
+            replication_node = self.system.nodes.get(node)
+            if replication_node is not None and (
+                self.system.network.handler_for(node) is None
+            ):
+                self.system.network.attach(node, replication_node.on_message)
+        self._recover(node)
+
+    def _shock(self, nodes: Tuple[int, ...], factor: float) -> bool:
+        demand = self.system.demand
+        apply_shock = getattr(demand, "apply_shock", None)
+        if apply_shock is None:
+            return False
+        apply_shock(nodes, factor, at=self.system.sim.now)
+        return True

@@ -213,6 +213,14 @@ class Network:
         """Remove a node's handler; in-flight messages to it are dropped."""
         self._handlers.pop(node, None)
 
+    def handler_for(self, node: int) -> Optional[Handler]:
+        """The currently attached handler of ``node`` (None if detached).
+
+        Fault injectors use this to park a churned-out node's handler so
+        a later re-join can restore delivery exactly as it was.
+        """
+        return self._handlers.get(node)
+
     # -- fault injection --------------------------------------------------
 
     def set_node_down(self, node: int) -> None:

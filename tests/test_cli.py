@@ -141,3 +141,94 @@ class TestCommands:
         )
         assert code == 2
         assert "cannot write results" in capsys.readouterr().err
+
+    def test_sweep_with_faults(self, capsys):
+        out = run_cli(
+            capsys,
+            "sweep", "--topology", "line", "--variants", "weak", "fast",
+            "--faults", "none", "split_brain", "-n", "10", "--reps", "2",
+        )
+        assert "weak@split_brain" in out
+        assert "fast@split_brain" in out
+        assert "post-heal" in out
+
+    def test_sweep_faulted_parallel_matches_serial(self, capsys, tmp_path):
+        import json
+
+        argv = [
+            "sweep", "--topology", "line", "--variants", "weak",
+            "--faults", "split_brain", "-n", "8", "--reps", "2", "--seed", "3",
+        ]
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        run_cli(capsys, *argv, "--json", str(serial_path))
+        run_cli(capsys, *argv, "--workers", "2", "--json", str(parallel_path))
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert serial["series"] == parallel["series"]
+        assert serial["params"]["faults"] == ["split_brain"]
+
+
+def assert_one_line_error(capsys, argv, needle) -> None:
+    """The CLI contract for bad input: exit 2, one stderr line, no traceback."""
+    code = main(argv)
+    err = capsys.readouterr().err
+    assert code == 2
+    assert needle in err
+    assert err.startswith("error: ")
+    assert len(err.strip().splitlines()) == 1
+
+
+class TestFailurePaths:
+    def test_unknown_topology_key(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["sweep", "--topology", "moebius", "-n", "8", "--reps", "1"],
+            "unknown topology 'moebius'",
+        )
+
+    def test_unknown_demand_key(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["sweep", "--demand", "psychic", "-n", "8", "--reps", "1"],
+            "unknown demand 'psychic'",
+        )
+
+    def test_unknown_variant_key(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["sweep", "--variants", "quantum", "-n", "8", "--reps", "1"],
+            "unknown variant 'quantum'",
+        )
+
+    def test_malformed_faults_spec(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["sweep", "--topology", "ring", "-n", "8", "--reps", "1",
+             "--faults", "gremlins"],
+            "unknown fault regime 'gremlins'",
+        )
+
+    def test_duplicate_faults_spec(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["sweep", "--topology", "ring", "-n", "8", "--reps", "1",
+             "--faults", "split_brain", "split_brain"],
+            "duplicate fault regimes",
+        )
+
+    def test_workers_zero_rejected(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["sweep", "--topology", "ring", "--variants", "weak",
+             "-n", "8", "--reps", "1", "--workers", "0"],
+            "--workers must be >= 1",
+        )
+
+    def test_workers_negative_rejected(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["sweep", "--topology", "ring", "--variants", "weak",
+             "-n", "8", "--reps", "1", "--workers", "-2"],
+            "--workers must be >= 1",
+        )

@@ -239,3 +239,95 @@ class TestBandwidthLatency:
         net.send(0, 1, Ping("y"))       # fast, sent second
         sim.run()
         assert got == [1, 50]
+
+
+class TestPartitionEdgeCases:
+    """Regression lock on partition/link/detach interaction semantics.
+
+    The fault-injection layer (repro.faults) composes these primitives;
+    these tests pin the current behaviour so schedule replays stay
+    stable across refactors.
+    """
+
+    def test_repartition_while_links_down_keeps_link_state(self, sim, line5):
+        # A partition and a failed link are independent filters: healing
+        # the partition must not resurrect the failed link, and
+        # re-partitioning must not reset it either.
+        net = make_net(sim, line5)
+        for n in line5.nodes:
+            net.attach(n, lambda s, m: None)
+        net.set_link_down(1, 2)
+        net.partition([[0, 1], [2, 3, 4]])
+        assert net.send(1, 2, Ping()) is False  # both filters block
+        net.partition([[0, 1, 2], [3, 4]])  # re-partition while split
+        assert net.send(1, 2, Ping()) is False  # link still down
+        assert net.send(2, 3, Ping()) is False  # new boundary blocks
+        net.heal_partition()
+        assert net.send(1, 2, Ping()) is False  # heal does not fix links
+        net.set_link_up(1, 2)
+        assert net.send(1, 2, Ping()) is True
+
+    def test_repartition_replaces_previous_assignment(self, sim, line5):
+        net = make_net(sim, line5)
+        for n in line5.nodes:
+            net.attach(n, lambda s, m: None)
+        net.partition([[0, 1], [2, 3, 4]])
+        net.partition([[0, 1, 2], [3, 4]])  # only the latest split holds
+        assert net.send(1, 2, Ping()) is True
+        assert net.send(3, 4, Ping()) is True
+
+    def test_detach_of_down_node_then_recovery(self, sim, triangle):
+        # Churn leave = down + detach; messages drop as link-down at
+        # send time. After recovery + re-attach, delivery resumes.
+        net = make_net(sim, triangle)
+        got = []
+        handler = lambda s, m: got.append(m)
+        net.attach(1, handler)
+        net.set_node_down(1)
+        net.detach(1)
+        assert net.handler_for(1) is None
+        assert net.send(0, 1, Ping()) is False
+        assert net.counters.messages_dropped == 1
+        net.set_node_up(1)
+        net.attach(1, handler)
+        assert net.handler_for(1) is handler
+        assert net.send(0, 1, Ping()) is True
+        sim.run()
+        assert len(got) == 1
+
+    def test_detached_up_node_drops_at_delivery_not_send(self, sim, triangle):
+        # Without the crash, a detached node still accepts the message
+        # into the channel; it drops at delivery time as "no-handler".
+        net = make_net(sim, triangle)
+        net.attach(1, lambda s, m: None)
+        net.detach(1)
+        assert net.send(0, 1, Ping()) is True
+        sim.run()
+        assert net.counters.messages_delivered == 0
+        assert net.counters.messages_dropped == 1
+
+    def test_set_link_up_does_not_cross_partition(self, sim, line5):
+        # "Self-healing" a link inside an active partition: the link
+        # filter clears but the partition filter still blocks until
+        # heal_partition() — partitions are strictly stronger.
+        net = make_net(sim, line5)
+        for n in line5.nodes:
+            net.attach(n, lambda s, m: None)
+        net.partition([[0, 1], [2, 3, 4]])
+        net.set_link_down(1, 2)
+        net.set_link_up(1, 2)
+        assert net.link_is_up(1, 2) is True
+        assert net.send(1, 2, Ping()) is False
+        net.heal_partition()
+        assert net.send(1, 2, Ping()) is True
+
+    def test_partition_ignores_unlisted_nodes(self, sim, line5):
+        # Nodes absent from every group share the "None" side: they can
+        # talk to each other but not to any listed group.
+        net = make_net(sim, line5)
+        for n in line5.nodes:
+            net.attach(n, lambda s, m: None)
+        net.partition([[0, 1]])
+        assert net.send(0, 1, Ping()) is True
+        assert net.send(1, 2, Ping()) is False  # listed <-> unlisted
+        assert net.send(2, 3, Ping()) is True  # unlisted <-> unlisted
