@@ -48,12 +48,14 @@ def test_pipeline_parallel_bit_identical(benchmark, report):
     serial_result = plan.run(SerialBackend())
     t_serial = time.perf_counter() - t0
 
-    parallel_backend = ProcessPoolBackend(max_workers=WORKERS)
-    t0 = time.perf_counter()
-    parallel_result = benchmark.pedantic(
-        lambda: plan.run(parallel_backend), rounds=1, iterations=1
-    )
-    t_parallel = time.perf_counter() - t0
+    # Backends now keep their pool alive across runs; close it here so
+    # the benchmark process does not carry idle workers around.
+    with ProcessPoolBackend(max_workers=WORKERS) as parallel_backend:
+        t0 = time.perf_counter()
+        parallel_result = benchmark.pedantic(
+            lambda: plan.run(parallel_backend), rounds=1, iterations=1
+        )
+        t_parallel = time.perf_counter() - t0
 
     # The acceptance bar: a process pool is an implementation detail,
     # not a source of noise. Compare the full serialised payloads.

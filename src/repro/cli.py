@@ -7,6 +7,9 @@ Examples::
     repro fig3                       # Fig. 3 request-satisfaction series
     repro table2                     # §3-4 dynamic-demand comparison
     repro scaling --reps 20          # §5 sessions-vs-diameter sweep
+    repro campaign run scaling --workers 8 --checkpoint sc.jsonl
+    repro campaign resume scaling --workers 8 --checkpoint sc.jsonl
+    repro campaign status --checkpoint sc.jsonl
     repro sweep --topology ba --variants weak fast --reps 50 --json out.json
     repro sweep --topology line --faults none split_brain   # fault sweep
     repro islands                    # §6 leader-bridge extension
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .core.metrics import reach_time
@@ -33,8 +37,11 @@ from .demand.field import SurfaceDemand, Valley
 from .errors import ExperimentError, ReproError
 from .experiments import figures
 from .experiments.backends import resolve_backend
+from .experiments.campaign import CampaignPaused
+from .experiments.figures import CAMPAIGNS
 from .experiments.plan import ExperimentPlan
 from .experiments.scenarios import DEMANDS, FAULTS, TOPOLOGIES, VARIANTS, build_system
+from .experiments.sink import JsonLinesSink, sink_status
 from .experiments.tables import format_kv, format_table
 from .viz.ascii import bar_chart, cdf_plot
 from .viz.surface import render_surface
@@ -104,6 +111,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--sizes", type=int, nargs="+", default=[25, 50, 100, 200], help="node counts"
     )
+
+    p = sub.add_parser(
+        "campaign",
+        help="run many plans over one worker pool, with checkpoint/resume",
+    )
+    csub = p.add_subparsers(dest="action", required=True)
+    for action, blurb in (
+        ("run", "run a named campaign (optionally checkpointing)"),
+        ("resume", "continue a checkpointed campaign from where it stopped"),
+    ):
+        cp = csub.add_parser(action, help=blurb)
+        cp.add_argument(
+            "name",
+            metavar="NAME",
+            help=f"campaign name ({', '.join(sorted(CAMPAIGNS))})",
+        )
+        cp.add_argument(
+            "--reps",
+            type=int,
+            default=None,
+            help="repetitions per plan (default: the campaign's own fidelity)",
+        )
+        cp.add_argument("--seed", type=int, default=1, help="master seed")
+        _add_pipeline(cp)
+        cp.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            default=None,
+            help="JSON-lines file recording every completed trial; an "
+            "interrupted run resumes from it with bit-identical results",
+        )
+        if action == "run":
+            cp.add_argument(
+                "--limit",
+                type=int,
+                default=None,
+                help="checkpoint and stop after N new trials "
+                "(requires --checkpoint; for chunked/CI runs)",
+            )
+    cp = csub.add_parser("status", help="progress of a checkpointed campaign")
+    cp.add_argument("--checkpoint", metavar="PATH", required=True)
 
     p = sub.add_parser(
         "sweep", help="run any registry-named experiment grid (plan + backend)"
@@ -232,12 +280,13 @@ def _export_json(args, experiment) -> List[str]:
 
 
 def _fig_cdf(args, default_n: int) -> str:
-    result = figures.figure_cdf(
-        n=getattr(args, "nodes", default_n),
-        reps=args.reps,
-        seed=args.seed,
-        backend=_backend(args),
-    )
+    with _backend(args) as backend:
+        result = figures.figure_cdf(
+            n=getattr(args, "nodes", default_n),
+            reps=args.reps,
+            seed=args.seed,
+            backend=backend,
+        )
     out = [
         format_table(
             ["curve (mean sessions)", "paper", "measured"],
@@ -277,9 +326,12 @@ def cmd_table2(args) -> str:
 
 
 def cmd_scaling(args) -> str:
-    result = figures.scaling_experiment(
-        sizes=tuple(args.sizes), reps=args.reps, seed=args.seed, backend=_backend(args)
-    )
+    # One backend for the whole sweep: the campaign underneath reuses
+    # its process pool across every size, and `with` shuts it down.
+    with _backend(args) as backend:
+        result = figures.scaling_experiment(
+            sizes=tuple(args.sizes), reps=args.reps, seed=args.seed, backend=backend
+        )
     return format_table(
         ["nodes", "diameter", "weak mean", "fast mean", "fast top-10% mean"],
         result.rows(),
@@ -301,22 +353,35 @@ def cmd_sweep(args) -> str:
         loss=args.loss,
         faults=faults,
     )
-    backend = _backend(args)
-    result = plan.run(backend)
+    with _backend(args) as backend:
+        result = plan.run(backend)
     faulted = faults != ("none",)
+    censored = False
+
+    def mean_of(cdf) -> str:
+        # A fully censored series (nothing converged within max-time)
+        # has no mean; render n/a instead of crashing the report.
+        return f"{cdf.mean():.3f}" if cdf.count else "n/a"
+
     rows = []
     for label in plan.series_labels():
         series = result.series[label]
         row = [
             label,
-            f"{series.cdf_all().mean():.3f}",
-            f"{series.cdf_top().mean():.3f}",
-            f"{series.cdf_top1().mean():.3f}",
+            mean_of(series.cdf_all()),
+            mean_of(series.cdf_top()),
+            mean_of(series.cdf_top1()),
             f"{series.mean_messages():.0f}",
         ]
         if faulted:
             post_heal = series.mean_post_heal()
             row.append("n/a" if post_heal is None else f"{post_heal:.3f}")
+            fraction = series.converged_fraction()
+            conv = f"{100 * fraction:.0f}%"
+            if fraction < 1.0:
+                conv += " !"
+                censored = True
+            row.append(conv)
         rows.append(tuple(row))
     title = (
         f"sweep — {args.topology} n={args.nodes}, demand={args.demand}, "
@@ -326,9 +391,113 @@ def cmd_sweep(args) -> str:
         title += f" (effective n={result.params['effective_n']})"
     headers = ["series", "mean (all)", "mean (top 10%)", "mean (hottest)", "msgs"]
     if faulted:
-        headers.append("post-heal")
+        headers.extend(["post-heal", "conv"])
     out = [format_table(headers, rows, title=title)]
+    if censored:
+        out.append(
+            "! some trials never converged within max-time; the means "
+            "(including post-heal) cover converged trials only"
+        )
     out.extend(_export_json(args, result))
+    return "\n".join(out)
+
+
+def _campaign_status(path: str) -> str:
+    header, counts = sink_status(path)
+    rows = []
+    if header is not None:
+        totals = {
+            # Current headers fingerprint each plan ({"trials": N,
+            # "plan": {...}}); bare ints are accepted for hand-rolled
+            # checkpoint files.
+            plan: info.get("trials", 0) if isinstance(info, dict) else int(info)
+            for plan, info in dict(header.get("plans", {})).items()
+        }
+        for plan, total in totals.items():
+            done = counts.get(plan, 0)
+            state = "done" if done >= total else f"{100 * done // max(1, total)}%"
+            rows.append((plan, done, total, state))
+        done_all = sum(counts.values())
+        total_all = int(header.get("total", done_all))
+        title = (
+            f"campaign {header.get('campaign', '?')!r} — "
+            f"{done_all}/{total_all} trials checkpointed"
+        )
+    else:
+        # Headerless file (hand-rolled sink): report raw counts.
+        for plan, done in sorted(counts.items()):
+            rows.append((plan, done, "?", "?"))
+        title = f"checkpoint {path} — {sum(counts.values())} trials recorded"
+    return format_table(["plan", "done", "total", "state"], rows, title=title)
+
+
+def cmd_campaign(args) -> str:
+    if args.action == "status":
+        return _campaign_status(args.checkpoint)
+    campaign = figures.build_campaign(args.name, reps=args.reps, seed=args.seed)
+    limit = getattr(args, "limit", None)
+    if limit is not None and not args.checkpoint:
+        raise ExperimentError(
+            "--limit without --checkpoint would discard the completed "
+            "trials; add --checkpoint PATH"
+        )
+    if args.action == "resume":
+        if not args.checkpoint:
+            raise ExperimentError("campaign resume requires --checkpoint PATH")
+        if not Path(args.checkpoint).exists():
+            raise ExperimentError(
+                f"no checkpoint at {args.checkpoint}; start one with "
+                f"`repro campaign run {args.name} --checkpoint {args.checkpoint}`"
+            )
+    out: List[str] = []
+    with _backend(args) as backend:
+        if args.checkpoint:
+            with JsonLinesSink(args.checkpoint) as sink:
+                already = len(sink)
+                try:
+                    outcome = campaign.run(backend, sink=sink, limit=limit)
+                except CampaignPaused as paused:
+                    return (
+                        f"campaign {campaign.name!r} paused: {paused.done}/"
+                        f"{paused.total} trials checkpointed to {args.checkpoint}\n"
+                        f"resume with: repro campaign resume {args.name} "
+                        f"--checkpoint {args.checkpoint}"
+                    )
+                executed = campaign.total_trials() - already
+            if already:
+                out.append(
+                    f"resumed from {args.checkpoint}: {already} trials "
+                    f"loaded, {executed} executed"
+                )
+        else:
+            outcome = campaign.run(backend)
+    rows = []
+    for plan_key, result in outcome.results.items():
+        for label in sorted(result.series):
+            series = result.series[label]
+            cdf = series.cdf_all()
+            fraction = series.converged_fraction()
+            rows.append(
+                (
+                    plan_key,
+                    label,
+                    f"{cdf.mean():.3f}" if cdf.count else "n/a",
+                    f"{100 * fraction:.0f}%" + (" !" if fraction < 1.0 else ""),
+                )
+            )
+    out.insert(
+        0,
+        format_table(
+            ["plan", "series", "mean (all)", "conv"],
+            rows,
+            title=(
+                f"campaign {campaign.name!r} — {len(campaign.plans)} plans, "
+                f"{campaign.total_trials()} trials, "
+                f"backend={outcome.notes['backend']}"
+            ),
+        ),
+    )
+    out.extend(_export_json(args, outcome))
     return "\n".join(out)
 
 
@@ -488,6 +657,7 @@ _COMMANDS = {
     "fig6": cmd_fig6,
     "table2": cmd_table2,
     "scaling": cmd_scaling,
+    "campaign": cmd_campaign,
     "sweep": cmd_sweep,
     "uniform": cmd_uniform,
     "islands": cmd_islands,

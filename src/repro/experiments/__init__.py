@@ -9,7 +9,14 @@ The layer is split in three:
 * **Execution backends** (:mod:`repro.experiments.backends`) — a
   :class:`SerialBackend` or :class:`ProcessPoolBackend` turns scenarios
   into :class:`TrialResult` rows; all backends are bit-identical, only
-  wall-clock differs.
+  wall-clock differs. Backends are persistent (a pool is spawned once
+  and reused until ``close()``) and can stream results as they
+  complete.
+* **Campaigns** (:mod:`repro.experiments.campaign`) — a
+  :class:`Campaign` runs many named plans over one shared backend,
+  checkpointing every completed trial to a
+  :class:`~repro.experiments.sink.JsonLinesSink` so interrupted runs
+  resume bit-identically.
 * **Figure drivers** (:mod:`repro.experiments.figures`) — every
   table/figure of the paper maps to one driver; see DESIGN.md for the
   index and EXPERIMENTS.md for recorded paper-vs-measured values.
@@ -24,6 +31,7 @@ from .backends import (
     SerialBackend,
     resolve_backend,
 )
+from .campaign import Campaign, CampaignPaused, CampaignResult, scenario_key
 from .cdf import EmpiricalCdf, SummaryStats, session_grid
 from .figures import (
     PAPER,
@@ -50,7 +58,17 @@ from .figures import (
     table2_dynamic,
     uniform_topologies,
 )
-from .figures import figure_cdf_plan, scaling_plans
+from .figures import (
+    CAMPAIGNS,
+    build_campaign,
+    figure_cdf_plan,
+    figures_campaign,
+    robustness_campaign,
+    scaling_campaign,
+    scaling_plans,
+    smoke_campaign,
+)
+from .sink import JsonLinesSink, ResultSink, sink_status
 from .harness import (
     DEFAULT_TOP_FRACTION,
     LiveTrial,
@@ -101,6 +119,20 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "resolve_backend",
+    # campaigns & checkpoint sinks
+    "Campaign",
+    "CampaignResult",
+    "CampaignPaused",
+    "scenario_key",
+    "JsonLinesSink",
+    "ResultSink",
+    "sink_status",
+    "CAMPAIGNS",
+    "build_campaign",
+    "scaling_campaign",
+    "figures_campaign",
+    "robustness_campaign",
+    "smoke_campaign",
     "format_table",
     "format_kv",
     # figure drivers

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import ProtocolConfig
 from ..core.islands import bridge_system, detect_islands, elect_leaders
@@ -50,6 +50,7 @@ from ..topology.simple import grid as grid_topology
 from ..topology.simple import line as line_topology
 from ..topology.simple import ring as ring_topology
 from ..topology.simple import star as star_topology
+from .campaign import Campaign
 from .cdf import EmpiricalCdf, session_grid
 from .harness import TrialSpec, run_experiment, run_trial
 from .plan import ExperimentPlan
@@ -595,23 +596,46 @@ def scaling_plans(
     }
 
 
+def scaling_campaign(
+    sizes: Sequence[int] = (25, 50, 100, 200),
+    reps: int = 40,
+    seed: int = 1,
+) -> Campaign:
+    """The §5 scaling sweep as one campaign (one plan per size).
+
+    Running the sizes as a campaign — instead of looping ``plan.run`` —
+    means a process-pool backend spawns its workers once for the whole
+    sweep, and a checkpoint sink makes the sweep resumable.
+    """
+    return Campaign(
+        "scaling",
+        scaling_plans(sizes, reps=reps, seed=seed),
+        params={"sizes": list(sizes), "reps": reps, "seed": seed},
+    )
+
+
 def scaling_experiment(
     sizes: Sequence[int] = (25, 50, 100, 200),
     reps: int = 40,
     seed: int = 1,
     backend=None,
+    sink=None,
 ) -> ScalingResult:
     """§5's observation: doubling nodes barely moves the session count.
 
     The paper notes 50 -> 100 nodes moves fast consistency only from
     3.93 to 4.78 sessions and ties this to the diameter; this experiment
     reports mean diameter and mean sessions per size so the correlation
-    is visible (and testable). Each size is one declarative plan run on
-    ``backend`` (serial by default).
+    is visible (and testable). The sizes run as one
+    :class:`~repro.experiments.campaign.Campaign` over a single shared
+    ``backend`` — a process pool is spawned once for the whole sweep,
+    not once per size — and an optional checkpoint ``sink`` makes the
+    sweep resumable.
     """
+    outcome = scaling_campaign(sizes, reps=reps, seed=seed).run(backend, sink=sink)
     rows: Dict[int, Dict[str, float]] = {}
-    for n, plan in scaling_plans(sizes, reps=reps, seed=seed).items():
-        experiment = plan.run(backend)
+    for n in sizes:
+        experiment = outcome.results[str(n)]
         weak_cdf = experiment.series["weak"].cdf_all()
         fast_cdf = experiment.series["fast"].cdf_all()
         fast_top = experiment.series["fast"].cdf_top()
@@ -1165,6 +1189,94 @@ def staleness_experiment(
         count = max(1, completed[variant])
         rows[variant] = {key: value / count for key, value in sums.items()}
     return StalenessResult(reps=reps, rows_by_variant=rows)
+
+
+# ---------------------------------------------------------------------------
+# Named campaigns (the CLI's `repro campaign run NAME`)
+# ---------------------------------------------------------------------------
+
+
+def figures_campaign(reps: int = 120, seed: int = 1) -> Campaign:
+    """Figs. 5 and 6 together: both CDF grids over one worker pool."""
+    return Campaign(
+        "figures",
+        {"fig5": figure_cdf_plan(50, reps=reps, seed=seed),
+         "fig6": figure_cdf_plan(100, reps=reps, seed=seed)},
+        params={"reps": reps, "seed": seed},
+    )
+
+
+def robustness_campaign(reps: int = 40, seed: int = 1) -> Campaign:
+    """Fault-regime x size product on the line topology (PR 2's sweep)."""
+    base = ExperimentPlan(
+        name="robustness",
+        topology="line",
+        demand="uniform",
+        variants=("weak", "fast"),
+        reps=reps,
+        seed=derive_seed(seed, "robustness"),
+    )
+    return Campaign.from_product(
+        "robustness",
+        base,
+        params={"reps": reps, "seed": seed},
+        n=(16, 32),
+        faults=(("none",), ("none", "split_brain"), ("none", "poisson_churn")),
+    )
+
+
+def smoke_campaign(reps: int = 2, seed: int = 1) -> Campaign:
+    """A deliberately tiny two-plan campaign (CI and test fixture).
+
+    Plan one is a healthy ring grid; plan two sweeps a split-brain
+    regime on a line, so the smoke covers both the plain and the
+    fault-swept checkpoint paths in seconds.
+    """
+    return Campaign(
+        "smoke",
+        {
+            "ring": ExperimentPlan(
+                name="smoke-ring", topology="ring", demand="uniform",
+                variants=("weak", "fast"), n=8, reps=reps,
+                seed=derive_seed(seed, "smoke/ring"),
+            ),
+            "line-faults": ExperimentPlan(
+                name="smoke-line", topology="line", demand="uniform",
+                variants=("weak", "fast"), faults=("none", "split_brain"),
+                n=9, reps=reps, seed=derive_seed(seed, "smoke/line"),
+            ),
+        },
+        params={"reps": reps, "seed": seed},
+    )
+
+
+#: Campaign factories by CLI name; each accepts ``reps``/``seed``
+#: keywords and carries its own fidelity default for ``reps``.
+CAMPAIGNS: Dict[str, Callable[..., Campaign]] = {
+    "scaling": lambda reps=40, seed=1: scaling_campaign(reps=reps, seed=seed),
+    "figures": figures_campaign,
+    "robustness": robustness_campaign,
+    "smoke": smoke_campaign,
+}
+
+
+def build_campaign(
+    name: str, reps: Optional[int] = None, seed: int = 1
+) -> Campaign:
+    """Instantiate a registered campaign or fail with the known names.
+
+    ``reps=None`` keeps the campaign's own fidelity default (e.g. the
+    ``figures`` campaign runs 120 reps like ``repro fig5`` does) rather
+    than imposing one CLI-wide number on every campaign.
+    """
+    if name not in CAMPAIGNS:
+        raise ExperimentError(
+            f"unknown campaign {name!r}; known: {sorted(CAMPAIGNS)}"
+        )
+    kwargs: Dict[str, object] = {"seed": seed}
+    if reps is not None:
+        kwargs["reps"] = reps
+    return CAMPAIGNS[name](**kwargs)
 
 
 # ---------------------------------------------------------------------------

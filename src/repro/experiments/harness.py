@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterator, Mapping, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
 from ..core.config import ProtocolConfig
 from ..core.metrics import mean_reach_time, post_heal_convergence_time, reach_time
@@ -240,7 +240,26 @@ def run_experiment(
         from .backends import SerialBackend
 
         backend = SerialBackend()
-    trials = backend.run_trials(expand())
+    # Stream results and place them by input index: the serial backend
+    # still consumes the generator lazily (one repetition's live objects
+    # at a time), a pool may complete chunks out of order, and either
+    # way the assembled list is in expansion order. The grid size is
+    # known up front, so no materialised spec list is needed.
+    total = reps * len(variants)
+    slots: List[Optional[TrialResult]] = [None] * total
+    runner = getattr(backend, "run_trials_iter", None)
+    if runner is None:  # pre-lifecycle third-party backend
+        for index, trial in enumerate(backend.run_trials(expand())):
+            slots[index] = trial
+    else:
+        for index, trial in runner(expand()):
+            slots[index] = trial
+    if any(trial is None for trial in slots):
+        raise ExperimentError(
+            f"backend {backend.name} returned fewer trials than the "
+            f"{total}-trial grid"
+        )
+    trials = slots
     variant_names = [name_ for _ in range(reps) for name_ in variants]
     result = ExperimentResult(
         name=name,

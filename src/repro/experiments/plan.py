@@ -116,6 +116,16 @@ class ScenarioSpec:
         """Name of the result series this trial belongs to."""
         return series_label(self.variant, self.faults)
 
+    def key(self) -> str:
+        """Stable identity of this scenario within its experiment.
+
+        ``(rep, faults, variant)`` uniquely names a scenario inside one
+        plan (topology, demand and n are plan constants), so the key is
+        what checkpoint sinks use to skip already-recorded work on
+        resume. Campaign runners prefix it with the plan's name.
+        """
+        return f"rep={self.rep}/faults={self.faults}/variant={self.variant}"
+
     # -- materialisation (runs inside the worker process) -----------------
 
     def build_topology(self) -> Topology:
@@ -273,18 +283,22 @@ class ExperimentPlan:
 
     # -- execution --------------------------------------------------------
 
-    def run(self, backend: Optional["ExecutionBackend"] = None) -> ExperimentResult:
-        """Execute every scenario on ``backend`` (serial by default).
+    def assemble(
+        self, trials: Sequence[TrialResult], backend_name: str = "serial"
+    ) -> ExperimentResult:
+        """Package trials (in expansion order) into an experiment result.
 
-        Results are assembled in expansion order, so the returned
-        :class:`ExperimentResult` is identical for every backend.
+        Split out of :meth:`run` so campaign runners can execute the
+        scenario stream themselves (out of order, partially from a
+        checkpoint sink) and still produce the exact result a plain
+        ``plan.run`` would: assembly only depends on the trial rows and
+        their expansion-order position.
         """
-        from .backends import SerialBackend
-
-        if backend is None:
-            backend = SerialBackend()
-        specs = self.scenarios()
-        trials = backend.run_trials(specs)
+        if len(trials) != self.total_trials():
+            raise ExperimentError(
+                f"plan {self.name} expands to {self.total_trials()} trials, "
+                f"got {len(trials)}"
+            )
         result = ExperimentResult(
             name=self.name,
             params={
@@ -301,13 +315,30 @@ class ExperimentPlan:
                 **dict(self.params),
             },
         )
-        for spec, trial in zip(specs, trials):
-            result.variant(spec.series_label()).add(trial)
+        labels = self.series_labels()
+        for index, trial in enumerate(trials):
+            result.variant(labels[index % len(labels)]).add(trial)
         effective = {t.n_nodes for t in trials if t.n_nodes is not None}
         if effective and effective != {self.n}:
             result.params["effective_n"] = sorted(effective)[0]
-        result.notes["backend"] = backend.name
+        result.notes["backend"] = backend_name
         return result
+
+    def run(self, backend: Optional["ExecutionBackend"] = None) -> ExperimentResult:
+        """Execute every scenario on ``backend`` (serial by default).
+
+        Results are assembled in expansion order, so the returned
+        :class:`ExperimentResult` is identical for every backend. A
+        passed-in backend is left open (its pool keeps running for the
+        caller's next plan); close it yourself or use it as a context
+        manager.
+        """
+        from .backends import SerialBackend
+
+        if backend is None:
+            backend = SerialBackend()
+        trials = backend.run_trials(self.scenarios())
+        return self.assemble(trials, backend.name)
 
 
 def run_plan(

@@ -93,12 +93,30 @@ class VariantSeries:
 
         None when no trial carries the measurement (no fault schedule,
         or no healed partition in it); trials that never converged are
-        excluded, as in the CDF accessors.
+        excluded, as in the CDF accessors. That exclusion makes the
+        mean *optimistic* whenever some trials never converged — always
+        read it next to :meth:`converged_fraction`, which reports how
+        many trials the mean actually covers.
         """
         values = [t.time_post_heal for t in self.trials if t.time_post_heal is not None]
         if not values:
             return None
         return sum(values) / len(values)
+
+    def converged_fraction(self) -> float:
+        """Fraction of trials that fully converged within the horizon.
+
+        A trial converged when ``time_all`` is recorded; anything else
+        hit the ``max_time`` horizon first (e.g. a partition that never
+        healed in time). Means computed over converged trials only —
+        :meth:`mean_post_heal`, the CDF accessors — silently drop the
+        rest, so report this fraction alongside them and treat any
+        value < 1.0 as a censored, optimistic summary.
+        """
+        if not self.trials:
+            raise ExperimentError(f"variant {self.variant} has no trials")
+        converged = sum(1 for t in self.trials if t.time_all is not None)
+        return converged / len(self.trials)
 
     def mean_messages(self) -> float:
         if not self.trials:

@@ -1,0 +1,188 @@
+"""Streaming result sinks: JSON-lines checkpoints for long runs.
+
+A *sink* receives every completed trial the moment the backend yields
+it, instead of waiting for the whole grid to finish. The JSON-lines
+format makes the checkpoint crash-safe by construction: each line is a
+self-contained record, appended and flushed as it happens, so a killed
+campaign keeps every trial that was yielded and recorded — what is
+lost is the in-flight work the backend had not yielded yet (a process
+pool yields per completed *chunk*, so up to one chunk per worker) plus
+at most one truncated final line, which :class:`JsonLinesSink`
+tolerates when it loads.
+
+Records are keyed by the scenario's stable identity
+(``plan/rep=../faults=../variant=..`` — see
+:meth:`~repro.experiments.plan.ScenarioSpec.key`). A resumed run asks
+the sink which keys are already recorded, skips them, and splices the
+stored :class:`~repro.experiments.results.TrialResult` rows back into
+the assembled result. Floats round-trip through ``repr`` exactly, so a
+resumed result is bit-identical to an uninterrupted one.
+
+The file optionally starts with a single *header* record describing the
+campaign (name, per-plan totals); ``repro campaign status`` reads
+progress from the file alone, and a resume refuses a checkpoint whose
+header belongs to a different campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Protocol, Tuple, runtime_checkable
+
+from ..errors import ExperimentError
+from .results import PathLike, TrialResult
+
+
+@runtime_checkable
+class ResultSink(Protocol):
+    """Checkpoint protocol: record completed trials, replay them later."""
+
+    def record(self, key: str, trial: TrialResult) -> None:
+        """Persist one completed trial under its stable scenario key."""
+        ...
+
+    def get(self, key: str) -> Optional[TrialResult]:
+        """Return the recorded trial for ``key``, or None."""
+        ...
+
+
+class JsonLinesSink:
+    """Append-only JSON-lines checkpoint file.
+
+    Existing records are loaded eagerly on construction, so ``get`` is a
+    dict lookup and a resumed run never re-executes a recorded scenario.
+    The file handle is opened lazily on the first ``record`` and every
+    record is flushed immediately — an interrupted run keeps everything
+    it completed.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._fh = None
+        self._trials: Dict[str, TrialResult] = {}
+        self._header: Optional[Dict[str, object]] = None
+        self._load()
+
+    # -- loading ----------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                # A kill mid-write leaves at most one truncated line;
+                # everything parseable before it is still good.
+                continue
+            kind = row.get("kind")
+            if kind == "header":
+                self._header = {k: v for k, v in row.items() if k != "kind"}
+            elif kind == "trial":
+                try:
+                    self._trials[str(row["key"])] = TrialResult(**row["trial"])
+                except (KeyError, TypeError) as exc:
+                    raise ExperimentError(
+                        f"malformed trial record in {self.path}: {exc}"
+                    ) from exc
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def header(self) -> Optional[Dict[str, object]]:
+        """The campaign header record, if the file carries one."""
+        return self._header
+
+    def __len__(self) -> int:
+        return len(self._trials)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._trials
+
+    def get(self, key: str) -> Optional[TrialResult]:
+        return self._trials.get(key)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._trials)
+
+    def counts_by_prefix(self) -> Dict[str, int]:
+        """Recorded trials per plan (the segment before the ``::``)."""
+        counts: Dict[str, int] = {}
+        for key in self._trials:
+            prefix = key.split("::", 1)[0]
+            counts[prefix] = counts.get(prefix, 0) + 1
+        return counts
+
+    # -- writing ----------------------------------------------------------
+
+    def _append(self, row: Dict[str, object]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def write_header(self, meta: Dict[str, object]) -> None:
+        """Record (or verify) the campaign identity this file belongs to.
+
+        The first writer stamps the header; later opens verify that the
+        checkpoint matches, so two different campaigns cannot silently
+        interleave records in one file.
+        """
+        if self._header is not None:
+            if self._header != meta:
+                differing = sorted(
+                    key
+                    for key in set(self._header) | set(meta)
+                    if self._header.get(key) != meta.get(key)
+                )
+                raise ExperimentError(
+                    f"checkpoint {self.path} belongs to a different campaign "
+                    f"(recorded {self._header.get('campaign', '?')!r}; "
+                    f"differs in: {', '.join(differing)}); delete the file or "
+                    "resume with the original parameters"
+                )
+            return
+        self._append({"kind": "header", **meta})
+        self._header = dict(meta)
+
+    def record(self, key: str, trial: TrialResult) -> None:
+        if key in self._trials:
+            return  # already checkpointed; keep the file append-only
+        self._append({"kind": "trial", "key": key, "trial": asdict(trial)})
+        self._trials[key] = trial
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def sink_status(path: PathLike) -> Tuple[Optional[Dict[str, object]], Dict[str, int]]:
+    """Read a checkpoint's header and per-plan recorded counts.
+
+    Raises :class:`ExperimentError` when the file does not exist — a
+    status query on a never-started campaign is a caller mistake, not an
+    empty result.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no checkpoint at {path}")
+    sink = JsonLinesSink(path)
+    try:
+        return sink.header, sink.counts_by_prefix()
+    finally:
+        sink.close()

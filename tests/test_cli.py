@@ -152,6 +152,72 @@ class TestCommands:
         assert "fast@split_brain" in out
         assert "post-heal" in out
 
+    def test_sweep_faults_flags_censored_series(self, capsys):
+        # A horizon this short converges nothing: every series must be
+        # flagged instead of reporting silently optimistic means.
+        out = run_cli(
+            capsys,
+            "sweep", "--topology", "line", "--variants", "weak",
+            "--faults", "none", "split_brain", "-n", "10", "--reps", "2",
+            "--max-time", "2.0",
+        )
+        assert "conv" in out
+        assert "0% !" in out
+        assert "never converged" in out
+
+    def test_campaign_run_smoke(self, capsys):
+        out = run_cli(capsys, "campaign", "run", "smoke", "--reps", "1")
+        assert "campaign 'smoke'" in out
+        assert "weak@split_brain" in out
+        assert "backend=serial" in out
+
+    def test_campaign_reps_defaults_to_each_campaigns_fidelity(self):
+        from repro.experiments.figures import build_campaign
+
+        # No --reps on the command line leaves the choice to the
+        # campaign: `figures` must match `repro fig5`'s 120, not a
+        # CLI-wide 40.
+        args = build_parser().parse_args(["campaign", "run", "figures"])
+        assert args.reps is None
+        campaign = build_campaign("figures", reps=args.reps, seed=1)
+        assert campaign.plans["fig5"].reps == 120
+        assert build_campaign("figures", reps=7).plans["fig5"].reps == 7
+
+    def test_campaign_interrupt_resume_status_roundtrip(self, capsys, tmp_path):
+        import json
+
+        checkpoint = tmp_path / "cp.jsonl"
+        full = tmp_path / "full.json"
+        resumed = tmp_path / "resumed.json"
+        base = ["campaign", "run", "smoke", "--reps", "1", "--seed", "3"]
+        run_cli(capsys, *base, "--json", str(full))
+        out = run_cli(
+            capsys, *base, "--checkpoint", str(checkpoint), "--limit", "3"
+        )
+        assert "paused: 3/6" in out
+        assert "repro campaign resume smoke" in out
+        status = run_cli(capsys, "campaign", "status", "--checkpoint", str(checkpoint))
+        assert "3/6 trials checkpointed" in status
+        out = run_cli(
+            capsys,
+            "campaign", "resume", "smoke", "--reps", "1", "--seed", "3",
+            "--checkpoint", str(checkpoint), "--json", str(resumed),
+        )
+        assert "3 trials loaded, 3 executed" in out
+        assert json.loads(full.read_text()) == json.loads(resumed.read_text())
+
+    def test_campaign_run_with_checkpoint_is_resumable_without_limit(
+        self, capsys, tmp_path
+    ):
+        checkpoint = tmp_path / "cp.jsonl"
+        base = [
+            "campaign", "run", "smoke", "--reps", "1", "--seed", "3",
+            "--checkpoint", str(checkpoint),
+        ]
+        run_cli(capsys, *base)
+        out = run_cli(capsys, *base)  # re-running skips everything
+        assert "6 trials loaded, 0 executed" in out
+
     def test_sweep_faulted_parallel_matches_serial(self, capsys, tmp_path):
         import json
 
@@ -231,4 +297,40 @@ class TestFailurePaths:
             ["sweep", "--topology", "ring", "--variants", "weak",
              "-n", "8", "--reps", "1", "--workers", "-2"],
             "--workers must be >= 1",
+        )
+
+    def test_unknown_campaign_name(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["campaign", "run", "conquest", "--reps", "1"],
+            "unknown campaign 'conquest'",
+        )
+
+    def test_campaign_resume_requires_checkpoint(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["campaign", "resume", "smoke", "--reps", "1"],
+            "requires --checkpoint",
+        )
+
+    def test_campaign_resume_missing_checkpoint_file(self, capsys, tmp_path):
+        assert_one_line_error(
+            capsys,
+            ["campaign", "resume", "smoke", "--reps", "1",
+             "--checkpoint", str(tmp_path / "never.jsonl")],
+            "no checkpoint at",
+        )
+
+    def test_campaign_limit_requires_checkpoint(self, capsys):
+        assert_one_line_error(
+            capsys,
+            ["campaign", "run", "smoke", "--reps", "1", "--limit", "2"],
+            "--limit without --checkpoint",
+        )
+
+    def test_campaign_status_missing_file(self, capsys, tmp_path):
+        assert_one_line_error(
+            capsys,
+            ["campaign", "status", "--checkpoint", str(tmp_path / "never.jsonl")],
+            "no checkpoint at",
         )

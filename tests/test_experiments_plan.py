@@ -88,7 +88,8 @@ class TestBackendDeterminism:
     def test_process_pool_bit_identical_to_serial(self):
         plan = small_plan(topology="ba", n=12, reps=2)
         serial = plan.run(SerialBackend())
-        parallel = plan.run(ProcessPoolBackend(max_workers=2, chunksize=1))
+        with ProcessPoolBackend(max_workers=2, chunksize=1) as backend:
+            parallel = plan.run(backend)
         assert serial.to_dict()["series"] == parallel.to_dict()["series"]
         assert serial.notes["backend"] == "serial"
         assert parallel.notes["backend"] == "process[2]"
@@ -202,6 +203,74 @@ class TestResolveBackend:
             resolve_backend(-4)
         with pytest.raises(ExperimentError):
             ProcessPoolBackend(max_workers=0)
+
+    def test_process_zero_string_rejected_like_the_cli(self):
+        # `resolve_backend(0)` staying serial is a documented API
+        # convenience, but the *string* form spells out a pool request:
+        # 'process:0' must fail exactly like `--workers 0` does.
+        with pytest.raises(ExperimentError):
+            resolve_backend("process:0")
+        with pytest.raises(ExperimentError):
+            resolve_backend("process:-3")
+        assert isinstance(resolve_backend(0), SerialBackend)
+
+
+class TestChunkLayout:
+    """Regression: the splitting policy must never starve the pool."""
+
+    def test_layout_covers_total_exactly(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        for total in (0, 1, 2, 3, 7, 8, 9, 17, 64):
+            layout = backend.chunk_layout(total)
+            assert sum(layout) == total
+
+    def test_small_grids_split_one_scenario_per_task(self):
+        backend = ProcessPoolBackend(max_workers=4)
+        assert backend.chunk_layout(3) == [1, 1, 1]
+        assert backend.chunk_layout(4) == [1, 1, 1, 1]
+        assert backend.chunk_layout(5) == [1, 1, 1, 1, 1]
+
+    def test_grid_never_collapses_into_fewer_chunks_than_workers(self):
+        for workers in (2, 3, 4, 8):
+            backend = ProcessPoolBackend(max_workers=workers)
+            for total in range(1, 4 * workers + 2):
+                layout = backend.chunk_layout(total)
+                assert len(layout) >= min(total, workers), (
+                    f"workers={workers} total={total} layout={layout}"
+                )
+
+    def test_explicit_chunksize_capped_to_keep_every_worker_busy(self):
+        # chunksize=100 with 12 scenarios used to ship one oversized
+        # chunk that serialised the whole grid on a single worker.
+        backend = ProcessPoolBackend(max_workers=4, chunksize=100)
+        layout = backend.chunk_layout(12)
+        assert max(layout) == 3  # ceil(12 / 4)
+        assert len(layout) == 4
+
+    def test_modest_explicit_chunksize_is_honoured(self):
+        backend = ProcessPoolBackend(max_workers=2, chunksize=3)
+        assert backend.chunk_layout(12) == [3, 3, 3, 3]
+
+    def test_invariant_holds_for_explicit_chunksizes_too(self):
+        # chunksize=2 with 5 scenarios on 4 workers used to yield
+        # [2, 2, 1] — three chunks, one idle worker.
+        assert ProcessPoolBackend(max_workers=4, chunksize=2).chunk_layout(5) == [
+            1, 1, 1, 1, 1,
+        ]
+        for workers in (2, 3, 4):
+            for chunksize in (1, 2, 3, 5, 100):
+                backend = ProcessPoolBackend(max_workers=workers, chunksize=chunksize)
+                for total in range(1, 4 * workers + 2):
+                    layout = backend.chunk_layout(total)
+                    assert sum(layout) == total
+                    assert len(layout) >= min(total, workers), (
+                        f"workers={workers} chunksize={chunksize} "
+                        f"total={total} layout={layout}"
+                    )
+
+    def test_default_batches_about_four_chunks_per_worker(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        assert backend.chunk_layout(64) == [8] * 8
 
 
 class TestFigureCdfFrontEnd:
