@@ -8,7 +8,10 @@ discrete-event simulator, BRITE-style Internet topologies, demand
 models, a TSAE replication core, and the full evaluation harness that
 regenerates the paper's figures and tables.
 
-Quickstart::
+The protocol itself is execution-world agnostic: it talks to a
+:class:`~repro.runtime.Runtime` port with two adapters.  Simulated
+quickstart (:class:`~repro.runtime.SimRuntime` under the hood,
+virtual time, bit-reproducible)::
 
     from repro import ReplicationSystem, fast_consistency, weak_consistency
     from repro.topology import internet_like
@@ -25,6 +28,16 @@ Quickstart::
     update = system.inject_write(node=0)
     t = system.run_until_replicated(update.uid, max_time=50)
     print(f"replicated everywhere after {t:.2f} session times")
+
+Live quickstart (:class:`~repro.runtime.AsyncioRuntime`: the same
+protocol code on wall-clock time, serving client traffic)::
+
+    from repro import ReplicaCluster
+
+    with ReplicaCluster(nodes=16, seed=7) as cluster:
+        update = cluster.put("content", "v1", node=0)
+        cluster.wait_replicated(update.uid, timeout=10.0)
+        print(cluster.get("content", node=9), cluster.stats()["traffic"])
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
@@ -55,8 +68,13 @@ from .errors import (
     TopologyError,
 )
 from .faults import FaultProcess, FaultSchedule
+from .runtime import Clock, Runtime, SimRuntime, Transport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Asyncio-backed names; resolved lazily so ``import repro`` stays free
+#: of :mod:`asyncio` (PEP 562 module __getattr__).
+_LIVE_EXPORTS = ("ReplicaCluster", "AsyncioRuntime")
 
 __all__ = [
     "__version__",
@@ -71,6 +89,13 @@ __all__ = [
     "static_table_consistency",
     "detect_islands",
     "bridge_system",
+    # runtime port & adapters
+    "Clock",
+    "Transport",
+    "Runtime",
+    "SimRuntime",
+    "AsyncioRuntime",
+    "ReplicaCluster",
     # faults
     "FaultSchedule",
     "FaultProcess",
@@ -85,3 +110,17 @@ __all__ = [
     "ExperimentError",
     "ExperimentSizeWarning",
 ]
+
+
+def __getattr__(name: str):
+    if name in _LIVE_EXPORTS:
+        from . import runtime
+
+        value = getattr(runtime, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LIVE_EXPORTS))

@@ -15,6 +15,7 @@ Examples::
     repro islands                    # §6 leader-bridge extension
     repro surface                    # Fig. 1 demand landscape
     repro run --variant fast -n 80   # one ad-hoc simulation
+    repro serve --nodes 16 --variant fast --duration 5   # live cluster
     repro all --reps 30              # everything, reduced fidelity
 
 Commands that run through the declarative experiment pipeline (fig5,
@@ -215,6 +216,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", choices=sorted(VARIANTS), default="fast")
     p.add_argument("-n", "--nodes", type=int, default=50)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--loss", type=float, default=0.0)
+
+    p = sub.add_parser(
+        "serve",
+        help="live cluster on the asyncio runtime, serving synthetic traffic",
+    )
+    p.add_argument("--nodes", type=int, default=12, help="replica count")
+    p.add_argument("--variant", choices=sorted(VARIANTS), default="fast")
+    p.add_argument(
+        "--duration", type=float, default=5.0, help="wall-clock seconds to serve"
+    )
+    p.add_argument("--rate", type=float, default=20.0, help="client puts per second")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.05,
+        help="wall seconds per protocol time unit (0.05 = 20 units/s)",
+    )
     p.add_argument("--loss", type=float, default=0.0)
 
     p = sub.add_parser("all", help="run every experiment (reduced fidelity)")
@@ -629,6 +649,75 @@ def cmd_run(args) -> str:
     return format_kv("ad-hoc run", pairs)
 
 
+def cmd_serve(args) -> str:
+    # Imported lazily: the asyncio-backed runtime must not tax the
+    # simulation-only commands (or any plain `import repro`).
+    import time as _time
+
+    from .experiments.cdf import EmpiricalCdf
+    from .runtime.cluster import ReplicaCluster
+
+    if args.rate <= 0:
+        raise ExperimentError(f"--rate must be positive, got {args.rate}")
+    if args.duration <= 0:
+        raise ExperimentError(f"--duration must be positive, got {args.duration}")
+    config = VARIANTS[args.variant]()
+    gap = 1.0 / args.rate
+    uids = []
+    with ReplicaCluster(
+        nodes=args.nodes,
+        config=config,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        loss=args.loss,
+    ) as cluster:
+        node_ids = sorted(cluster.servers)
+        started = _time.monotonic()
+        deadline = started + args.duration
+        sequence = 0
+        while _time.monotonic() < deadline:
+            node = node_ids[sequence % len(node_ids)]
+            update = cluster.put("content", f"v{sequence}", node=node)
+            uids.append(update.uid)
+            sequence += 1
+            _time.sleep(gap)
+        elapsed = _time.monotonic() - started
+        # Grace period: let in-flight propagation finish before reading.
+        if uids:
+            cluster.wait_replicated(uids[-1], timeout=max(2.0, 20 * args.time_scale))
+        latencies = [
+            latency
+            for uid in uids
+            if (latency := cluster.replication_latency(uid)) is not None
+        ]
+        stats = cluster.stats()
+    pairs = [
+        ("nodes", stats["nodes"]),
+        ("variant", stats["variant"]),
+        ("wall seconds served", f"{elapsed:.2f}"),
+        ("puts issued", stats["puts"]),
+        ("sustained puts/s", f"{stats['puts'] / elapsed:.1f}"),
+        (
+            "fully replicated",
+            f"{stats['updates_fully_replicated']}/{stats['updates_tracked']}",
+        ),
+        # One completed session pair has exactly one initiator side.
+        ("sessions completed", dict(stats["sessions"])["completed_initiator"]),
+        ("messages", stats["traffic"]["messages_sent"]),
+        ("bytes", stats["traffic"]["bytes_sent"]),
+        ("handler errors", stats["handler_errors"]),
+    ]
+    if latencies:
+        cdf = EmpiricalCdf(latencies)
+        pairs.extend(
+            [
+                ("p50 put->replicated", f"{1000 * cdf.quantile(0.5):.1f} ms"),
+                ("p99 put->replicated", f"{1000 * cdf.quantile(0.99):.1f} ms"),
+            ]
+        )
+    return format_kv(f"live cluster — {args.nodes} nodes, {args.variant}", pairs)
+
+
 def cmd_all(args) -> str:
     chunks = [
         cmd_surface(argparse.Namespace(valleys=2)),
@@ -668,6 +757,7 @@ _COMMANDS = {
     "partition": cmd_partition,
     "skew": cmd_skew,
     "run": cmd_run,
+    "serve": cmd_serve,
     "all": cmd_all,
 }
 

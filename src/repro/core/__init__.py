@@ -57,7 +57,7 @@ from .policies import (
 )
 from .protocol import ReplicationNode
 from .strong import StrongConsistencySystem
-from .system import TOPIC_UPDATE_APPLIED, ReplicationSystem
+from .system import TOPIC_UPDATE_APPLIED, ReplicationSystem, build_node_stack
 from .variants import (
     FIGURE_VARIANTS,
     dynamic_fast_consistency,
@@ -72,6 +72,7 @@ __all__ = [
     "ProtocolConfig",
     "ReplicationSystem",
     "ReplicationNode",
+    "build_node_stack",
     "TOPIC_UPDATE_APPLIED",
     # config constants
     "POLICY_RANDOM",

@@ -25,14 +25,14 @@ from ..replica.acks import AckTable
 from ..replica.log import AckedTruncation
 from ..replica.server import ReplicaServer
 from ..replica.versions import SummaryVector
-from ..sim.engine import Simulator
+from ..runtime.base import Runtime
 
 
 class AckManager:
     """Tracks acknowledgements and purges one node's write log."""
 
-    def __init__(self, sim: Simulator, server: ReplicaServer, population: Iterable[int]):
-        self.sim = sim
+    def __init__(self, runtime: Runtime, server: ReplicaServer, population: Iterable[int]):
+        self.runtime = runtime
         self.server = server
         self.policy = AckedTruncation()
         server.log.policy = self.policy
@@ -41,7 +41,7 @@ class AckManager:
         self.total_purged = 0
 
     def _refresh_own(self) -> None:
-        self.table.observe(self.server.node, self.server.summary(), self.sim.now)
+        self.table.observe(self.server.node, self.server.summary(), self.runtime.now)
 
     # -- wire integration ---------------------------------------------------
 
@@ -57,7 +57,7 @@ class AckManager:
         table: Optional[AckTable],
     ) -> None:
         """Fold a received summary (and optional ack table) in."""
-        self.table.observe(peer, summary, self.sim.now)
+        self.table.observe(peer, summary, self.runtime.now)
         if table is not None:
             self.table.merge(table)
 
@@ -71,8 +71,8 @@ class AckManager:
         removed = self.server.log.purge()
         if removed:
             self.total_purged += removed
-            self.sim.trace.record(
-                self.sim.now,
+            self.runtime.trace.record(
+                self.runtime.now,
                 "log.purge",
                 node=self.server.node,
                 removed=removed,

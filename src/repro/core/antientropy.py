@@ -37,9 +37,7 @@ from ..replica.messages import (
     UpdateBatch,
 )
 from ..replica.server import ReplicaServer
-from ..sim.engine import Simulator
-from ..sim.events import EventHandle
-from ..sim.network import Network
+from ..runtime.base import Runtime
 from .config import INTERVAL_EXPONENTIAL, ProtocolConfig
 from .policies import PartnerSelectionPolicy
 
@@ -57,7 +55,7 @@ class SessionState:
     started_at: float
     sent_batch: bool = False
     received_batch: bool = False
-    timeout_handle: Optional[EventHandle] = None
+    timeout_handle: Optional[object] = None
 
     @property
     def complete(self) -> bool:
@@ -89,15 +87,14 @@ class AntiEntropyAgent:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        runtime: Runtime,
         server: ReplicaServer,
         config: ProtocolConfig,
         policy: PartnerSelectionPolicy,
         ack_manager=None,
     ):
-        self.sim = sim
-        self.network = network
+        self.runtime = runtime
+        self.transport = runtime.transport
         self.server = server
         self.config = config
         self.policy = policy
@@ -107,7 +104,7 @@ class AntiEntropyAgent:
         self._sessions: Dict[int, SessionState] = {}
         self._initiating_sid: Optional[int] = None
         self._session_counter = 0
-        self._interval_rng = sim.rng.stream("session-interval", self.node)
+        self._interval_rng = runtime.rng.stream("session-interval", self.node)
         self._started = False
 
     # -- lifecycle --------------------------------------------------------
@@ -117,7 +114,7 @@ class AntiEntropyAgent:
         if self._started:
             raise ReplicationError(f"agent for node {self.node} already started")
         self._started = True
-        self.sim.schedule(self._draw_interval(), self._initiate)
+        self.runtime.schedule(self._draw_interval(), self._initiate)
 
     def _draw_interval(self) -> float:
         mean = self.config.session_interval_mean
@@ -133,11 +130,11 @@ class AntiEntropyAgent:
 
     def _initiate(self) -> None:
         # Keep the initiation rate steady no matter what happens below.
-        self.sim.schedule(self._draw_interval(), self._initiate)
+        self.runtime.schedule(self._draw_interval(), self._initiate)
         if self._initiating_sid is not None:
             self.stats.skipped_busy += 1
             return
-        neighbors = self.network.topology.neighbors(self.node)
+        neighbors = self.transport.physical_neighbors(self.node)
         partner = self.policy.select(neighbors)
         if partner is None:
             self.stats.skipped_no_partner += 1
@@ -155,7 +152,7 @@ class AntiEntropyAgent:
         if self._initiating_sid is not None:
             self.stats.skipped_busy += 1
             return False
-        if partner not in self.network.neighbors(self.node):
+        if partner not in self.transport.neighbors(self.node):
             raise ReplicationError(
                 f"node {self.node} cannot sync with non-neighbour {partner}"
             )
@@ -165,18 +162,18 @@ class AntiEntropyAgent:
     def _begin_session(self, partner: int) -> None:
         sid = self._next_sid()
         state = SessionState(
-            sid=sid, peer=partner, role=ROLE_INITIATOR, started_at=self.sim.now
+            sid=sid, peer=partner, role=ROLE_INITIATOR, started_at=self.runtime.now
         )
-        state.timeout_handle = self.sim.schedule(
+        state.timeout_handle = self.runtime.schedule(
             self.config.session_timeout, self._timeout, sid
         )
         self._sessions[sid] = state
         self._initiating_sid = sid
         self.stats.initiated += 1
-        self.sim.trace.record(
-            self.sim.now, "session.start", node=self.node, peer=partner, sid=sid
+        self.runtime.trace.record(
+            self.runtime.now, "session.start", node=self.node, peer=partner, sid=sid
         )
-        self.network.send(self.node, partner, SessionRequest(sid, self.node))
+        self.transport.send(self.node, partner, SessionRequest(sid, self.node))
 
     # -- message handling ------------------------------------------------------
 
@@ -198,20 +195,20 @@ class AntiEntropyAgent:
     def _handle_request(self, src: int, message: SessionRequest) -> None:
         if self.config.refuse_when_busy and self._sessions:
             self.stats.refused_sent += 1
-            self.network.send(self.node, src, SessionBusy(message.session_id, self.node))
+            self.transport.send(self.node, src, SessionBusy(message.session_id, self.node))
             return
         state = SessionState(
             sid=message.session_id,
             peer=src,
             role=ROLE_RESPONDER,
-            started_at=self.sim.now,
+            started_at=self.runtime.now,
         )
-        state.timeout_handle = self.sim.schedule(
+        state.timeout_handle = self.runtime.schedule(
             self.config.session_timeout, self._timeout, state.sid
         )
         self._sessions[state.sid] = state
         # Step 4: "B sends to E its summary vector."
-        self.network.send(
+        self.transport.send(
             self.node,
             src,
             SummaryMessage(
@@ -239,7 +236,7 @@ class AntiEntropyAgent:
         if not self.server.log.can_serve(message.summary):
             # Aggressive truncation removed history this peer needs;
             # without a full-state transfer the session cannot proceed.
-            self.network.send(
+            self.transport.send(
                 self.node, src, SessionAbort(state.sid, self.node, "log-truncated")
             )
             self._abort(state.sid, reason="log-truncated")
@@ -248,7 +245,7 @@ class AntiEntropyAgent:
         if state.role == ROLE_INITIATOR and not message.is_reply:
             # Steps 5-8: send our summary, then everything the partner
             # has not seen, closing our direction.
-            self.network.send(
+            self.transport.send(
                 self.node,
                 src,
                 SummaryMessage(
@@ -274,7 +271,7 @@ class AntiEntropyAgent:
 
     def _send_batch(self, state: SessionState, missing) -> None:
         self.stats.updates_sent += len(missing)
-        self.network.send(
+        self.transport.send(
             self.node,
             state.peer,
             UpdateBatch(state.sid, self.node, tuple(missing), closing=True),
@@ -300,8 +297,8 @@ class AntiEntropyAgent:
             self.stats.completed_initiator += 1
         else:
             self.stats.completed_responder += 1
-        self.sim.trace.record(
-            self.sim.now,
+        self.runtime.trace.record(
+            self.runtime.now,
             "session.end",
             node=self.node,
             peer=state.peer,
@@ -316,7 +313,7 @@ class AntiEntropyAgent:
 
     def _close(self, state: SessionState, completed: bool) -> None:
         if state.timeout_handle is not None:
-            self.sim.cancel(state.timeout_handle)
+            self.runtime.cancel(state.timeout_handle)
             state.timeout_handle = None
         self._sessions.pop(state.sid, None)
         if self._initiating_sid == state.sid:
@@ -330,8 +327,8 @@ class AntiEntropyAgent:
         if state is None:
             return
         self.stats.timeouts += 1
-        self.sim.trace.record(
-            self.sim.now,
+        self.runtime.trace.record(
+            self.runtime.now,
             "session.abort",
             node=self.node,
             peer=state.peer,

@@ -33,8 +33,7 @@ from ..errors import ReplicationError
 from ..replica.log import Update, UpdateId
 from ..replica.messages import FastUpdateOffer, FastUpdatePayload, FastUpdateReply
 from ..replica.server import ReplicaServer
-from ..sim.engine import Simulator
-from ..sim.network import Network
+from ..runtime.base import Runtime
 from .config import PUSH_ALWAYS, PUSH_DOWNHILL, ProtocolConfig
 
 
@@ -56,8 +55,7 @@ class FastUpdateAgent:
     """Immediate demand-directed propagation at one node.
 
     Args:
-        sim: Owning simulator.
-        network: Transport.
+        runtime: Owning runtime (clock + transport).
         server: The local replica (the agent registers itself as a
             new-updates listener).
         config: Protocol switches (rule, fanout).
@@ -70,16 +68,15 @@ class FastUpdateAgent:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        runtime: Runtime,
         server: ReplicaServer,
         config: ProtocolConfig,
         view: DemandView,
         own_demand: Callable[[], float],
         extra_targets: Iterable[int] = (),
     ):
-        self.sim = sim
-        self.network = network
+        self.runtime = runtime
+        self.transport = runtime.transport
         self.server = server
         self.config = config
         self.view = view
@@ -111,7 +108,7 @@ class FastUpdateAgent:
 
     def _choose_targets(self, sender: Optional[int]) -> List[int]:
         neighbors = [
-            n for n in self.network.topology.neighbors(self.node) if n != sender
+            n for n in self.transport.physical_neighbors(self.node) if n != sender
         ]
         ranked = self.view.rank(neighbors)
         if self.config.push_rule == PUSH_DOWNHILL:
@@ -136,10 +133,10 @@ class FastUpdateAgent:
         )
         depth = max(self._push_depth.get(u.uid, 0) for u in fresh)
         self.stats.offers_sent += 1
-        self.sim.trace.record(
-            self.sim.now, "fast.offer", node=self.node, target=target, count=len(fresh)
+        self.runtime.trace.record(
+            self.runtime.now, "fast.offer", node=self.node, target=target, count=len(fresh)
         )
-        self.network.send(
+        self.transport.send(
             self.node, target, FastUpdateOffer(self.node, entries, depth=depth)
         )
 
@@ -162,7 +159,7 @@ class FastUpdateAgent:
         needed = tuple(
             uid for uid in message.ids() if not self.server.has_update(uid)
         )
-        self.network.send(self.node, src, FastUpdateReply(self.node, needed))
+        self.transport.send(self.node, src, FastUpdateReply(self.node, needed))
 
     def _handle_reply(self, src: int, message: FastUpdateReply) -> None:
         # Steps 16-18: send the bodies for YES, nothing for NO.
@@ -184,7 +181,7 @@ class FastUpdateAgent:
         self.stats.payloads_sent += 1
         self.stats.updates_pushed += len(bodies)
         depth = max(self._push_depth.get(u.uid, 0) for u in bodies)
-        self.network.send(
+        self.transport.send(
             self.node, src, FastUpdatePayload(self.node, tuple(bodies), depth=depth)
         )
 
@@ -199,8 +196,8 @@ class FastUpdateAgent:
         self.stats.updates_received += len(new_updates)
         if new_updates:
             self.stats.max_cascade_hops = max(self.stats.max_cascade_hops, hops)
-            self.sim.trace.record(
-                self.sim.now,
+            self.runtime.trace.record(
+                self.runtime.now,
                 "fast.deliver",
                 node=self.node,
                 src=src,

@@ -33,8 +33,7 @@ from ..replica.messages import (
     UpdateBatch,
 )
 from ..replica.server import ReplicaServer
-from ..sim.engine import Simulator
-from ..sim.network import Network
+from ..runtime.base import Runtime
 from .antientropy import AntiEntropyAgent
 from .config import ProtocolConfig
 from .fastupdate import FastUpdateAgent
@@ -48,8 +47,8 @@ class ReplicationNode:
     """One node's complete protocol stack.
 
     Args:
-        sim: Owning simulator.
-        network: Transport (this node attaches its dispatcher to it).
+        runtime: Owning runtime; the node attaches its dispatcher to
+            ``runtime.transport``.
         server: The replica state machine.
         config: Protocol variant switches.
         policy: Partner-selection policy instance (node-local state).
@@ -60,8 +59,7 @@ class ReplicationNode:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        runtime: Runtime,
         server: ReplicaServer,
         config: ProtocolConfig,
         policy: PartnerSelectionPolicy,
@@ -70,23 +68,23 @@ class ReplicationNode:
         advertiser: Optional[DemandAdvertiser] = None,
         ack_manager=None,
     ):
-        self.sim = sim
-        self.network = network
+        self.runtime = runtime
+        self.transport = runtime.transport
         self.server = server
         self.config = config
         self.view = view
         self.node = server.node
         self.ack_manager = ack_manager
         self.anti_entropy = AntiEntropyAgent(
-            sim, network, server, config, policy, ack_manager=ack_manager
+            runtime, server, config, policy, ack_manager=ack_manager
         )
         self.fast: Optional[FastUpdateAgent] = None
         if config.fast_update:
             self.fast = FastUpdateAgent(
-                sim, network, server, config, view, own_demand
+                runtime, server, config, view, own_demand
             )
         self.advertiser = advertiser
-        network.attach(self.node, self.on_message)
+        self.transport.attach(self.node, self.on_message)
         self._started = False
 
     def start(self) -> None:
@@ -107,8 +105,8 @@ class ReplicationNode:
                 # A fast-capable peer pushed at us even though we run the
                 # plain protocol; ignore rather than crash (mirrors a
                 # deployment mixing versions).
-                self.sim.trace.record(
-                    self.sim.now, "node.ignored-fast", node=self.node, src=src
+                self.runtime.trace.record(
+                    self.runtime.now, "node.ignored-fast", node=self.node, src=src
                 )
                 return
             self.fast.on_message(src, message)

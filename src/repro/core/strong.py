@@ -31,6 +31,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..replica.log import Update
 from ..replica.server import ReplicaServer
 from ..replica.timestamps import Timestamp
+from ..runtime.simulation import SimRuntime
 from ..sim.engine import Simulator
 from ..sim.network import FixedLatency, LatencyModel, Network
 from ..topology.analysis import bfs_distances
@@ -121,6 +122,9 @@ class StrongConsistencySystem:
             latency=latency if latency is not None else FixedLatency(link_delay),
             loss=loss,
         )
+        #: Runtime port adapter (clock + transport) used for all
+        #: scheduling and sends, mirroring the weak-consistency stack.
+        self.runtime = SimRuntime(self.sim, self.network)
         self.servers: Dict[int, ReplicaServer] = {}
         self.write_timeout = write_timeout
         self._writes: Dict[int, _WriteState] = {}
@@ -130,7 +134,7 @@ class StrongConsistencySystem:
         self.failed_writes = 0
         for node in topology.nodes:
             self.servers[node] = ReplicaServer(node)
-            self.network.attach(node, self._make_handler(node))
+            self.runtime.transport.attach(node, self._make_handler(node))
 
     # -- write path -------------------------------------------------------
 
@@ -155,19 +159,19 @@ class StrongConsistencySystem:
             update=update,
             children=children,
             parents=parents,
-            started_at=self.sim.now,
+            started_at=self.runtime.now,
         )
         self._next_write_id += 1
         self._writes[state.write_id] = state
         state.pending = {node: len(kids) for node, kids in children.items()}
-        self.sim.schedule(self.write_timeout, self._timeout, state.write_id)
+        self.runtime.schedule(self.write_timeout, self._timeout, state.write_id)
         kids = children.get(origin, [])
         if not kids:
             self._commit(state)
             return state.write_id
         message = StrongPrepare(state.write_id, update)
         for child in kids:
-            self.network.send(origin, child, message)
+            self.runtime.transport.send(origin, child, message)
         return state.write_id
 
     def _spanning_tree(
@@ -212,10 +216,10 @@ class StrongConsistencySystem:
             return
         kids = state.children.get(node, [])
         if not kids:
-            self.network.send(node, state.parents[node], StrongAck(state.write_id, node))
+            self.runtime.transport.send(node, state.parents[node], StrongAck(state.write_id, node))
             return
         for child in kids:
-            self.network.send(node, child, message)
+            self.runtime.transport.send(node, child, message)
 
     def _on_ack(self, node: int, message: StrongAck) -> None:
         state = self._writes.get(message.write_id)
@@ -227,14 +231,14 @@ class StrongConsistencySystem:
         if node == state.origin:
             self._commit(state)
         else:
-            self.network.send(node, state.parents[node], StrongAck(state.write_id, node))
+            self.runtime.transport.send(node, state.parents[node], StrongAck(state.write_id, node))
 
     def _commit(self, state: _WriteState) -> None:
-        state.committed_at = self.sim.now
+        state.committed_at = self.runtime.now
         self.latencies.append(state.committed_at - state.started_at)
         self.servers[state.origin].integrate([state.update], "session")
         for child in state.children.get(state.origin, []):
-            self.network.send(state.origin, child, StrongCommit(state.write_id))
+            self.runtime.transport.send(state.origin, child, StrongCommit(state.write_id))
 
     def _on_commit(self, node: int, message: StrongCommit) -> None:
         state = self._writes.get(message.write_id)
@@ -242,7 +246,7 @@ class StrongConsistencySystem:
             return
         self.servers[node].integrate([state.update], "session")
         for child in state.children.get(node, []):
-            self.network.send(node, child, message)
+            self.runtime.transport.send(node, child, message)
 
     def _timeout(self, write_id: int) -> None:
         state = self._writes.get(write_id)

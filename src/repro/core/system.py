@@ -1,12 +1,20 @@
 """System builder: a whole replicated system in one object.
 
 :class:`ReplicationSystem` wires the full stack for every node of a
-topology — network, replica servers, demand views, policies, agents —
+topology — transport, replica servers, demand views, policies, agents —
 from one :class:`~repro.core.config.ProtocolConfig`, and exposes the
 operations experiments need: inject a write, run until it is everywhere,
 read convergence times.
 
-This is the main entry point of the public API::
+The per-node assembly lives in :func:`build_node_stack`, which depends
+only on the :class:`~repro.runtime.base.Runtime` port — the same
+function wires nodes inside the discrete-event simulator (this class,
+on :class:`~repro.runtime.simulation.SimRuntime`) and inside a live
+wall-clock deployment
+(:class:`~repro.runtime.cluster.ReplicaCluster`, on
+:class:`~repro.runtime.live.AsyncioRuntime`).
+
+``ReplicationSystem`` is the simulation entry point of the public API::
 
     from repro import ReplicationSystem, fast_consistency
     from repro.topology import internet_like
@@ -22,6 +30,9 @@ This is the main entry point of the public API::
     system.start()
     update = system.inject_write(node=0)
     done_at = system.run_until_replicated(update.uid, max_time=50)
+
+For serving live traffic on the same protocol code, see
+:class:`repro.runtime.cluster.ReplicaCluster`.
 """
 
 from __future__ import annotations
@@ -39,8 +50,10 @@ from ..demand.views import (
 )
 from ..errors import ConfigurationError, SimulationError
 from ..replica.log import MaxEntries, Update, UpdateId
-from ..replica.server import ReplicaServer
+from ..replica.server import NewUpdatesListener, ReplicaServer
 from .acking import AckManager
+from ..runtime.base import Runtime
+from ..runtime.simulation import SimRuntime
 from ..sim.engine import Simulator
 from ..sim.network import FixedLatency, LatencyModel, Network
 from ..topology.graph import Topology
@@ -55,6 +68,111 @@ from .protocol import ReplicationNode
 
 #: Topic published whenever any replica first absorbs updates.
 TOPIC_UPDATE_APPLIED = "update.applied"
+
+
+def build_node_stack(
+    runtime: Runtime,
+    topology: Topology,
+    demand: DemandModel,
+    config: ProtocolConfig,
+    node: int,
+    tables: Optional[Dict[int, DemandTable]] = None,
+    on_new_updates: Optional[NewUpdatesListener] = None,
+) -> ReplicationNode:
+    """Assemble one node's complete protocol stack on any runtime.
+
+    Creates the replica server, demand view, partner-selection policy,
+    optional advertiser / ack manager, and the
+    :class:`~repro.core.protocol.ReplicationNode` that routes messages
+    between them.  Everything is wired against the
+    :class:`~repro.runtime.base.Runtime` port, so the identical stack
+    runs inside the simulator and on a live asyncio deployment.
+
+    Args:
+        runtime: Execution world (clock, transport, RNG, trace).
+        topology: The replica interconnection graph.
+        demand: Demand model (nodes read their own true demand from it).
+        config: Protocol variant switches.
+        node: The node to build.
+        tables: Shared per-node demand tables; required for
+            ``"advertised"`` knowledge (missing entries are filled from
+            current neighbour demand).
+        on_new_updates: Optional listener registered on the server
+            *before* the agents, so convergence trackers observe
+            arrivals ahead of the fast-update re-push.
+    """
+    advertised = config.demand_knowledge == KNOWLEDGE_ADVERTISED
+    truncation = None
+    if config.log_truncation == "max-entries":
+        truncation = MaxEntries(limit=config.max_log_entries)
+    server = ReplicaServer(
+        node,
+        truncation=truncation,
+        default_payload_bytes=config.update_payload_bytes,
+    )
+    if on_new_updates is not None:
+        server.on_new_updates(on_new_updates)
+    ack_manager = None
+    if config.log_truncation == "acked":
+        ack_manager = AckManager(runtime, server, topology.nodes)
+    if advertised:
+        if tables is None:
+            raise ConfigurationError(
+                "advertised demand knowledge needs a shared tables dict"
+            )
+        if node not in tables:
+            # Late joiner (replica creation): seed its table from the
+            # neighbours' current demand, as bootstrap_tables does at t=0.
+            table = DemandTable()
+            for neighbor in topology.neighbors(node):
+                table.update(
+                    neighbor,
+                    demand.demand(neighbor, runtime.now),
+                    runtime.now,
+                )
+            tables[node] = table
+    view = _make_view(runtime, topology, demand, config, node, tables)
+    policy = make_policy(config, view, runtime.rng.stream("policy", node))
+    advertiser = None
+    if advertised:
+        advertiser = DemandAdvertiser(
+            runtime,
+            runtime.transport,
+            node,
+            demand,
+            tables[node],
+            period=config.advert_period,
+        )
+    own_demand = lambda _node=node: demand.demand(_node, runtime.now)
+    return ReplicationNode(
+        runtime=runtime,
+        server=server,
+        config=config,
+        policy=policy,
+        view=view,
+        own_demand=own_demand,
+        advertiser=advertiser,
+        ack_manager=ack_manager,
+    )
+
+
+def _make_view(
+    runtime: Runtime,
+    topology: Topology,
+    demand: DemandModel,
+    config: ProtocolConfig,
+    node: int,
+    tables: Optional[Dict[int, DemandTable]],
+) -> DemandView:
+    """The demand view matching ``config.demand_knowledge``."""
+    knowledge = config.demand_knowledge
+    if knowledge == KNOWLEDGE_ORACLE:
+        return OracleDemandView(demand, lambda: runtime.now)
+    if knowledge == KNOWLEDGE_SNAPSHOT:
+        return SnapshotDemandView(demand, topology.nodes, at_time=0.0)
+    if knowledge == KNOWLEDGE_ADVERTISED:
+        return TableDemandView(tables[node])
+    raise ConfigurationError(f"unknown demand knowledge {knowledge!r}")
 
 
 class ReplicationSystem:
@@ -101,6 +219,8 @@ class ReplicationSystem:
             latency=latency if latency is not None else FixedLatency(config.link_delay),
             loss=loss,
         )
+        #: The runtime port adapter every protocol component talks to.
+        self.runtime = SimRuntime(self.sim, self.network)
         self.servers: Dict[int, ReplicaServer] = {}
         self.nodes: Dict[int, ReplicationNode] = {}
         self.tables: Dict[int, DemandTable] = {}
@@ -113,16 +233,6 @@ class ReplicationSystem:
 
     # -- construction ------------------------------------------------------
 
-    def _view_for(self, node: int) -> DemandView:
-        knowledge = self.config.demand_knowledge
-        if knowledge == KNOWLEDGE_ORACLE:
-            return OracleDemandView(self.demand, lambda: self.sim.now)
-        if knowledge == KNOWLEDGE_SNAPSHOT:
-            return SnapshotDemandView(self.demand, self.topology.nodes, at_time=0.0)
-        if knowledge == KNOWLEDGE_ADVERTISED:
-            return TableDemandView(self.tables[node])
-        raise ConfigurationError(f"unknown demand knowledge {knowledge!r}")
-
     def _build(self) -> None:
         advertised = self.config.demand_knowledge == KNOWLEDGE_ADVERTISED
         if advertised:
@@ -133,57 +243,22 @@ class ReplicationSystem:
 
     def _build_node(self, node: int) -> ReplicationNode:
         """Create the full stack for one node and register it."""
-        advertised = self.config.demand_knowledge == KNOWLEDGE_ADVERTISED
-        truncation = None
-        if self.config.log_truncation == "max-entries":
-            truncation = MaxEntries(limit=self.config.max_log_entries)
-        server = ReplicaServer(
+        replication_node = build_node_stack(
+            self.runtime,
+            self.topology,
+            self.demand,
+            self.config,
             node,
-            truncation=truncation,
-            default_payload_bytes=self.config.update_payload_bytes,
+            tables=(
+                self.tables
+                if self.config.demand_knowledge == KNOWLEDGE_ADVERTISED
+                else None
+            ),
+            on_new_updates=lambda updates, source, sender, _node=node: (
+                self._record_applied(_node, updates, source)
+            ),
         )
-        server.on_new_updates(
-            lambda updates, source, sender, _node=node: self._record_applied(
-                _node, updates, source
-            )
-        )
-        ack_manager = None
-        if self.config.log_truncation == "acked":
-            ack_manager = AckManager(self.sim, server, self.topology.nodes)
-        view = self._view_for(node)
-        policy = make_policy(self.config, view, self.sim.rng.stream("policy", node))
-        advertiser = None
-        if advertised:
-            if node not in self.tables:
-                table = DemandTable()
-                for neighbor in self.topology.neighbors(node):
-                    table.update(
-                        neighbor,
-                        self.demand.demand(neighbor, self.sim.now),
-                        self.sim.now,
-                    )
-                self.tables[node] = table
-            advertiser = DemandAdvertiser(
-                self.sim,
-                self.network,
-                node,
-                self.demand,
-                self.tables[node],
-                period=self.config.advert_period,
-            )
-        own_demand = lambda _node=node: self.demand.demand(_node, self.sim.now)
-        self.servers[node] = server
-        replication_node = ReplicationNode(
-            sim=self.sim,
-            network=self.network,
-            server=server,
-            config=self.config,
-            policy=policy,
-            view=view,
-            own_demand=own_demand,
-            advertiser=advertiser,
-            ack_manager=ack_manager,
-        )
+        self.servers[node] = replication_node.server
         self.nodes[node] = replication_node
         return replication_node
 
@@ -256,21 +331,21 @@ class ReplicationSystem:
                 total_writes=server.summary().total_writes(),
                 log_length=len(server.log),
                 hops=distances.get(peer, 1),
-                staleness=self.sim.now - last_applied,
-                demand=self.demand.demand(peer, self.sim.now),
+                staleness=self.runtime.now - last_applied,
+                demand=self.demand.demand(peer, self.runtime.now),
             )
         policy = donor_policy if donor_policy is not None else MostCompleteLog()
         donor = policy.choose(candidates)
         replication_node.anti_entropy.initiate_with(donor)
-        self.sim.trace.record(
-            self.sim.now, "replica.created", node=new_node, donor=donor
+        self.runtime.trace.record(
+            self.runtime.now, "replica.created", node=new_node, donor=donor
         )
         return donor
 
     # -- write injection and convergence tracking ----------------------------
 
     def _record_applied(self, node: int, updates: List[Update], source: str) -> None:
-        now = self.sim.now
+        now = self.runtime.now
         for update in updates:
             times = self._apply_times.setdefault(update.uid, {})
             if node not in times:
@@ -281,8 +356,8 @@ class ReplicationSystem:
                 remaining.discard(node)
                 if not remaining:
                     self._watch.pop(update.uid, None)
-                    self.sim.stop()
-        self.sim.publish(
+                    self.runtime.stop()
+        self.runtime.publish(
             TOPIC_UPDATE_APPLIED,
             node=node,
             updates=updates,
@@ -313,7 +388,7 @@ class ReplicationSystem:
 
     def run_until(self, time: float) -> None:
         """Advance the simulation to ``time``."""
-        self.sim.run(until=time)
+        self.runtime.run(until=time)
 
     def run_until_replicated(
         self, uid: UpdateId, max_time: float = 100.0
@@ -328,7 +403,7 @@ class ReplicationSystem:
             times = self._apply_times.get(uid, {})
             return max(times.values()) if times else None
         self._watch[uid] = (missing, max_time)
-        self.sim.run(until=max_time)
+        self.runtime.run(until=max_time)
         self._watch.pop(uid, None)
         if self.all_have(uid):
             return max(self._apply_times[uid].values())
@@ -338,7 +413,7 @@ class ReplicationSystem:
 
     def demand_snapshot(self, time: Optional[float] = None) -> Dict[int, float]:
         """True demand of every node at ``time`` (default: now)."""
-        at = self.sim.now if time is None else time
+        at = self.runtime.now if time is None else time
         return self.demand.snapshot(self.topology.nodes, at)
 
     def traffic(self) -> Dict[str, object]:

@@ -17,8 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import DemandError
-from ..sim.engine import Simulator
-from ..sim.network import Network
+from ..runtime.base import Clock, Transport
 from .base import DemandModel
 from .views import DemandTable
 
@@ -44,8 +43,9 @@ class DemandAdvertiser:
     """Per-node periodic advertiser plus receiver.
 
     Args:
-        sim: Owning simulator.
-        network: Transport used for adverts.
+        runtime: Owning clock (a :class:`~repro.runtime.base.Runtime`
+            or a bare :class:`~repro.sim.engine.Simulator`).
+        transport: Transport used for adverts.
         node: This node's id.
         model: Ground-truth demand (the node knows its own demand by
             counting its clients' requests).
@@ -61,8 +61,8 @@ class DemandAdvertiser:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        runtime: Clock,
+        transport: Transport,
         node: int,
         model: DemandModel,
         table: DemandTable,
@@ -73,8 +73,8 @@ class DemandAdvertiser:
             raise DemandError(f"advert period must be > 0, got {period}")
         if jitter < 0:
             raise DemandError(f"jitter must be >= 0, got {jitter}")
-        self.sim = sim
-        self.network = network
+        self.runtime = runtime
+        self.transport = transport
         self.node = int(node)
         self.model = model
         self.table = table
@@ -89,28 +89,28 @@ class DemandAdvertiser:
         if self._started:
             raise DemandError(f"advertiser for node {self.node} already started")
         self._started = True
-        rng = self.sim.rng.stream("advert", self.node)
+        rng = self.runtime.rng.stream("advert", self.node)
         first = rng.uniform(0, self.jitter) if self.jitter else 0.0
-        self.sim.schedule(first, self._round)
+        self.runtime.schedule(first, self._round)
 
     def _round(self) -> None:
-        value = self.model.demand(self.node, self.sim.now)
+        value = self.model.demand(self.node, self.runtime.now)
         advert = DemandAdvert(sender=self.node, value=value)
-        for neighbor in self.network.topology.neighbors(self.node):
-            self.network.send(self.node, neighbor, advert)
+        for neighbor in self.transport.physical_neighbors(self.node):
+            self.transport.send(self.node, neighbor, advert)
         self.rounds_sent += 1
-        self.sim.schedule(self.period, self._round)
+        self.runtime.schedule(self.period, self._round)
 
     def on_message(self, src: int, message: DemandAdvert) -> None:
         """Handle a received advert (updates the neighbour table)."""
         if not isinstance(message, DemandAdvert):
             raise DemandError(f"unexpected message {message!r}")
         self.adverts_received += 1
-        self.table.update(message.sender, message.value, self.sim.now)
+        self.table.update(message.sender, message.value, self.runtime.now)
 
 
 def bootstrap_tables(
-    network: Network, model: DemandModel, at_time: float = 0.0
+    network: Transport, model: DemandModel, at_time: float = 0.0
 ) -> Dict[int, DemandTable]:
     """Pre-populate every node's table with its neighbours' true demand.
 
@@ -121,7 +121,7 @@ def bootstrap_tables(
     tables: Dict[int, DemandTable] = {}
     for node in network.topology.nodes:
         table = DemandTable()
-        for neighbor in network.topology.neighbors(node):
+        for neighbor in network.physical_neighbors(node):
             table.update(neighbor, model.demand(neighbor, at_time), at_time)
         tables[node] = table
     return tables

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..demand.base import DemandModel
 from ..errors import ReplicationError
-from ..sim.engine import Simulator
+from ..runtime.base import Clock
 from .log import UpdateId
 from .server import ReplicaServer
 
@@ -41,7 +41,8 @@ class ClientWorkload:
     standard exact method for inhomogeneous Poisson processes.
 
     Args:
-        sim: Owning simulator.
+        runtime: Owning clock (a :class:`~repro.runtime.base.Runtime`
+            or a bare :class:`~repro.sim.engine.Simulator`).
         server: The replica receiving the requests.
         model: Demand model (requests per session-time unit).
         max_rate: Upper bound on the node's demand over the run.
@@ -53,7 +54,7 @@ class ClientWorkload:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Clock,
         server: ReplicaServer,
         model: DemandModel,
         max_rate: float,
@@ -65,7 +66,7 @@ class ClientWorkload:
             raise ReplicationError(f"max_rate must be >= 0, got {max_rate}")
         if not 0 <= write_fraction <= 1:
             raise ReplicationError(f"write_fraction {write_fraction} outside [0, 1]")
-        self.sim = sim
+        self.runtime = runtime
         self.server = server
         self.model = model
         self.max_rate = float(max_rate)
@@ -73,8 +74,9 @@ class ClientWorkload:
         self.reference_update = reference_update
         self.key = key
         self.stats = WorkloadStats()
-        self._rng = sim.rng.stream("workload", server.node)
+        self._rng = runtime.rng.stream("workload", server.node)
         self._running = False
+        self._pending: Optional[object] = None
 
     def start(self) -> None:
         """Begin generating requests (idempotent start is an error)."""
@@ -84,19 +86,28 @@ class ClientWorkload:
         self._schedule_next()
 
     def stop(self) -> None:
-        """Stop after any already-scheduled arrival."""
+        """Stop generating and cancel the pending arrival event.
+
+        Cancelling (rather than letting the arrival fire into a
+        no-op) matters on long-lived runtimes: a stopped workload must
+        not leave a dead event behind per stop/start cycle.
+        """
         self._running = False
+        if self._pending is not None:
+            self.runtime.cancel(self._pending)
+            self._pending = None
 
     def _schedule_next(self) -> None:
         if self.max_rate <= _MAX_RATE_EPSILON:
             return
         gap = self._rng.expovariate(self.max_rate)
-        self.sim.schedule(gap, self._arrival)
+        self._pending = self.runtime.schedule(gap, self._arrival)
 
     def _arrival(self) -> None:
+        self._pending = None
         if not self._running:
             return
-        rate = self.model.demand(self.server.node, self.sim.now)
+        rate = self.model.demand(self.server.node, self.runtime.now)
         keep_probability = min(1.0, rate / self.max_rate) if self.max_rate else 0.0
         if self._rng.random() < keep_probability:
             self._serve_request()
@@ -106,7 +117,7 @@ class ClientWorkload:
         self.stats.requests += 1
         if self._rng.random() < self.write_fraction:
             self.stats.writes += 1
-            self.server.local_write(self.key, f"w@{self.sim.now:.4f}")
+            self.server.local_write(self.key, f"w@{self.runtime.now:.4f}")
             return
         self.stats.reads += 1
         self.server.read(self.key)
@@ -118,7 +129,7 @@ class ClientWorkload:
 
 
 def start_workloads(
-    sim: Simulator,
+    runtime: Clock,
     servers: Dict[int, ReplicaServer],
     model: DemandModel,
     max_rate: float,
@@ -129,7 +140,7 @@ def start_workloads(
     workloads: Dict[int, ClientWorkload] = {}
     for node, server in servers.items():
         workload = ClientWorkload(
-            sim,
+            runtime,
             server,
             model,
             max_rate=max_rate,

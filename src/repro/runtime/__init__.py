@@ -1,0 +1,64 @@
+"""Runtime port and adapters: one protocol, two execution worlds.
+
+The protocol stack in :mod:`repro.core` depends only on the narrow
+interfaces defined here:
+
+* :class:`Clock` / :class:`Transport` / :class:`Runtime` — the port
+  (:mod:`repro.runtime.base`);
+* :class:`SimRuntime` — discrete-event adapter over the existing
+  :class:`~repro.sim.engine.Simulator` and
+  :class:`~repro.sim.network.Network` (bit-identical traces);
+* :class:`AsyncioRuntime` / :class:`AsyncioTransport` — wall-clock
+  adapter over in-process asyncio queues;
+* :class:`ReplicaCluster` — the live client-facing API
+  (``put`` / ``get`` / ``stats``) on top of ``AsyncioRuntime``.
+
+The asyncio-backed names are imported lazily (PEP 562) so that
+``import repro`` — and every simulation-only workflow — never imports
+:mod:`asyncio`.
+"""
+
+from __future__ import annotations
+
+from .base import Clock, MessageHandler, Runtime, TopicBus, Transport
+from .simulation import SimRuntime
+
+#: Names resolved lazily from the asyncio-backed modules.
+_LIVE_EXPORTS = {
+    "AsyncioRuntime": "live",
+    "AsyncioTransport": "live",
+    "ReplicaCluster": "cluster",
+    "DEFAULT_TIME_SCALE": "cluster",
+}
+
+__all__ = [
+    # port
+    "Clock",
+    "Transport",
+    "Runtime",
+    "TopicBus",
+    "MessageHandler",
+    # adapters
+    "SimRuntime",
+    "AsyncioRuntime",
+    "AsyncioTransport",
+    # live client API
+    "ReplicaCluster",
+    "DEFAULT_TIME_SCALE",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LIVE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LIVE_EXPORTS))

@@ -1,0 +1,231 @@
+"""The runtime port: the narrow world-interface the protocol needs.
+
+The replication protocol (anti-entropy sessions, fast-update pushes,
+demand advertisements) is pure message-driven logic.  Everything it
+needs from the outside world fits three small contracts:
+
+* :class:`Clock` — read the current time, schedule/cancel callbacks;
+* :class:`Transport` — send messages between nodes, register per-node
+  delivery handlers, enumerate neighbours (links carry latency and may
+  lose messages);
+* :class:`Runtime` — the facade the protocol stack is actually handed:
+  it *is* a clock, owns a transport, and hosts the cross-cutting
+  services every deployment needs (named RNG streams, structured
+  tracing, a topic bus).
+
+Two adapters implement the port:
+
+* :class:`repro.runtime.simulation.SimRuntime` binds the protocol to
+  the discrete-event simulator — virtual time, bit-reproducible traces;
+* :class:`repro.runtime.live.AsyncioRuntime` binds the same protocol
+  code to real wall-clock time over in-process asyncio queues, which is
+  what :class:`repro.runtime.cluster.ReplicaCluster` serves live client
+  traffic on.
+
+Both :class:`Clock` and :class:`Transport` are structural
+(:mod:`typing` protocols): the existing
+:class:`~repro.sim.engine.Simulator` and
+:class:`~repro.sim.network.Network` satisfy them as-is, so simulation
+code pays nothing for the boundary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from ..sim.rng import RngRegistry
+from ..sim.trace import Tracer
+
+#: Per-node delivery callback: ``handler(src, message)``.
+MessageHandler = Callable[[int, object], None]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time source, one-shot scheduling, and seeded randomness.
+
+    Times and delays are in protocol units (the paper's "session
+    times"); an adapter maps them to virtual or wall-clock seconds.
+    ``rng`` rides along because every scheduler client (session timers,
+    workload arrivals, advert jitter) draws its gaps from named
+    deterministic streams — a clock without it cannot host the
+    protocol's periodic activity.
+    """
+
+    #: Named deterministic RNG streams (protocol components draw
+    #: intervals and choices via ``rng.stream(name, *key)``).
+    rng: RngRegistry
+
+    @property
+    def now(self) -> float:
+        """Current time in protocol units."""
+        ...
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> object:
+        """Run ``callback(*args)`` after ``delay``; returns a cancel handle."""
+        ...
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> object:
+        """Run ``callback(*args)`` at absolute ``time``; returns a handle."""
+        ...
+
+    def cancel(self, handle: object) -> bool:
+        """Cancel a scheduled callback; True if it was still pending."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Node-to-node messaging along topology links.
+
+    Links have per-hop latency (a :class:`~repro.sim.network.LatencyModel`)
+    and may drop messages; every send is metered through ``counters``.
+    """
+
+    #: The link graph (``nodes`` / ``neighbors`` / ``has_edge`` /
+    #: ``edge_weight``) the transport routes over.
+    topology: Any
+
+    #: Traffic meters (a :class:`~repro.sim.network.TrafficCounters`).
+    counters: Any
+
+    def send(self, src: int, dst: int, message: object) -> bool:
+        """One-hop send; True if the message entered the channel."""
+        ...
+
+    def broadcast(self, src: int, message: object) -> int:
+        """Send to every physical neighbour; returns sends accepted."""
+        ...
+
+    def attach(self, node: int, handler: MessageHandler) -> None:
+        """Register ``node``'s delivery callback (its ``on_message``)."""
+        ...
+
+    def detach(self, node: int) -> None:
+        """Remove a node's handler; in-flight messages to it are dropped."""
+        ...
+
+    def handler_for(self, node: int) -> Optional[MessageHandler]:
+        """The currently attached handler of ``node`` (None if detached)."""
+        ...
+
+    def neighbors(self, node: int) -> List[int]:
+        """Peers reachable in one hop (physical plus overlay links)."""
+        ...
+
+    def physical_neighbors(self, node: int) -> Sequence[int]:
+        """Topology neighbours only (partner-selection candidate set)."""
+        ...
+
+
+class TopicBus:
+    """Minimal synchronous pub/sub, shared by non-simulator runtimes."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Callable[..., None]]] = {}
+
+    def subscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        """Register ``handler(**payload)`` for :meth:`publish` on ``topic``."""
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def unsubscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        """Remove a previously registered handler (no-op if absent)."""
+        handlers = self._subscribers.get(topic, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def publish(self, topic: str, **payload: Any) -> int:
+        """Deliver ``payload`` to every subscriber; returns handler count."""
+        handlers = self._subscribers.get(topic)
+        if not handlers:
+            return 0
+        for handler in tuple(handlers):
+            handler(**payload)
+        return len(handlers)
+
+
+class Runtime(ABC):
+    """Facade handed to every protocol component: clock + transport +
+    cross-cutting services.
+
+    Attributes:
+        transport: The :class:`Transport` messages travel on.
+        rng: Named deterministic RNG streams
+            (:class:`~repro.sim.rng.RngRegistry`).
+        trace: Structured tracer (:class:`~repro.sim.trace.Tracer`).
+    """
+
+    transport: Transport
+    rng: RngRegistry
+    trace: Tracer
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in protocol units."""
+
+    @abstractmethod
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> object:
+        """Run ``callback(*args)`` after ``delay``; returns a cancel handle."""
+
+    @abstractmethod
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> object:
+        """Run ``callback(*args)`` at absolute ``time``."""
+
+    @abstractmethod
+    def cancel(self, handle: object) -> bool:
+        """Cancel a scheduled callback; True if it was still pending."""
+
+    # -- pub/sub --------------------------------------------------------
+
+    @abstractmethod
+    def publish(self, topic: str, **payload: Any) -> int:
+        """Synchronously deliver ``payload`` to subscribers of ``topic``."""
+
+    @abstractmethod
+    def subscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        """Register ``handler(**payload)`` for ``topic``."""
+
+    @abstractmethod
+    def unsubscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        """Remove a previously registered handler."""

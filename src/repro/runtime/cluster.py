@@ -1,0 +1,437 @@
+"""ReplicaCluster: serve live client traffic on the replication protocol.
+
+An in-process cluster of replicas running the paper's protocol on the
+wall-clock :class:`~repro.runtime.live.AsyncioRuntime`: one event loop
+on a background thread hosts every node's protocol stack (assembled by
+the very same :func:`repro.core.system.build_node_stack` the simulator
+uses), and callers on any thread interact through a synchronous
+client API::
+
+    from repro.runtime import ReplicaCluster
+
+    with ReplicaCluster(nodes=16, seed=1, time_scale=0.05) as cluster:
+        update = cluster.put("greeting", "hello", node=0)
+        cluster.wait_replicated(update.uid, timeout=10.0)
+        print(cluster.get("greeting", node=7))   # 'hello', everywhere
+        print(cluster.stats()["traffic"]["messages_sent"])
+
+``put`` performs the client write at one replica and returns
+immediately (weak consistency: the write propagates via fast-update
+pushes and anti-entropy sessions); ``wait_replicated`` blocks until
+every replica has absorbed it.  ``time_scale`` compresses protocol
+time: 0.05 runs one session-time unit in 50 ms of wall clock.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import threading
+from typing import Deque, Dict, List, Optional
+
+from ..core.config import KNOWLEDGE_ADVERTISED, ProtocolConfig
+from ..core.protocol import ReplicationNode
+from ..core.system import build_node_stack
+from ..core.variants import fast_consistency
+from ..demand.advertisement import bootstrap_tables
+from ..demand.base import DemandModel
+from ..demand.static import UniformRandomDemand
+from ..errors import ConfigurationError, ReplicationError
+from ..replica.log import Update, UpdateId
+from ..replica.server import ReplicaServer
+from ..replica.store import StoreEntry
+from ..sim.network import LatencyModel
+from ..topology.graph import Topology
+from .live import AsyncioRuntime, AsyncioTransport
+
+#: Default wall-clock seconds per protocol time unit (20 units/second).
+DEFAULT_TIME_SCALE = 0.05
+
+#: Ceiling on cross-thread control calls (put/get/stats plumbing).
+_CALL_TIMEOUT = 30.0
+
+#: Default bound on per-update tracking state (see ``track_limit``).
+DEFAULT_TRACK_LIMIT = 4096
+
+
+class ReplicaCluster:
+    """A live, queryable cluster of replicas over asyncio.
+
+    Args:
+        topology: Replica interconnection graph; default is a
+            BRITE-style ``internet_like(nodes)`` graph.
+        nodes: Node count used when no topology is given.
+        config: Protocol variant (default: the paper's
+            :func:`~repro.core.variants.fast_consistency`).
+        demand: Demand model steering partner selection and pushes
+            (default: ``UniformRandomDemand(seed=seed)``).
+        seed: Master seed for the protocol's RNG streams.
+        time_scale: Wall-clock seconds per protocol time unit.
+        latency: Per-link latency model, in protocol units.
+        loss: Message loss probability.
+        track_limit: At most this many *fully replicated* updates keep
+            their apply-time/latency records; older ones are evicted so
+            a long-lived cluster's tracking state stays bounded
+            (``wait_replicated`` on an evicted update still returns
+            immediately for waiters already holding its event, but
+            :meth:`apply_times` / :meth:`replication_latency` return
+            empty/None for it).
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        *,
+        nodes: int = 8,
+        config: Optional[ProtocolConfig] = None,
+        demand: Optional[DemandModel] = None,
+        seed: int = 0,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        latency: Optional[LatencyModel] = None,
+        loss: float = 0.0,
+        track_limit: int = DEFAULT_TRACK_LIMIT,
+    ):
+        if track_limit < 1:
+            raise ConfigurationError(
+                f"track_limit must be >= 1, got {track_limit}"
+            )
+        if topology is None:
+            from ..topology.brite import internet_like
+
+            topology = internet_like(nodes, seed=seed)
+        if topology.num_nodes == 0:
+            raise ConfigurationError("topology has no nodes")
+        if not topology.is_connected():
+            raise ConfigurationError("cluster topology must be connected")
+        self.topology = topology
+        self.config = (config if config is not None else fast_consistency()).validate()
+        self.demand = demand if demand is not None else UniformRandomDemand(seed=seed)
+        self.seed = int(seed)
+        self.loss = float(loss)
+        self._latency = latency
+        self.runtime = AsyncioRuntime(seed=seed, time_scale=time_scale)
+        self.transport: Optional[AsyncioTransport] = None
+        self.nodes: Dict[int, ReplicationNode] = {}
+        self.servers: Dict[int, ReplicaServer] = {}
+
+        self._n = topology.num_nodes
+        self._lock = threading.Lock()
+        self._track_limit = int(track_limit)
+        self._apply_times: Dict[UpdateId, Dict[int, float]] = {}
+        self._put_times: Dict[UpdateId, float] = {}
+        self._replicated: Dict[UpdateId, threading.Event] = {}
+        #: Fully replicated uids in completion order (eviction queue).
+        self._completed_order: Deque[UpdateId] = collections.deque()
+        #: Per-origin highest sequence number ever evicted; lets
+        #: wait_replicated answer True for evicted updates without
+        #: keeping per-uid state (bounded by the node count).
+        self._evicted_seq: Dict[int, int] = {}
+        self._completed_total = 0
+        self._puts = 0
+        self._gets = 0
+        self._client_rng = self.runtime.rng.stream("cluster-client")
+
+        self._thread: Optional[threading.Thread] = None
+        self._loop = None
+        self._stop_event = None
+        self._ready = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ReplicaCluster":
+        """Boot the event-loop thread and every replica; returns self."""
+        if self._thread is not None:
+            raise ReplicationError("cluster already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-cluster", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._boot_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._boot_error
+        return self
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the cluster and join the loop thread (idempotent).
+
+        Client calls racing a concurrent ``close()`` fail with
+        :class:`ReplicationError` instead of running on a dead loop.
+        """
+        with self._lock:
+            already = self._closed or self._thread is None
+            self._closed = True
+        if already:
+            return
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ReplicaCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _thread_main(self) -> None:
+        import asyncio
+
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        import asyncio
+
+        try:
+            self.runtime.start()
+            self.transport = AsyncioTransport(
+                self.runtime,
+                self.topology,
+                latency=self._latency,
+                loss=self.loss,
+            )
+            self.runtime.transport = self.transport
+            tables = None
+            if self.config.demand_knowledge == KNOWLEDGE_ADVERTISED:
+                tables = bootstrap_tables(self.transport, self.demand, at_time=0.0)
+            for node in self.topology.nodes:
+                stack = build_node_stack(
+                    self.runtime,
+                    self.topology,
+                    self.demand,
+                    self.config,
+                    node,
+                    tables=tables,
+                    on_new_updates=(
+                        lambda updates, source, sender, _node=node: (
+                            self._record_applied(_node, updates)
+                        )
+                    ),
+                )
+                self.nodes[node] = stack
+                self.servers[node] = stack.server
+            self.transport.start_pumps()
+            for stack in self.nodes.values():
+                stack.start()
+            self._stop_event = asyncio.Event()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._boot_error = exc
+            if self.transport is not None:
+                await self.transport.stop_pumps()
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.transport.stop_pumps()
+
+    # -- replication tracking -------------------------------------------
+
+    def _record_applied(self, node: int, updates: List[Update]) -> None:
+        now = self.runtime.now
+        with self._lock:
+            for update in updates:
+                times = self._apply_times.setdefault(update.uid, {})
+                times.setdefault(node, now)
+                if len(times) >= self._n:
+                    event = self._replicated.setdefault(
+                        update.uid, threading.Event()
+                    )
+                    if not event.is_set():
+                        event.set()
+                        self._completed_total += 1
+                        self._completed_order.append(update.uid)
+                        self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        """Drop tracking state of the oldest fully replicated updates
+        beyond ``track_limit`` (caller holds the lock).  Waiters that
+        already hold the threading.Event keep their reference; only the
+        cluster-side records go."""
+        while len(self._completed_order) > self._track_limit:
+            uid = self._completed_order.popleft()
+            origin, seq = uid
+            if seq > self._evicted_seq.get(origin, -1):
+                self._evicted_seq[origin] = seq
+            self._apply_times.pop(uid, None)
+            self._put_times.pop(uid, None)
+            self._replicated.pop(uid, None)
+
+    def _event_for(self, uid: UpdateId) -> Optional[threading.Event]:
+        """The completion event of ``uid``, or None if it was already
+        fully replicated and evicted (no per-uid state remains)."""
+        with self._lock:
+            event = self._replicated.get(uid)
+            if event is not None:
+                return event
+            if uid not in self._apply_times:
+                # Never-tracked uid: either evicted after completing
+                # (origin watermark covers it — every put applies at its
+                # origin instantly, so any live update stays tracked) or
+                # genuinely unknown.
+                origin, seq = uid
+                if seq <= self._evicted_seq.get(origin, -1):
+                    return None
+            return self._replicated.setdefault(uid, threading.Event())
+
+    # -- cross-thread plumbing ------------------------------------------
+
+    def _call(self, fn, *args):
+        """Run ``fn(*args)`` on the loop thread; return its result.
+
+        Raises :class:`ReplicationError` when the cluster is not (or no
+        longer) running — including a concurrent :meth:`close` racing
+        this call, in which case the pending call fails rather than
+        executing on a stopped loop.
+        """
+        future: "concurrent.futures.Future" = concurrent.futures.Future()
+
+        def runner() -> None:
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - re-raised at caller
+                future.set_exception(exc)
+
+        with self._lock:
+            if self._thread is None or self._closed:
+                raise ReplicationError(
+                    "cluster is not running (start() it first)"
+                )
+            loop = self._loop
+        try:
+            loop.call_soon_threadsafe(runner)
+        except RuntimeError as exc:  # loop already closed under us
+            raise ReplicationError("cluster stopped during the call") from exc
+        try:
+            return future.result(timeout=_CALL_TIMEOUT)
+        except concurrent.futures.TimeoutError as exc:
+            raise ReplicationError(
+                "cluster call timed out (cluster closing concurrently?)"
+            ) from exc
+
+    def _resolve_node(self, node: Optional[int]) -> int:
+        if self._thread is None or self._closed:
+            raise ReplicationError("cluster is not running (start() it first)")
+        if node is None:
+            return self._client_rng.choice(sorted(self.servers))
+        if node not in self.servers:
+            raise ReplicationError(f"unknown node {node}")
+        return int(node)
+
+    # -- client API -----------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        value: object,
+        node: Optional[int] = None,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Update:
+        """Client write at ``node`` (random replica when omitted).
+
+        Returns once the write is applied locally; the cluster
+        propagates it in the background (fast-update push first, then
+        anti-entropy).  With ``wait=True``, block until every replica
+        absorbed it (raises :class:`ReplicationError` on timeout).
+        """
+        target = self._resolve_node(node)
+
+        def write() -> Update:
+            t0 = self.runtime.now
+            update = self.servers[target].local_write(key, value)
+            with self._lock:
+                self._put_times[update.uid] = t0
+            return update
+
+        update = self._call(write)
+        with self._lock:
+            self._puts += 1
+        if wait and not self.wait_replicated(update.uid, timeout=timeout):
+            raise ReplicationError(
+                f"update {update.uid} not fully replicated within {timeout}s"
+            )
+        return update
+
+    def get(self, key: str, node: Optional[int] = None) -> object:
+        """Read ``key`` at one replica (weakly consistent: maybe stale)."""
+        entry = self.read(key, node=node)
+        return entry.value if entry is not None else None
+
+    def read(self, key: str, node: Optional[int] = None) -> Optional[StoreEntry]:
+        """Like :meth:`get` but returns the full store entry."""
+        target = self._resolve_node(node)
+        with self._lock:
+            self._gets += 1
+        return self._call(self.servers[target].read, key)
+
+    def wait_replicated(
+        self, uid: UpdateId, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until ``uid`` reached every replica; False on timeout.
+
+        An update that completed and was since evicted (see
+        ``track_limit``) returns True immediately.
+        """
+        event = self._event_for(uid)
+        if event is None:
+            return True  # completed before being evicted
+        return event.wait(timeout)
+
+    def apply_times(self, uid: UpdateId) -> Dict[int, float]:
+        """First-application time per node, in protocol units."""
+        with self._lock:
+            return dict(self._apply_times.get(uid, {}))
+
+    def replication_latency(self, uid: UpdateId) -> Optional[float]:
+        """Wall-clock seconds from ``put`` to the last replica's apply.
+
+        None while the update has not reached every replica (or was
+        never written through :meth:`put`).
+        """
+        with self._lock:
+            times = self._apply_times.get(uid, {})
+            t0 = self._put_times.get(uid)
+            if t0 is None or len(times) < self._n:
+                return None
+            return (max(times.values()) - t0) * self.runtime.time_scale
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters: ops, replication coverage, traffic."""
+        with self._lock:
+            tracked = len(self._apply_times)
+            replicated = self._completed_total
+            puts, gets = self._puts, self._gets
+        sessions: Dict[str, int] = {}
+        for stack in self.nodes.values():
+            stats = stack.anti_entropy.stats
+            for name in ("initiated", "completed_initiator", "completed_responder"):
+                sessions[name] = sessions.get(name, 0) + getattr(stats, name)
+        out: Dict[str, object] = {
+            "nodes": self._n,
+            "variant": self.config.describe(),
+            "time_scale": self.runtime.time_scale,
+            "puts": puts,
+            "gets": gets,
+            "updates_tracked": tracked,
+            "updates_fully_replicated": replicated,
+            "sessions": sessions,
+        }
+        if self.transport is not None:
+            out["traffic"] = self.transport.counters.snapshot()
+            out["handler_errors"] = len(self.transport.handler_errors)
+        if self._loop is not None and self._loop.is_running():
+            out["uptime_units"] = self._call(lambda: self.runtime.now)
+        return out

@@ -1,0 +1,311 @@
+"""AsyncioRuntime: the wall-clock adapter of the runtime port.
+
+The same protocol code that runs inside the discrete-event simulator
+runs here against real time: callbacks are scheduled with
+``loop.call_later``, and messages travel through per-node
+:class:`asyncio.Queue` mailboxes drained by one pump task per node —
+an in-process model of one event-loop server per replica.
+
+Time is still measured in protocol units (the paper's session times);
+``time_scale`` maps one unit to wall-clock seconds, so a cluster can be
+run at full protocol fidelity but compressed into milliseconds per
+session interval.
+
+This module is imported lazily by :mod:`repro.runtime` so that
+``import repro`` never pays for (or requires) :mod:`asyncio`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..sim.network import (
+    FixedLatency,
+    LatencyModel,
+    TrafficCounters,
+    message_kind,
+    message_size,
+    resolve_delay,
+)
+from ..sim.rng import RngRegistry
+from ..sim.trace import Tracer
+from .base import MessageHandler, Runtime, TopicBus
+
+
+class _LiveHandle:
+    """Cancellation token for a wall-clock scheduled callback."""
+
+    __slots__ = ("_timer", "fired", "cancelled", "label")
+
+    def __init__(self, label: str = ""):
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self.fired = False
+        self.cancelled = False
+        self.label = label
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"_LiveHandle(label={self.label!r}, {state})"
+
+
+class AsyncioRuntime(Runtime):
+    """Runtime adapter over a running :mod:`asyncio` event loop.
+
+    Args:
+        seed: Master seed for the deterministic RNG streams (protocol
+            decisions stay reproducible even though timing is not).
+        time_scale: Wall-clock seconds per protocol time unit.  The
+            default ``1.0`` runs sessions in real time; live clusters
+            typically compress (e.g. ``0.05`` = 50 ms per session time).
+        trace: Optional tracer; defaults to a *disabled* one, since a
+            live system should not buffer trace rows indefinitely.
+
+    Call :meth:`start` from inside the event loop before scheduling.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        time_scale: float = 1.0,
+        trace: Optional[Tracer] = None,
+    ):
+        if time_scale <= 0:
+            raise SimulationError(f"time_scale must be positive, got {time_scale}")
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+        self.time_scale = float(time_scale)
+        self.transport = None  # type: ignore[assignment]
+        self._bus = TopicBus()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind to the running event loop; time zero is now."""
+        if self._loop is not None:
+            raise SimulationError("AsyncioRuntime already started")
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise SimulationError("AsyncioRuntime not started (call start())")
+        return self._loop
+
+    async def sleep(self, units: float) -> None:
+        """Sleep for ``units`` protocol time units of wall-clock time."""
+        await asyncio.sleep(units * self.time_scale)
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return (self.loop.time() - self._t0) / self.time_scale
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> _LiveHandle:
+        handle = _LiveHandle(label=label)
+
+        def _fire() -> None:
+            handle.fired = True
+            callback(*args)
+
+        handle._timer = self.loop.call_later(
+            max(0.0, delay) * self.time_scale, _fire
+        )
+        return handle
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> _LiveHandle:
+        return self.schedule(
+            time - self.now, callback, *args, priority=priority, label=label
+        )
+
+    def cancel(self, handle: object) -> bool:
+        if not isinstance(handle, _LiveHandle):
+            return False
+        if handle.fired or handle.cancelled or handle._timer is None:
+            return False
+        handle._timer.cancel()
+        handle.cancelled = True
+        return True
+
+    # -- pub/sub --------------------------------------------------------
+
+    def publish(self, topic: str, **payload: Any) -> int:
+        return self._bus.publish(topic, **payload)
+
+    def subscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        self._bus.subscribe(topic, handler)
+
+    def unsubscribe(self, topic: str, handler: Callable[..., None]) -> None:
+        self._bus.unsubscribe(topic, handler)
+
+
+class AsyncioTransport:
+    """Queue-backed transport between in-process replicas.
+
+    Each attached node owns an :class:`asyncio.Queue` mailbox and a pump
+    task that drains it, invoking the node's handler one message at a
+    time — per-replica delivery is serialized exactly like a one-thread
+    server.  Link latency (in protocol units, scaled by the runtime's
+    ``time_scale``) and probabilistic loss mirror the simulator's
+    :class:`~repro.sim.network.Network` semantics; all traffic is
+    metered via :class:`~repro.sim.network.TrafficCounters`.
+
+    Args:
+        runtime: Owning :class:`AsyncioRuntime` (clock + RNG).
+        topology: Link graph (``nodes`` / ``neighbors`` / ``has_edge`` /
+            ``edge_weight``).
+        latency: Per-link latency model (default: fixed 0.02 units).
+        loss: Probability a message is dropped in flight.
+        seed_stream: RNG stream name used for loss draws.
+    """
+
+    def __init__(
+        self,
+        runtime: AsyncioRuntime,
+        topology,
+        latency: Optional[LatencyModel] = None,
+        loss: float = 0.0,
+        seed_stream: str = "network",
+    ):
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError(f"loss probability {loss} outside [0, 1)")
+        self.runtime = runtime
+        self.topology = topology
+        self.latency = latency if latency is not None else FixedLatency()
+        self.loss = loss
+        self.counters = TrafficCounters()
+        self._rng = runtime.rng.stream(seed_stream)
+        self._handlers: Dict[int, MessageHandler] = {}
+        self._queues: Dict[int, "asyncio.Queue[Tuple[int, object]]"] = {}
+        self._pumps: Dict[int, "asyncio.Task[None]"] = {}
+        self._pumping = False
+        #: (node, exception) pairs from handlers that raised; a bad
+        #: message must not kill the replica's delivery loop.
+        self.handler_errors: List[Tuple[int, BaseException]] = []
+
+    # -- attachment -----------------------------------------------------
+
+    def attach(self, node: int, handler: MessageHandler) -> None:
+        """Register the delivery callback for ``node``.
+
+        Attaching after :meth:`start_pumps` (a node joining a running
+        cluster) creates the node's mailbox and pump immediately.
+        """
+        if node not in self.topology.nodes:
+            raise SimulationError(f"node {node} not in topology")
+        self._handlers[node] = handler
+        if self._pumping:
+            self._ensure_pump(node)
+
+    def detach(self, node: int) -> None:
+        """Remove a node's handler; queued messages to it are dropped."""
+        self._handlers.pop(node, None)
+
+    def handler_for(self, node: int) -> Optional[MessageHandler]:
+        """The currently attached handler of ``node`` (None if detached)."""
+        return self._handlers.get(node)
+
+    # -- pump lifecycle --------------------------------------------------
+
+    def start_pumps(self) -> None:
+        """Create one mailbox and pump task per attached node."""
+        self._pumping = True
+        for node in self._handlers:
+            self._ensure_pump(node)
+
+    def _ensure_pump(self, node: int) -> None:
+        if node not in self._pumps:
+            self._queues[node] = asyncio.Queue()
+            self._pumps[node] = self.runtime.loop.create_task(self._pump(node))
+
+    async def _pump(self, node: int) -> None:
+        queue = self._queues[node]
+        while True:
+            src, message = await queue.get()
+            handler = self._handlers.get(node)
+            if handler is None:
+                self._drop(src, node, message_kind(message), "no-handler")
+                continue
+            self.counters.messages_delivered += 1
+            try:
+                handler(src, message)
+            except Exception as exc:  # noqa: BLE001 - replica must survive
+                self.handler_errors.append((node, exc))
+
+    async def stop_pumps(self) -> None:
+        """Cancel every pump task and wait for them to wind down."""
+        self._pumping = False
+        for task in self._pumps.values():
+            task.cancel()
+        await asyncio.gather(*self._pumps.values(), return_exceptions=True)
+        self._pumps.clear()
+        self._queues.clear()
+
+    # -- neighbours ------------------------------------------------------
+
+    def neighbors(self, node: int) -> List[int]:
+        """One-hop peers (no overlay links in the live transport)."""
+        return list(self.topology.neighbors(node))
+
+    def physical_neighbors(self, node: int) -> Sequence[int]:
+        """Topology neighbours (partner-selection candidate set)."""
+        return self.topology.neighbors(node)
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: object) -> bool:
+        """One-hop send; True if the message entered the channel."""
+        if src == dst:
+            raise SimulationError(f"node {src} sending to itself")
+        kind = message_kind(message)
+        size = message_size(message)
+        if not self.topology.has_edge(src, dst):
+            raise SimulationError(f"no link {src}->{dst}")
+        self.counters.note_send(kind, size)
+        if self.loss and self._rng.random() < self.loss:
+            self._drop(src, dst, kind, "loss")
+            return True
+        distance = self.topology.edge_weight(src, dst)
+        delay = resolve_delay(self.latency, src, dst, distance, size)
+        self.runtime.schedule(delay, self._deliver, src, dst, message, label=kind)
+        return True
+
+    def broadcast(self, src: int, message: object) -> int:
+        """Send to every physical neighbour; returns sends accepted."""
+        sent = 0
+        for neighbor in self.physical_neighbors(src):
+            if self.send(src, neighbor, message):
+                sent += 1
+        return sent
+
+    def _deliver(self, src: int, dst: int, message: object) -> None:
+        queue = self._queues.get(dst)
+        if queue is None:
+            self._drop(src, dst, message_kind(message), "no-handler")
+            return
+        queue.put_nowait((src, message))
+
+    def _drop(self, src: int, dst: int, kind: str, reason: str) -> None:
+        self.counters.messages_dropped += 1
+        self.runtime.trace.record(
+            self.runtime.now, "net.drop", src=src, dst=dst, kind=kind, reason=reason
+        )

@@ -144,6 +144,21 @@ class TrafficCounters:
         }
 
 
+def resolve_delay(
+    latency: LatencyModel, src: int, dst: int, distance: float, size: int
+) -> float:
+    """One-way delay of a message, honouring size-aware models.
+
+    Shared by every transport (simulated and live) so the
+    ``delay_with_size`` fallback semantics cannot silently diverge
+    between execution worlds.
+    """
+    delay_with_size = getattr(latency, "delay_with_size", None)
+    if delay_with_size is not None:
+        return delay_with_size(src, dst, distance, size)
+    return latency.delay(src, dst, distance)
+
+
 def message_kind(message: object) -> str:
     """Best-effort short name describing a message's type."""
     kind = getattr(message, "kind", None)
@@ -290,6 +305,10 @@ class Network:
         extra = [n for n in self._overlay.get(node, {}) if n not in physical]
         return physical + extra
 
+    def physical_neighbors(self, node: int) -> Tuple[int, ...]:
+        """Topology neighbours only (the partner-selection candidate set)."""
+        return self.topology.neighbors(node)
+
     # -- sending ----------------------------------------------------------
 
     def send(self, src: int, dst: int, message: object) -> bool:
@@ -322,13 +341,17 @@ class Network:
             delay = overlay_delay
         else:
             distance = self.topology.edge_weight(src, dst)
-            delay_with_size = getattr(self.latency, "delay_with_size", None)
-            if delay_with_size is not None:
-                delay = delay_with_size(src, dst, distance, size)
-            else:
-                delay = self.latency.delay(src, dst, distance)
+            delay = resolve_delay(self.latency, src, dst, distance, size)
         self.sim.schedule(delay, self._deliver, src, dst, message, label=kind)
         return True
+
+    def broadcast(self, src: int, message: object) -> int:
+        """Send to every physical neighbour; returns sends accepted."""
+        sent = 0
+        for neighbor in self.topology.neighbors(src):
+            if self.send(src, neighbor, message):
+                sent += 1
+        return sent
 
     def _can_carry(self, src: int, dst: int) -> bool:
         if src in self._down_nodes or dst in self._down_nodes:

@@ -166,6 +166,31 @@ class TestClientWorkload:
         sim.run(until=20.0)
         assert workload.stats.requests == count
 
+    def test_stop_cancels_pending_arrival(self, sim):
+        """stop() must cancel the scheduled arrival, not leave a dead
+        event to fire into a no-op — on a long-lived runtime those
+        accumulate (one per stop()ed workload)."""
+        server = ReplicaServer(0)
+        workload = ClientWorkload(sim, server, ConstantDemand(10.0), max_rate=10.0)
+        assert sim.pending_count() == 0
+        workload.start()
+        sim.run(until=5.0)
+        assert sim.pending_count() == 1  # exactly the next arrival
+        workload.stop()
+        assert sim.pending_count() == 0
+        # The cancelled event is skipped, so nothing fires at all.
+        assert sim.run(until=50.0) == "exhausted"
+        assert sim.events_executed > 0
+
+    def test_stop_before_any_arrival_and_restartability(self, sim):
+        server = ReplicaServer(0)
+        workload = ClientWorkload(sim, server, ConstantDemand(5.0), max_rate=5.0)
+        workload.start()
+        workload.stop()  # cancel the very first arrival
+        assert sim.pending_count() == 0
+        workload.stop()  # idempotent: no handle left to cancel
+        assert sim.pending_count() == 0
+
     def test_double_start_rejected(self, sim):
         server = ReplicaServer(0)
         workload = ClientWorkload(sim, server, ConstantDemand(1.0), max_rate=1.0)

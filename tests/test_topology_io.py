@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.errors import TopologyError
 from repro.topology.brite import internet_like
+from repro.topology.graph import Topology
 from repro.topology.io import (
     dumps_brite,
     dumps_edge_list,
@@ -15,6 +18,23 @@ from repro.topology.io import (
     save_edge_list,
 )
 from repro.topology.simple import grid
+
+
+def _random_topology(rng: random.Random) -> Topology:
+    """A random graph: mixed positioned/position-less nodes, random
+    weights, sparse extra nodes, occasionally disconnected."""
+    topo = Topology(f"random-{rng.randrange(1 << 16)}")
+    n = rng.randint(1, 40)
+    for node in range(n):
+        if rng.random() < 0.7:
+            topo.add_node(node, (rng.uniform(-500, 500), rng.uniform(-500, 500)))
+        else:
+            topo.add_node(node)
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < min(1.0, 3.0 / n):
+                topo.add_edge(a, b, rng.uniform(0.001, 900.0))
+    return topo
 
 
 class TestEdgeListRoundTrip:
@@ -60,6 +80,40 @@ class TestEdgeListRoundTrip:
     def test_malformed_edge_raises(self):
         with pytest.raises(TopologyError):
             loads_edge_list("node 0\nedge 0\n")
+
+
+class TestRoundTripProperty:
+    """Seeded generative check: any graph survives save/load with the
+    identical node set, edge set, weights and positions."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_graph_roundtrip(self, seed):
+        rng = random.Random(1000 + seed)
+        topo = _random_topology(rng)
+        back = loads_edge_list(dumps_edge_list(topo))
+        assert set(back.nodes) == set(topo.nodes)
+        original = {(a, b): w for a, b, w in topo.edges()}
+        restored = {(a, b): w for a, b, w in back.edges()}
+        assert set(original) == set(restored)
+        for key, weight in original.items():
+            assert restored[key] == pytest.approx(weight, abs=1e-5)
+        for node in topo.nodes:
+            pos = topo.position(node)
+            if pos is None:
+                assert back.position(node) is None
+            else:
+                assert back.position(node) == pytest.approx(pos, abs=1e-5)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graph_file_roundtrip(self, seed, tmp_path):
+        topo = _random_topology(random.Random(2000 + seed))
+        path = tmp_path / f"random-{seed}.edges"
+        save_edge_list(topo, path)
+        back = load_edge_list(path)
+        assert back.num_nodes == topo.num_nodes
+        assert back.num_edges == topo.num_edges
+        # A second dump of the loaded graph is textually stable.
+        assert dumps_edge_list(back) == dumps_edge_list(back)
 
 
 class TestBriteExport:

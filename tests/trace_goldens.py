@@ -1,0 +1,141 @@
+"""Shared golden-trace scenarios for the runtime refactor regression test.
+
+The scenarios here exercise every protocol path (weak / fast / advertised
+knowledge, loss, acked truncation, client workloads) through the public
+:class:`repro.core.system.ReplicationSystem` API only, so the exact same
+code runs before and after any internal refactor.  ``scripts`` (or a
+one-off shell) regenerates ``tests/data/golden_traces.json`` by calling
+:func:`capture_all`; the regression test recomputes each scenario and
+compares against the stored fingerprints, proving event traces stayed
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict
+
+from repro.core.system import ReplicationSystem
+from repro.core.variants import (
+    dynamic_fast_consistency,
+    fast_consistency,
+    weak_consistency,
+)
+from repro.demand.static import UniformRandomDemand
+from repro.replica.workload import start_workloads
+from repro.topology.brite import internet_like
+from repro.topology.simple import grid
+
+
+def fingerprint(system: ReplicationSystem) -> Dict[str, object]:
+    """A bit-exact summary of one finished run: trace hash + counters."""
+    hasher = hashlib.sha256()
+    for rec in system.sim.trace:
+        fields = ";".join(f"{k}={v!r}" for k, v in sorted(rec.fields.items()))
+        hasher.update(f"{rec.time!r}|{rec.category}|{fields}\n".encode("utf-8"))
+    return {
+        "trace_sha256": hasher.hexdigest(),
+        "trace_records": len(system.sim.trace),
+        "events_executed": system.sim.events_executed,
+        "now": repr(system.sim.now),
+        "counters": system.network.counters.snapshot(),
+    }
+
+
+def _run_fast_oracle() -> ReplicationSystem:
+    topo = internet_like(24, seed=3)
+    system = ReplicationSystem(
+        topology=topo,
+        demand=UniformRandomDemand(seed=3),
+        config=fast_consistency(),
+        seed=5,
+    )
+    system.start()
+    update = system.inject_write(node=0)
+    system.run_until_replicated(update.uid, max_time=80.0)
+    return system
+
+
+def _run_weak() -> ReplicationSystem:
+    topo = internet_like(24, seed=3)
+    system = ReplicationSystem(
+        topology=topo,
+        demand=UniformRandomDemand(seed=3),
+        config=weak_consistency(),
+        seed=5,
+    )
+    system.start()
+    update = system.inject_write(node=0)
+    system.run_until_replicated(update.uid, max_time=80.0)
+    return system
+
+
+def _run_advertised_lossy() -> ReplicationSystem:
+    topo = internet_like(18, seed=7)
+    system = ReplicationSystem(
+        topology=topo,
+        demand=UniformRandomDemand(seed=7),
+        config=dynamic_fast_consistency(),
+        seed=9,
+        loss=0.05,
+    )
+    system.start()
+    system.inject_write(node=0)
+    system.sim.schedule(5.0, system.inject_write, 3)
+    system.sim.schedule(10.0, system.inject_write, 7)
+    system.run_until(40.0)
+    return system
+
+
+def _run_acked_truncation() -> ReplicationSystem:
+    topo = grid(4, 4)
+    system = ReplicationSystem(
+        topology=topo,
+        demand=UniformRandomDemand(seed=2),
+        config=fast_consistency(log_truncation="acked"),
+        seed=11,
+    )
+    system.start()
+    system.inject_write(node=5)
+    system.run_until(20.0)
+    return system
+
+
+def _run_with_workload() -> ReplicationSystem:
+    topo = internet_like(12, seed=4)
+    demand = UniformRandomDemand(seed=4)
+    system = ReplicationSystem(
+        topology=topo,
+        demand=demand,
+        config=fast_consistency(),
+        seed=6,
+    )
+    system.start()
+    start_workloads(
+        system.sim,
+        system.servers,
+        demand,
+        max_rate=10.0,
+        write_fraction=0.3,
+    )
+    system.run_until(15.0)
+    return system
+
+
+SCENARIOS = {
+    "fast-oracle": _run_fast_oracle,
+    "weak": _run_weak,
+    "advertised-lossy": _run_advertised_lossy,
+    "acked-truncation": _run_acked_truncation,
+    "fast-workload": _run_with_workload,
+}
+
+
+def capture_all() -> Dict[str, Dict[str, object]]:
+    """Run every scenario and return its fingerprint, keyed by name."""
+    return {name: fingerprint(build()) for name, build in SCENARIOS.items()}
+
+
+if __name__ == "__main__":
+    print(json.dumps(capture_all(), indent=2, sort_keys=True))
