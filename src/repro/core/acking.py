@@ -71,11 +71,13 @@ class AckManager:
         removed = self.server.log.purge()
         if removed:
             self.total_purged += removed
-            self.runtime.trace.record(
-                self.runtime.now,
-                "log.purge",
-                node=self.server.node,
-                removed=removed,
-                acked=ack.total_writes(),
-            )
+            trace = self.runtime.trace
+            if trace.wants("log.purge"):
+                trace.record(
+                    self.runtime.now,
+                    "log.purge",
+                    node=self.server.node,
+                    removed=removed,
+                    acked=ack.total_writes(),
+                )
         return removed

@@ -170,9 +170,11 @@ class AntiEntropyAgent:
         self._sessions[sid] = state
         self._initiating_sid = sid
         self.stats.initiated += 1
-        self.runtime.trace.record(
-            self.runtime.now, "session.start", node=self.node, peer=partner, sid=sid
-        )
+        trace = self.runtime.trace
+        if trace.wants("session.start"):
+            trace.record(
+                self.runtime.now, "session.start", node=self.node, peer=partner, sid=sid
+            )
         self.transport.send(self.node, partner, SessionRequest(sid, self.node))
 
     # -- message handling ------------------------------------------------------
@@ -297,14 +299,16 @@ class AntiEntropyAgent:
             self.stats.completed_initiator += 1
         else:
             self.stats.completed_responder += 1
-        self.runtime.trace.record(
-            self.runtime.now,
-            "session.end",
-            node=self.node,
-            peer=state.peer,
-            sid=state.sid,
-            role=state.role,
-        )
+        trace = self.runtime.trace
+        if trace.wants("session.end"):
+            trace.record(
+                self.runtime.now,
+                "session.end",
+                node=self.node,
+                peer=state.peer,
+                sid=state.sid,
+                role=state.role,
+            )
         self._close(state, completed=True)
         if self.ack_manager is not None:
             self.ack_manager.after_session()
@@ -327,14 +331,16 @@ class AntiEntropyAgent:
         if state is None:
             return
         self.stats.timeouts += 1
-        self.runtime.trace.record(
-            self.runtime.now,
-            "session.abort",
-            node=self.node,
-            peer=state.peer,
-            sid=sid,
-            reason=reason,
-        )
+        trace = self.runtime.trace
+        if trace.wants("session.abort"):
+            trace.record(
+                self.runtime.now,
+                "session.abort",
+                node=self.node,
+                peer=state.peer,
+                sid=sid,
+                reason=reason,
+            )
         self._close(state, completed=False)
 
     # -- introspection ----------------------------------------------------------

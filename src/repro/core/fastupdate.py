@@ -133,9 +133,11 @@ class FastUpdateAgent:
         )
         depth = max(self._push_depth.get(u.uid, 0) for u in fresh)
         self.stats.offers_sent += 1
-        self.runtime.trace.record(
-            self.runtime.now, "fast.offer", node=self.node, target=target, count=len(fresh)
-        )
+        trace = self.runtime.trace
+        if trace.wants("fast.offer"):
+            trace.record(
+                self.runtime.now, "fast.offer", node=self.node, target=target, count=len(fresh)
+            )
         self.transport.send(
             self.node, target, FastUpdateOffer(self.node, entries, depth=depth)
         )
@@ -196,13 +198,15 @@ class FastUpdateAgent:
         self.stats.updates_received += len(new_updates)
         if new_updates:
             self.stats.max_cascade_hops = max(self.stats.max_cascade_hops, hops)
-            self.runtime.trace.record(
-                self.runtime.now,
-                "fast.deliver",
-                node=self.node,
-                src=src,
-                hops=hops,
-                count=len(new_updates),
-            )
+            trace = self.runtime.trace
+            if trace.wants("fast.deliver"):
+                trace.record(
+                    self.runtime.now,
+                    "fast.deliver",
+                    node=self.node,
+                    src=src,
+                    hops=hops,
+                    count=len(new_updates),
+                )
         # integrate() fires on_new_updates, which cascades the push
         # further downhill (the §2 valley flood) — no extra work here.

@@ -27,6 +27,14 @@ from ..sim.engine import Simulator
 from ..sim.network import Network
 from .system import TOPIC_UPDATE_APPLIED
 
+#: The only trace categories any metric helper reads (everything else
+#: the metrics consume arrives via the ``update.applied`` topic bus or
+#: the network's traffic counters). Experiment assemblers use this to
+#: ``enable_only`` exactly what the collectors need — see
+#: :func:`repro.experiments.scenarios.build_system` — so sweeps do not
+#: pay to store trace records nobody reads.
+METRIC_TRACE_CATEGORIES: Tuple[str, ...] = ("fast.deliver",)
+
 
 class ConvergenceTracker:
     """Records when each node first absorbs each update.

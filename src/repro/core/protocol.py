@@ -105,9 +105,11 @@ class ReplicationNode:
                 # A fast-capable peer pushed at us even though we run the
                 # plain protocol; ignore rather than crash (mirrors a
                 # deployment mixing versions).
-                self.runtime.trace.record(
-                    self.runtime.now, "node.ignored-fast", node=self.node, src=src
-                )
+                trace = self.runtime.trace
+                if trace.wants("node.ignored-fast"):
+                    trace.record(
+                        self.runtime.now, "node.ignored-fast", node=self.node, src=src
+                    )
                 return
             self.fast.on_message(src, message)
         elif isinstance(message, DemandAdvert):

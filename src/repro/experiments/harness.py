@@ -120,6 +120,11 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
         bridge_system(system, percentile=spec.island_percentile)
     if spec.faults is not None and spec.faults.events:
         system.fault_process = FaultProcess(system, spec.faults)
+    # Trial metrics consume the topic bus and traffic counters only —
+    # no trace category at all (METRIC_TRACE_CATEGORIES documents what
+    # the optional trace-reading helpers need) — so sweeps turn the
+    # tracer off wholesale: a disabled tracer costs one attribute check
+    # per would-be record.
     system.sim.trace.disable()
     system.start()
     update = system.inject_write(spec.origin)

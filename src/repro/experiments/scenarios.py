@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from ..core.config import ProtocolConfig
+from ..core.metrics import METRIC_TRACE_CATEGORIES
 from ..core.system import ReplicationSystem
 from ..core.variants import (
     dynamic_fast_consistency,
@@ -173,6 +174,11 @@ def build_variant(name: str) -> ProtocolConfig:
     return factory()
 
 
+#: ``build_system(trace=...)`` modes: everything, exactly what the
+#: metric collectors read, or nothing at all.
+TRACE_MODES = ("full", "metrics", "off")
+
+
 def build_system(
     topology: str = "ba",
     demand: str = "uniform",
@@ -181,6 +187,7 @@ def build_system(
     seed: int = 0,
     loss: float = 0.0,
     faults: Optional[str] = None,
+    trace: str = "metrics",
 ) -> ReplicationSystem:
     """One-call system assembly from registry names.
 
@@ -189,7 +196,21 @@ def build_system(
     before the system starts, and the installed
     :class:`~repro.faults.process.FaultProcess` is exposed as
     ``system.fault_process`` (None otherwise).
+
+    ``trace`` controls what the simulator's tracer stores. Experiment
+    runs default to ``"metrics"`` — only the categories the metric
+    helpers actually read
+    (:data:`repro.core.metrics.METRIC_TRACE_CATEGORIES`); everything
+    else the collectors consume rides the topic bus and the traffic
+    counters, so storing further records would be pure overhead on
+    large sweeps (``bench_hotpath`` records the delta). Pass ``"full"``
+    when debugging a protocol interaction, or ``"off"`` to disable
+    tracing wholesale.
     """
+    if trace not in TRACE_MODES:
+        raise ExperimentError(
+            f"unknown trace mode {trace!r}; known: {list(TRACE_MODES)}"
+        )
     topo = build_topology(topology, n, seed)
     model = build_demand(demand, topo, seed)
     config = build_variant(variant)
@@ -200,5 +221,9 @@ def build_system(
     system = ReplicationSystem(
         topology=topo, demand=model, config=config, seed=seed, loss=loss
     )
+    if trace == "metrics":
+        system.sim.trace.enable_only(METRIC_TRACE_CATEGORIES)
+    elif trace == "off":
+        system.sim.trace.disable()
     system.fault_process = FaultProcess(system, schedule) if schedule else None
     return system

@@ -6,6 +6,13 @@ partner has not seen") and absorbs out-of-order arrivals from the fast
 update path, holding them *ahead* of the summary prefix until the gap
 fills.
 
+The store is indexed the way Bayou-family systems keep their logs:
+per-origin contiguous arrays alongside the uid map. ``updates_since``
+— the inner loop of every anti-entropy session (paper §2.1 steps 7/10)
+— therefore slices per-origin suffixes in O(missing + origins) instead
+of scanning and re-sorting the whole log, which is what lets
+long-horizon runs keep a constant per-session cost as logs grow.
+
 Truncation policies implement the Bayou-inspired policy family the
 paper's related-work section discusses ("how aggressively to truncate
 the write-log"): keep everything, bound the entry count, or purge writes
@@ -14,8 +21,10 @@ acknowledged by every replica (Golding's ack-vector rule).
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import ReplicationError
 from .timestamps import Timestamp
@@ -100,8 +109,10 @@ class MaxEntries(TruncationPolicy):
         excess = len(log) - self.limit
         if excess <= 0:
             return []
-        ordered = sorted(log.all_updates(), key=lambda u: u.timestamp)
-        return [u.uid for u in ordered[:excess]]
+        # nsmallest is documented equivalent to sorted(...)[:n] (stable),
+        # but costs O(n log k) instead of sorting the whole log.
+        oldest = heapq.nsmallest(excess, log.all_updates(), key=lambda u: u.timestamp)
+        return [u.uid for u in oldest]
 
 
 @dataclass
@@ -116,11 +127,7 @@ class AckedTruncation(TruncationPolicy):
     ack_vector: SummaryVector = field(default_factory=SummaryVector)
 
     def purgeable(self, log: "WriteLog") -> List[UpdateId]:
-        return [
-            u.uid
-            for u in log.all_updates()
-            if u.seq <= self.ack_vector.get(u.origin)
-        ]
+        return log.covered_ids(self.ack_vector)
 
 
 # ---------------------------------------------------------------------------
@@ -134,6 +141,10 @@ class WriteLog:
     The log tracks a contiguous prefix per origin in :attr:`summary`.
     Writes beyond the prefix (delivered early by fast updates) are held
     and automatically folded into the prefix when the gap closes.
+
+    Internally each origin's prefix entries are kept as an array in
+    sequence order with a parallel sorted array of sequence numbers, so
+    "everything the peer lacks" is a bisect plus a slice per origin.
     """
 
     def __init__(self, policy: Optional[TruncationPolicy] = None):
@@ -142,7 +153,16 @@ class WriteLog:
         self._entries: Dict[UpdateId, Update] = {}
         #: ids present but beyond the contiguous prefix, per origin
         self._ahead: Dict[int, Dict[int, Update]] = {}
+        #: per-origin prefix entries in sequence order (holes only from
+        #: mid-prefix purges; the parallel ``_prefix_seqs`` stays sorted)
+        self._prefix: Dict[int, List[Update]] = {}
+        self._prefix_seqs: Dict[int, List[int]] = {}
         self._purged_floor: Dict[int, int] = {}
+        #: memoised sorted origin list; None when an origin appeared or
+        #: vanished since the last query (per-session queries iterate
+        #: origins, so rebuilding the sort per call would tax the very
+        #: hot path the index exists for)
+        self._origins_cache: Optional[List[int]] = None
         self.total_added = 0
         self.total_purged = 0
 
@@ -165,6 +185,20 @@ class WriteLog:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def origins(self) -> List[int]:
+        """Origins with stored entries (prefix or ahead), ascending."""
+        return list(self._sorted_origins())
+
+    def _sorted_origins(self) -> List[int]:
+        """Memoised ascending origin list (callers must not mutate)."""
+        cache = self._origins_cache
+        if cache is None:
+            keys: Set[int] = set(self._prefix)
+            keys.update(self._ahead)
+            cache = sorted(keys)
+            self._origins_cache = cache
+        return cache
+
     # -- adding -----------------------------------------------------------------
 
     def add(self, update: Update) -> bool:
@@ -178,14 +212,22 @@ class WriteLog:
         self._entries[update.uid] = update
         self.total_added += 1
         origin = update.origin
+        if origin not in self._ahead and origin not in self._prefix:
+            self._origins_cache = None  # first entry from this origin
         ahead = self._ahead.setdefault(origin, {})
         ahead[update.seq] = update
-        # Fold any now-contiguous run into the summary prefix.
+        # Fold any now-contiguous run into the summary prefix (and the
+        # per-origin index arrays).
         next_seq = self.summary.get(origin) + 1
-        while next_seq in ahead:
-            del ahead[next_seq]
-            self.summary.advance(origin, next_seq)
-            next_seq += 1
+        if next_seq in ahead:
+            prefix = self._prefix.setdefault(origin, [])
+            seqs = self._prefix_seqs.setdefault(origin, [])
+            while next_seq in ahead:
+                folded = ahead.pop(next_seq)
+                prefix.append(folded)
+                seqs.append(next_seq)
+                self.summary.advance(origin, next_seq)
+                next_seq += 1
         if not ahead:
             del self._ahead[origin]
         return True
@@ -203,11 +245,23 @@ class WriteLog:
         it has messages that [the partner] has not yet received, by
         seeing if some of its summary timestamps are greater than the
         corresponding ones its partner['s]".
+
+        Cost is O(missing + origins): per origin one bisect locates the
+        suffix the peer lacks, and ahead-of-prefix entries (always newer
+        than the whole prefix) are appended after it.
         """
-        missing = [
-            u for u in self._entries.values() if u.seq > peer_summary.get(u.origin)
-        ]
-        missing.sort(key=lambda u: (u.origin, u.seq))
+        missing: List[Update] = []
+        for origin in self._sorted_origins():
+            floor = peer_summary.get(origin)
+            seqs = self._prefix_seqs.get(origin)
+            if seqs and seqs[-1] > floor:
+                start = bisect_right(seqs, floor)
+                missing.extend(self._prefix[origin][start:])
+            ahead = self._ahead.get(origin)
+            if ahead:
+                missing.extend(
+                    ahead[seq] for seq in sorted(ahead) if seq > floor
+                )
         return missing
 
     def can_serve(self, peer_summary: SummaryVector) -> bool:
@@ -219,15 +273,46 @@ class WriteLog:
 
     def ahead_ids(self) -> List[UpdateId]:
         """Ids held beyond the contiguous prefix (fast-update arrivals)."""
-        return sorted(
-            (origin, seq)
-            for origin, ahead in self._ahead.items()
-            for seq in ahead
-        )
+        out: List[UpdateId] = []
+        for origin in sorted(self._ahead):
+            out.extend((origin, seq) for seq in sorted(self._ahead[origin]))
+        return out
 
     def all_updates(self) -> List[Update]:
         """Every stored write, per-origin ordered."""
-        return sorted(self._entries.values(), key=lambda u: (u.origin, u.seq))
+        out: List[Update] = []
+        for origin in self._sorted_origins():
+            prefix = self._prefix.get(origin)
+            if prefix:
+                out.extend(prefix)
+            ahead = self._ahead.get(origin)
+            if ahead:
+                out.extend(ahead[seq] for seq in sorted(ahead))
+        return out
+
+    def covered_ids(self, vector: SummaryVector) -> List[UpdateId]:
+        """Ids of stored writes covered by ``vector``, per-origin ordered.
+
+        The acked-truncation policy asks this every completed session;
+        per origin it is a bisect plus a slice of the prefix index (the
+        ahead set is only consulted for callers passing vectors beyond
+        our own summary).
+        """
+        out: List[UpdateId] = []
+        for origin in self._sorted_origins():
+            floor = vector.get(origin)
+            if floor <= 0:
+                continue
+            seqs = self._prefix_seqs.get(origin)
+            if seqs:
+                end = bisect_right(seqs, floor)
+                out.extend((origin, seq) for seq in seqs[:end])
+            ahead = self._ahead.get(origin)
+            if ahead:
+                out.extend(
+                    (origin, seq) for seq in sorted(ahead) if seq <= floor
+                )
+        return out
 
     # -- truncation ---------------------------------------------------------------
 
@@ -239,6 +324,7 @@ class WriteLog:
         filtered accordingly.
         """
         removed = 0
+        dropped: Dict[int, Set[int]] = {}
         for uid in self.policy.purgeable(self):
             origin, seq = uid
             if uid not in self._entries:
@@ -246,9 +332,21 @@ class WriteLog:
             if seq > self.summary.get(origin):
                 continue  # never purge ahead-of-prefix entries
             del self._entries[uid]
+            dropped.setdefault(origin, set()).add(seq)
             floor = self._purged_floor.get(origin, 0)
             if seq > floor:
                 self._purged_floor[origin] = seq
             removed += 1
+        # Rebuild each affected origin's prefix arrays once.
+        for origin, seqs_gone in dropped.items():
+            kept = [u for u in self._prefix[origin] if u.seq not in seqs_gone]
+            if kept:
+                self._prefix[origin] = kept
+                self._prefix_seqs[origin] = [u.seq for u in kept]
+            else:
+                del self._prefix[origin]
+                del self._prefix_seqs[origin]
+                if origin not in self._ahead:
+                    self._origins_cache = None  # origin fully vanished
         self.total_purged += removed
         return removed

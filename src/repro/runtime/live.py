@@ -306,6 +306,8 @@ class AsyncioTransport:
 
     def _drop(self, src: int, dst: int, kind: str, reason: str) -> None:
         self.counters.messages_dropped += 1
-        self.runtime.trace.record(
-            self.runtime.now, "net.drop", src=src, dst=dst, kind=kind, reason=reason
-        )
+        trace = self.runtime.trace
+        if trace.wants("net.drop"):
+            trace.record(
+                self.runtime.now, "net.drop", src=src, dst=dst, kind=kind, reason=reason
+            )

@@ -28,6 +28,10 @@ RUN_UNTIL = "until"  # reached the time horizon
 RUN_MAX_EVENTS = "max-events"  # executed the event budget
 RUN_STOPPED = "stopped"  # stop() called from inside a callback
 
+#: Compaction only kicks in past this many dead heap entries, so small
+#: simulations never pay for a rebuild.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Simulator:
     """Deterministic discrete-event simulator.
@@ -55,6 +59,7 @@ class Simulator:
         self.trace = trace if trace is not None else Tracer()
         self._heap: List[Event] = []
         self._pending = 0
+        self._cancelled_in_heap = 0
         self._stopping = False
         self._running = False
         self.events_executed = 0
@@ -114,7 +119,24 @@ class Simulator:
         # do not keep the callback and its arguments alive.
         handle._event = None
         self._pending -= 1
+        self._cancelled_in_heap += 1
+        # Cancelled events otherwise sit in the heap until their time
+        # comes (session timeouts are cancelled constantly), inflating
+        # every push/pop by log(dead + live). Compact once the dead
+        # majority passes the threshold; heapify keeps the pop order
+        # bit-identical because sort keys are unique.
+        if (
+            self._cancelled_in_heap > _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact_heap()
         return True
+
+    def _compact_heap(self) -> None:
+        """Drop cancelled events from the heap and restore the invariant."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def pending_count(self) -> int:
         """Number of events scheduled and not yet fired or cancelled."""
@@ -156,6 +178,7 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             # Drop the handle -> event back-reference: a late cancel()
             # through the handle then reports False, and a retained
@@ -214,4 +237,5 @@ class Simulator:
         """Return the next non-cancelled event without popping it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_in_heap -= 1
         return self._heap[0] if self._heap else None

@@ -215,6 +215,12 @@ class Network:
         self._overlay: Dict[int, Dict[int, float]] = {}
         self._partition: Optional[Dict[int, int]] = None
         self.counters = TrafficCounters()
+        #: message type -> whether the class defines a callable
+        #: ``size_bytes`` — caches the per-message size resolution of
+        #: the send hot path (message classes are few, messages are
+        #: millions). Attribute lookup on the instance still runs, so
+        #: instance-level overrides keep their normal precedence.
+        self._has_size: Dict[type, bool] = {}
 
     # -- attachment -----------------------------------------------------
 
@@ -322,13 +328,20 @@ class Network:
         if src == dst:
             raise SimulationError(f"node {src} sending to itself")
         kind = message_kind(message)
-        size = message_size(message)
-        overlay_delay = self._overlay.get(src, {}).get(dst)
+        message_type = message.__class__
+        has_size = self._has_size.get(message_type)
+        if has_size is None:
+            has_size = callable(getattr(message_type, "size_bytes", None))
+            self._has_size[message_type] = has_size
+        size = int(message.size_bytes()) if has_size else message_size(message)
+        overlay = self._overlay.get(src)
+        overlay_delay = overlay.get(dst) if overlay else None
         if overlay_delay is None and not self.topology.has_edge(src, dst):
             raise SimulationError(f"no link {src}->{dst} (and no overlay)")
         self.counters.note_send(kind, size)
-        if self.sim.trace.wants("net.send"):
-            self.sim.trace.record(
+        trace = self.sim.trace
+        if trace.wants("net.send"):
+            trace.record(
                 self.sim.now, "net.send", src=src, dst=dst, kind=kind, size=size
             )
         if not self._can_carry(src, dst):
@@ -354,9 +367,14 @@ class Network:
         return sent
 
     def _can_carry(self, src: int, dst: int) -> bool:
+        # Fault-free fast path: nothing is down and nothing is split,
+        # so the channel always carries (the overwhelmingly common case).
+        if not self._down_nodes and not self._down_links and self._partition is None:
+            return True
         if src in self._down_nodes or dst in self._down_nodes:
             return False
-        if self._overlay.get(src, {}).get(dst) is None:
+        overlay = self._overlay.get(src)
+        if overlay is None or overlay.get(dst) is None:
             if not self.link_is_up(src, dst):
                 return False
         if self._partition is not None:
@@ -366,9 +384,11 @@ class Network:
 
     def _drop(self, src: int, dst: int, kind: str, reason: str) -> None:
         self.counters.messages_dropped += 1
-        self.sim.trace.record(
-            self.sim.now, "net.drop", src=src, dst=dst, kind=kind, reason=reason
-        )
+        trace = self.sim.trace
+        if trace.wants("net.drop"):
+            trace.record(
+                self.sim.now, "net.drop", src=src, dst=dst, kind=kind, reason=reason
+            )
 
     def _deliver(self, src: int, dst: int, message: object) -> None:
         # Failures that occurred while the message was in flight still

@@ -37,6 +37,10 @@ class Topology:
         self.name = name
         self._adjacency: Dict[int, Dict[int, float]] = {}
         self._coordinates: Dict[int, Coordinate] = {}
+        #: Bumped on every structural mutation; lets consumers (and the
+        #: neighbour cache below) invalidate derived state cheaply.
+        self.version = 0
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -45,7 +49,9 @@ class Topology:
         node = int(node)
         if node < 0:
             raise TopologyError(f"node ids must be non-negative, got {node}")
-        self._adjacency.setdefault(node, {})
+        if node not in self._adjacency:
+            self._adjacency[node] = {}
+            self.version += 1
         if position is not None:
             self._coordinates[node] = (float(position[0]), float(position[1]))
         return node
@@ -70,6 +76,9 @@ class Topology:
             raise TopologyError(f"edge ({a}, {b}) weight must be positive")
         self._adjacency[a][b] = float(weight)
         self._adjacency[b][a] = float(weight)
+        self.version += 1
+        self._neighbor_cache.pop(a, None)
+        self._neighbor_cache.pop(b, None)
         return (a, b) if a < b else (b, a)
 
     def _default_weight(self, a: int, b: int) -> float:
@@ -85,6 +94,9 @@ class Topology:
             raise TopologyError(f"no edge ({a}, {b}) to remove")
         del self._adjacency[a][b]
         del self._adjacency[b][a]
+        self.version += 1
+        self._neighbor_cache.pop(a, None)
+        self._neighbor_cache.pop(b, None)
 
     # -- queries ------------------------------------------------------------
 
@@ -102,11 +114,20 @@ class Topology:
         return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
-        """Neighbour ids of ``node`` (raises for unknown nodes)."""
-        try:
-            return tuple(self._adjacency[node])
-        except KeyError:
-            raise TopologyError(f"unknown node {node}") from None
+        """Neighbour ids of ``node`` (raises for unknown nodes).
+
+        Cached per node (invalidated by edge mutations): partner
+        selection and fast-update target ranking ask for the same
+        tuples millions of times per run.
+        """
+        cached = self._neighbor_cache.get(node)
+        if cached is None:
+            try:
+                cached = tuple(self._adjacency[node])
+            except KeyError:
+                raise TopologyError(f"unknown node {node}") from None
+            self._neighbor_cache[node] = cached
+        return cached
 
     def degree(self, node: int) -> int:
         return len(self._adjacency.get(node, ()))

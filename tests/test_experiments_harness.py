@@ -156,6 +156,23 @@ class TestScenarioRegistry:
         update = system.inject_write(0)
         assert system.run_until_replicated(update.uid, max_time=80.0) is not None
 
+    def test_build_system_trace_defaults_to_metrics_categories(self):
+        from repro.core.metrics import METRIC_TRACE_CATEGORIES
+
+        system = build_system(topology="ring", n=6, seed=1)
+        for category in METRIC_TRACE_CATEGORIES:
+            assert system.sim.trace.wants(category)
+        assert not system.sim.trace.wants("net.send")
+        assert not system.sim.trace.wants("session.start")
+
+    def test_build_system_trace_full_and_off(self):
+        full = build_system(topology="ring", n=6, seed=1, trace="full")
+        assert full.sim.trace.wants("net.send")
+        off = build_system(topology="ring", n=6, seed=1, trace="off")
+        assert not off.sim.trace.wants("fast.deliver")
+        with pytest.raises(ExperimentError):
+            build_system(topology="ring", n=6, seed=1, trace="everything")
+
 
 class TestTables:
     def test_format_table_aligns(self):

@@ -1,0 +1,185 @@
+"""Property test: the indexed WriteLog agrees with a naive reference model.
+
+The write log was re-indexed for the anti-entropy hot path (per-origin
+contiguous arrays + bisect instead of scan-and-sort). This test replays
+random interleavings of in-order adds, ahead-of-prefix adds, duplicate
+adds and purges against both the real :class:`WriteLog` and a
+deliberately naive model with the pre-index semantics, and asserts that
+every observable (``has`` / ``updates_since`` / ``ahead_ids`` /
+``all_updates`` / ``summary`` / purge results) stays identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replica.log import (
+    AckedTruncation,
+    MaxEntries,
+    Update,
+    UpdateId,
+    WriteLog,
+)
+from repro.replica.timestamps import Timestamp
+from repro.replica.versions import SummaryVector
+
+
+def make_update(origin: int, seq: int) -> Update:
+    return Update(
+        origin=origin,
+        seq=seq,
+        timestamp=Timestamp(seq * 3 + origin, origin),
+        key=f"k{origin}",
+        value=(origin, seq),
+    )
+
+
+class NaiveLog:
+    """The pre-index semantics: a flat uid map, scan-and-sort queries."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[UpdateId, Update] = {}
+        self.summary: Dict[int, int] = {}
+        self.purged_floor: Dict[int, int] = {}
+
+    def has(self, uid: UpdateId) -> bool:
+        origin, seq = uid
+        return seq <= self.purged_floor.get(origin, 0) or uid in self.entries
+
+    def add(self, update: Update) -> bool:
+        if self.has(update.uid):
+            return False
+        self.entries[update.uid] = update
+        origin = update.origin
+        next_seq = self.summary.get(origin, 0) + 1
+        while (origin, next_seq) in self.entries:
+            self.summary[origin] = next_seq
+            next_seq += 1
+        return True
+
+    def updates_since(self, peer: SummaryVector) -> List[Update]:
+        missing = [
+            u for u in self.entries.values() if u.seq > peer.get(u.origin)
+        ]
+        missing.sort(key=lambda u: (u.origin, u.seq))
+        return missing
+
+    def ahead_ids(self) -> List[UpdateId]:
+        return sorted(
+            uid
+            for uid in self.entries
+            if uid[1] > self.summary.get(uid[0], 0)
+        )
+
+    def all_updates(self) -> List[Update]:
+        return sorted(self.entries.values(), key=lambda u: (u.origin, u.seq))
+
+    def purge(self, purgeable: List[UpdateId]) -> int:
+        removed = 0
+        for uid in purgeable:
+            origin, seq = uid
+            if uid not in self.entries:
+                continue
+            if seq > self.summary.get(origin, 0):
+                continue
+            del self.entries[uid]
+            if seq > self.purged_floor.get(origin, 0):
+                self.purged_floor[origin] = seq
+            removed += 1
+        return removed
+
+    def acked_purgeable(self, ack: SummaryVector) -> List[UpdateId]:
+        return [
+            u.uid for u in self.all_updates() if u.seq <= ack.get(u.origin)
+        ]
+
+    def max_entries_purgeable(self, limit: int) -> List[UpdateId]:
+        excess = len(self.entries) - limit
+        if excess <= 0:
+            return []
+        ordered = sorted(self.all_updates(), key=lambda u: u.timestamp)
+        return [u.uid for u in ordered[:excess]]
+
+
+summary_entries = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=3),
+    values=st.integers(min_value=0, max_value=12),
+    max_size=4,
+)
+
+#: One step of the interleaving: an add (any origin/seq combination, so
+#: in-order, ahead-of-prefix and duplicates all occur), an acked purge,
+#: or a max-entries purge.
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("add"),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=1, max_value=12),
+        ),
+        st.tuples(st.just("purge-acked"), summary_entries),
+        st.tuples(st.just("purge-max"), st.integers(min_value=0, max_value=10)),
+    ),
+    max_size=60,
+)
+
+
+def assert_equivalent(log: WriteLog, model: NaiveLog, peer: SummaryVector) -> None:
+    assert log.summary.as_dict() == {
+        o: s for o, s in model.summary.items() if s > 0
+    }
+    assert [u.uid for u in log.all_updates()] == [
+        u.uid for u in model.all_updates()
+    ]
+    assert log.ahead_ids() == model.ahead_ids()
+    assert [u.uid for u in log.updates_since(peer)] == [
+        u.uid for u in model.updates_since(peer)
+    ]
+    for origin in range(4):
+        for seq in range(1, 14):
+            assert log.has((origin, seq)) == model.has((origin, seq)), (
+                f"has(({origin}, {seq})) diverged"
+            )
+
+
+class TestIndexedLogAgreesWithNaiveModel:
+    @given(operations, summary_entries)
+    @settings(max_examples=120, deadline=None)
+    def test_random_interleavings(self, ops, peer_entries):
+        log = WriteLog()
+        model = NaiveLog()
+        peer = SummaryVector(peer_entries)
+        for op in ops:
+            if op[0] == "add":
+                update = make_update(op[1], op[2])
+                assert log.add(update) == model.add(update)
+            elif op[0] == "purge-acked":
+                ack = SummaryVector(op[1])
+                log.policy = AckedTruncation(ack_vector=ack)
+                # The policies must propose identical ids...
+                assert log.policy.purgeable(log) == model.acked_purgeable(ack)
+                # ...and the purge must remove identical entries.
+                assert log.purge() == model.purge(model.acked_purgeable(ack))
+            else:
+                limit = op[1]
+                log.policy = MaxEntries(limit=limit)
+                assert log.policy.purgeable(log) == model.max_entries_purgeable(limit)
+                assert log.purge() == model.purge(model.max_entries_purgeable(limit))
+            assert_equivalent(log, model, peer)
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_covered_ids_matches_naive_filter(self, ops):
+        log = WriteLog()
+        model = NaiveLog()
+        for op in ops:
+            if op[0] == "add":
+                update = make_update(op[1], op[2])
+                log.add(update)
+                model.add(update)
+        for floor in (0, 1, 5, 12):
+            vector = SummaryVector({o: floor for o in range(4)})
+            assert log.covered_ids(vector) == model.acked_purgeable(vector)

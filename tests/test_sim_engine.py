@@ -126,6 +126,33 @@ class TestCancellation:
         assert fired_handle._event is None
         assert cancelled_handle._event is None
 
+    def test_cancel_churn_keeps_heap_bounded(self, sim):
+        # A session-timeout-style schedule/cancel loop must not grow the
+        # heap without bound: cancelled events are compacted away once
+        # they dominate the heap.
+        for i in range(5000):
+            handle = sim.schedule(10.0 + i, lambda: None)
+            sim.cancel(handle)
+            assert len(sim._heap) <= 200, f"heap grew to {len(sim._heap)} at {i}"
+        assert sim.pending_count() == 0
+        assert sim.run() == "exhausted"
+
+    def test_compaction_preserves_fire_order(self, sim):
+        fired = []
+        for i in range(100):
+            sim.schedule(float(i), fired.append, i)
+        # Cancel enough interleaved timers that the dead entries come to
+        # dominate the heap and trigger a compaction mid-stream.
+        doomed = [
+            sim.schedule(float(i % 100) + 0.5, fired.append, -1) for i in range(500)
+        ]
+        for handle in doomed:
+            sim.cancel(handle)
+        assert len(sim._heap) < 600  # compaction actually ran
+        assert sim.pending_count() == 100
+        assert sim.run() == "exhausted"
+        assert fired == list(range(100))
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):

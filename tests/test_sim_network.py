@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro.errors import SimulationError
+from repro.sim.trace import Tracer
 from repro.sim.network import (
     BandwidthLatency,
     DistanceLatency,
@@ -331,3 +332,59 @@ class TestPartitionEdgeCases:
         assert net.send(0, 1, Ping()) is True
         assert net.send(1, 2, Ping()) is False  # listed <-> unlisted
         assert net.send(2, 3, Ping()) is True  # unlisted <-> unlisted
+
+
+class TestZeroCostTracing:
+    """Disabled/filtered tracing must cost the hot path nothing.
+
+    A ``record()`` call builds a kwargs dict before the category filter
+    can reject it, so every hot call site guards with ``wants()`` first.
+    The bomb tracer proves ``record`` is never even invoked.
+    """
+
+    class BombTracer(Tracer):
+        def record(self, time, category, **fields):
+            raise AssertionError(
+                f"record({category!r}) called despite the category being off"
+            )
+
+    def test_network_send_skips_record_when_filtered(self, sim, triangle):
+        sim.trace = self.BombTracer()
+        sim.trace.enable_only(["something-else"])
+        net = make_net(sim, triangle)
+        net.attach(1, lambda src, msg: None)
+        assert net.send(0, 1, Ping()) is True
+        sim.run()
+        assert net.counters.messages_delivered == 1
+
+    def test_network_drop_skips_record_when_filtered(self, sim, triangle):
+        sim.trace = self.BombTracer()
+        sim.trace.enable_only(["something-else"])
+        net = make_net(sim, triangle)
+        net.set_node_down(1)
+        net.attach(0, lambda src, msg: None)
+        assert net.send(0, 1, Ping()) is False
+        assert net.counters.messages_dropped == 1
+
+    def test_full_protocol_run_never_calls_record_when_filtered(self):
+        # End-to-end: sessions, fast updates and deliveries all run with
+        # every category filtered out — no call site may reach record().
+        from repro.core.system import ReplicationSystem
+        from repro.core.variants import fast_consistency
+        from repro.demand.static import UniformRandomDemand
+        from repro.sim.engine import Simulator
+        from repro.topology.simple import ring
+
+        tracer = self.BombTracer()
+        tracer.enable_only([])
+        sim = Simulator(seed=7, trace=tracer)
+        system = ReplicationSystem(
+            topology=ring(6),
+            demand=UniformRandomDemand(seed=7),
+            config=fast_consistency(),
+            seed=7,
+            sim=sim,
+        )
+        system.start()
+        update = system.inject_write(0)
+        assert system.run_until_replicated(update.uid, max_time=60.0) is not None

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.sim.rng import RngRegistry, derive_seed
@@ -121,7 +125,77 @@ class TestTracer:
         text = tracer.to_csv()
         assert "time,category,fields" in text
         assert "1.500000" in text
-        assert "a=1;b=two" in text
+        rows = list(csv.reader(io.StringIO(text)))
+        assert json.loads(rows[1][2]) == {"a": 1, "b": "two"}
+
+    def test_csv_rows_keep_fixed_three_columns(self):
+        # Header-driven consumers (DictReader, pandas) rely on every
+        # data row matching the 3-column header no matter how many
+        # fields a record carries.
+        tracer = Tracer()
+        tracer.record(1.0, "none")
+        tracer.record(2.0, "many", a=1, b=2, c=3, d=4)
+        rows = list(csv.reader(io.StringIO(tracer.to_csv())))
+        assert all(len(row) == 3 for row in rows)
+
+    def test_csv_fields_round_trip_awkward_values(self):
+        # Values containing the old packing's separators (';', '='), the
+        # CSV delimiter, quotes and newlines must survive unambiguously:
+        # the fields cell is a JSON object, CSV-escaped as one cell.
+        tracer = Tracer()
+        awkward = {
+            "semi": "a;b=c",
+            "eq": "x=y=z",
+            "comma": "1,2",
+            "quote": 'say "hi"',
+            "newline": "two\nlines",
+        }
+        tracer.record(2.0, "cat", **awkward)
+        rows = list(csv.reader(io.StringIO(tracer.to_csv())))
+        assert rows[0] == ["time", "category", "fields"]
+        time_cell, category, packed = rows[1]
+        assert time_cell == "2.000000"
+        assert category == "cat"
+        assert json.loads(packed) == awkward
+
+    def test_wants_cache_tracks_reconfiguration(self):
+        tracer = Tracer()
+        tracer.enable_only(["session"])
+        assert tracer.wants("session.start")
+        assert not tracer.wants("net.drop")
+        # Reconfiguring must invalidate the memoised verdicts.
+        tracer.enable_only(["net"])
+        assert tracer.wants("net.drop")
+        assert not tracer.wants("session.start")
+        tracer.disable()
+        assert not tracer.wants("net.drop")
+        tracer.enable()
+        assert tracer.wants("net.drop")
+
+    def test_select_uses_index_after_clear(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a.x")
+        tracer.clear()
+        tracer.record(2.0, "a.x")
+        tracer.record(3.0, "a.y")
+        tracer.record(4.0, "b")
+        selected = tracer.select("a")
+        assert [r.time for r in selected] == [2.0, 3.0]
+
+    def test_select_preserves_insertion_order_across_categories(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a.y")
+        tracer.record(2.0, "a.x")
+        tracer.record(3.0, "a.y")
+        assert [r.time for r in tracer.select("a")] == [1.0, 2.0, 3.0]
+
+    def test_trace_record_has_no_instance_dict(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x", a=1)
+        rec = tracer.records[0]
+        assert not hasattr(rec, "__dict__")
+        with pytest.raises(AttributeError):
+            rec.extra = 1
 
     def test_iteration(self):
         tracer = Tracer()

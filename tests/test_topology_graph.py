@@ -90,6 +90,25 @@ class TestQueries:
         with pytest.raises(TopologyError):
             build_path(2).neighbors(9)
 
+    def test_neighbors_cache_tracks_edge_mutations(self):
+        topo = build_path(3)
+        assert topo.neighbors(1) == (0, 2)
+        before = topo.version
+        topo.remove_edge(1, 2)
+        assert topo.version > before
+        assert topo.neighbors(1) == (0,)
+        assert topo.neighbors(2) == ()
+        topo.add_edge(1, 2)
+        assert topo.neighbors(1) == (0, 2)
+
+    def test_neighbors_cache_sees_new_nodes(self):
+        topo = build_path(2)
+        assert topo.neighbors(1) == (0,)
+        topo.add_node(2)
+        topo.add_edge(1, 2)
+        assert topo.neighbors(1) == (0, 2)
+        assert topo.neighbors(2) == (1,)
+
     def test_edge_weight_missing_raises(self):
         with pytest.raises(TopologyError):
             build_path(3).edge_weight(0, 2)
