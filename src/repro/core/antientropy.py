@@ -114,7 +114,7 @@ class AntiEntropyAgent:
         if self._started:
             raise ReplicationError(f"agent for node {self.node} already started")
         self._started = True
-        self.runtime.schedule(self._draw_interval(), self._initiate)
+        self.runtime.schedule_fast(self._draw_interval(), self._initiate)
 
     def _draw_interval(self) -> float:
         mean = self.config.session_interval_mean
@@ -130,7 +130,8 @@ class AntiEntropyAgent:
 
     def _initiate(self) -> None:
         # Keep the initiation rate steady no matter what happens below.
-        self.runtime.schedule(self._draw_interval(), self._initiate)
+        # Never cancelled, so the handle-free fast path applies.
+        self.runtime.schedule_fast(self._draw_interval(), self._initiate)
         if self._initiating_sid is not None:
             self.stats.skipped_busy += 1
             return
@@ -180,17 +181,23 @@ class AntiEntropyAgent:
     # -- message handling ------------------------------------------------------
 
     def on_message(self, src: int, message: object) -> None:
-        """Dispatch one session-layer message from ``src``."""
+        """Dispatch one session-layer message from ``src``.
+
+        :class:`~repro.core.protocol.ReplicationNode` routes straight to
+        the ``_handle_*`` leaf methods through its type-keyed dispatch
+        table; this method remains for direct callers and exotic
+        message subclasses.
+        """
         if isinstance(message, SessionRequest):
             self._handle_request(src, message)
         elif isinstance(message, SessionBusy):
-            self._handle_busy(message)
+            self._handle_busy(src, message)
         elif isinstance(message, SummaryMessage):
             self._handle_summary(src, message)
         elif isinstance(message, UpdateBatch):
             self._handle_batch(src, message)
         elif isinstance(message, SessionAbort):
-            self._abort(message.session_id, reason="peer-abort")
+            self._handle_abort(src, message)
         else:
             raise ReplicationError(f"unexpected session message {message!r}")
 
@@ -222,12 +229,15 @@ class AntiEntropyAgent:
             ),
         )
 
-    def _handle_busy(self, message: SessionBusy) -> None:
+    def _handle_busy(self, src: int, message: SessionBusy) -> None:
         state = self._sessions.get(message.session_id)
         if state is None or state.role != ROLE_INITIATOR:
             return
         self.stats.refused_received += 1
         self._close(state, completed=False)
+
+    def _handle_abort(self, src: int, message: SessionAbort) -> None:
+        self._abort(message.session_id, reason="peer-abort")
 
     def _handle_summary(self, src: int, message: SummaryMessage) -> None:
         state = self._sessions.get(message.session_id)

@@ -89,6 +89,12 @@ class FastUpdateAgent:
         #: (0 for client writes and session arrivals).
         self._push_depth: Dict[UpdateId, int] = {}
         server.on_new_updates(self.on_new_updates)
+        # Evict push bookkeeping in lock-step with log truncation: a
+        # purged uid can never be offered again (WriteLog.has() keeps
+        # answering True below the purged floor, so integrate() never
+        # reports it as new), so dropping its state is trace-identical
+        # and bounds _offered/_push_depth by live log size.
+        server.log.on_purge(self._on_log_purge)
 
     # -- push side ---------------------------------------------------------
 
@@ -141,6 +147,16 @@ class FastUpdateAgent:
         self.transport.send(
             self.node, target, FastUpdateOffer(self.node, entries, depth=depth)
         )
+
+    def _on_log_purge(self, purged_uids: List[UpdateId]) -> None:
+        """Drop per-uid push state for writes truncated from the log."""
+        push_depth = self._push_depth
+        for uid in purged_uids:
+            push_depth.pop(uid, None)
+        if self._offered:
+            gone = set(purged_uids)
+            for offered in self._offered.values():
+                offered.difference_update(gone)
 
     # -- receive side ---------------------------------------------------------
 

@@ -84,6 +84,30 @@ class ReplicationNode:
                 runtime, server, config, view, own_demand
             )
         self.advertiser = advertiser
+        # Type-keyed dispatch: one dict hit routes a delivered message to
+        # the owning agent's leaf handler, replacing the isinstance
+        # chains that used to dominate the delivery hot path.  Every
+        # handler has the uniform ``(src, message)`` signature.
+        anti_entropy = self.anti_entropy
+        self._dispatch = {
+            SessionRequest: anti_entropy._handle_request,
+            SessionBusy: anti_entropy._handle_busy,
+            SummaryMessage: anti_entropy._handle_summary,
+            UpdateBatch: anti_entropy._handle_batch,
+            SessionAbort: anti_entropy._handle_abort,
+        }
+        if self.fast is not None:
+            self._dispatch[FastUpdateOffer] = self.fast._handle_offer
+            self._dispatch[FastUpdateReply] = self.fast._handle_reply
+            self._dispatch[FastUpdatePayload] = self.fast._handle_payload
+        else:
+            for fast_type in _FAST_TYPES:
+                self._dispatch[fast_type] = self._ignore_fast
+        self._dispatch[DemandAdvert] = (
+            self.advertiser.on_message
+            if self.advertiser is not None
+            else self._ignore_advert
+        )
         self.transport.attach(self.node, self.on_message)
         self._started = False
 
@@ -98,27 +122,49 @@ class ReplicationNode:
 
     def on_message(self, src: int, message: object) -> None:
         """Route a delivered message to the owning agent."""
+        handler = self._dispatch.get(message.__class__)
+        if handler is None:
+            handler = self._resolve_handler(src, message)
+        handler(src, message)
+
+    def _resolve_handler(self, src: int, message: object):
+        """Slow path: subclassed message types fall back to isinstance.
+
+        The resolution is cached under the concrete type, so a subclass
+        pays the chain walk once and rides the dispatch dict afterwards.
+        """
         if isinstance(message, _SESSION_TYPES):
-            self.anti_entropy.on_message(src, message)
+            handler = self.anti_entropy.on_message
         elif isinstance(message, _FAST_TYPES):
-            if self.fast is None:
-                # A fast-capable peer pushed at us even though we run the
-                # plain protocol; ignore rather than crash (mirrors a
-                # deployment mixing versions).
-                trace = self.runtime.trace
-                if trace.wants("node.ignored-fast"):
-                    trace.record(
-                        self.runtime.now, "node.ignored-fast", node=self.node, src=src
-                    )
-                return
-            self.fast.on_message(src, message)
+            handler = (
+                self.fast.on_message if self.fast is not None else self._ignore_fast
+            )
         elif isinstance(message, DemandAdvert):
-            if self.advertiser is not None:
-                self.advertiser.on_message(src, message)
+            handler = (
+                self.advertiser.on_message
+                if self.advertiser is not None
+                else self._ignore_advert
+            )
         else:
             raise ReplicationError(
                 f"node {self.node}: unroutable message {message!r} from {src}"
             )
+        self._dispatch[message.__class__] = handler
+        return handler
+
+    def _ignore_fast(self, src: int, message: object) -> None:
+        # A fast-capable peer pushed at us even though we run the plain
+        # protocol; ignore rather than crash (mirrors a deployment
+        # mixing versions).
+        trace = self.runtime.trace
+        if trace.wants("node.ignored-fast"):
+            trace.record(
+                self.runtime.now, "node.ignored-fast", node=self.node, src=src
+            )
+
+    @staticmethod
+    def _ignore_advert(src: int, message: object) -> None:
+        """Adverts at a node without an advertiser are silently dropped."""
 
     def add_bridge_targets(self, peers) -> None:
         """Register overlay peers that always receive fast offers (§6)."""

@@ -91,7 +91,7 @@ class DemandAdvertiser:
         self._started = True
         rng = self.runtime.rng.stream("advert", self.node)
         first = rng.uniform(0, self.jitter) if self.jitter else 0.0
-        self.runtime.schedule(first, self._round)
+        self.runtime.schedule_fast(first, self._round)
 
     def _round(self) -> None:
         value = self.model.demand(self.node, self.runtime.now)
@@ -99,7 +99,9 @@ class DemandAdvertiser:
         for neighbor in self.transport.physical_neighbors(self.node):
             self.transport.send(self.node, neighbor, advert)
         self.rounds_sent += 1
-        self.runtime.schedule(self.period, self._round)
+        # Advertisement rounds run for the lifetime of the node and are
+        # never cancelled, so the handle-free fast path applies.
+        self.runtime.schedule_fast(self.period, self._round)
 
     def on_message(self, src: int, message: DemandAdvert) -> None:
         """Handle a received advert (updates the neighbour table)."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import ReplicationError
 from .timestamps import Timestamp
@@ -163,8 +163,16 @@ class WriteLog:
         #: origins, so rebuilding the sort per call would tax the very
         #: hot path the index exists for)
         self._origins_cache: Optional[List[int]] = None
+        #: callbacks invoked with the list of purged uids after each
+        #: non-empty purge; agents keying side tables by uid (the
+        #: fast-update push state) hook this to evict in lock-step.
+        self._purge_listeners: List[Callable[[List[UpdateId]], None]] = []
         self.total_added = 0
         self.total_purged = 0
+
+    def on_purge(self, callback: Callable[[List[UpdateId]], None]) -> None:
+        """Register a callback fired with the uids each purge removes."""
+        self._purge_listeners.append(callback)
 
     # -- membership -----------------------------------------------------------
 
@@ -349,4 +357,12 @@ class WriteLog:
                 if origin not in self._ahead:
                     self._origins_cache = None  # origin fully vanished
         self.total_purged += removed
+        if removed and self._purge_listeners:
+            purged_uids = [
+                (origin, seq)
+                for origin in sorted(dropped)
+                for seq in sorted(dropped[origin])
+            ]
+            for callback in self._purge_listeners:
+                callback(purged_uids)
         return removed

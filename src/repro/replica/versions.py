@@ -24,10 +24,20 @@ ENTRY_BYTES = 16
 
 
 class SummaryVector:
-    """Mapping origin -> highest contiguous sequence received."""
+    """Mapping origin -> highest contiguous sequence received.
+
+    Copies are copy-on-write: :meth:`copy` shares the entry dict and
+    marks both vectors shared; the first mutation on either side
+    detaches onto a private dict. Session starts copy the server summary
+    for every outgoing :class:`~repro.replica.messages.SummaryMessage`,
+    and most of those copies are never mutated.
+    """
+
+    __slots__ = ("_entries", "_shared")
 
     def __init__(self, entries: Mapping[int, int] | None = None):
         self._entries: Dict[int, int] = {}
+        self._shared = False
         if entries:
             for origin, seq in entries.items():
                 origin, seq = int(origin), int(seq)
@@ -80,16 +90,37 @@ class SummaryVector:
             raise ReplicationError(
                 f"cannot advance origin {origin} to {seq}; expected {expected}"
             )
+        if self._shared:
+            self._detach()
         self._entries[origin] = seq
 
     def merge(self, other: "SummaryVector") -> None:
         """Elementwise maximum (used for ack vectors, not data receipt)."""
+        if self._shared:
+            self._detach()
+        entries = self._entries
         for origin, seq in other._entries.items():
-            if seq > self._entries.get(origin, 0):
-                self._entries[origin] = seq
+            if seq > entries.get(origin, 0):
+                entries[origin] = seq
 
     def copy(self) -> "SummaryVector":
-        return SummaryVector(self._entries)
+        view = SummaryVector.__new__(SummaryVector)
+        view._entries = self._entries
+        view._shared = True
+        self._shared = True
+        return view
+
+    def _detach(self) -> None:
+        self._entries = dict(self._entries)
+        self._shared = False
+
+    def __getstate__(self):
+        # Pickled vectors (cross-process messages) carry their own dict.
+        return dict(self._entries)
+
+    def __setstate__(self, state) -> None:
+        self._entries = state
+        self._shared = False
 
     # -- comparison -----------------------------------------------------------
 

@@ -216,6 +216,19 @@ class Runtime(ABC):
     def cancel(self, handle: object) -> bool:
         """Cancel a scheduled callback; True if it was still pending."""
 
+    def schedule_fast(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Fire-and-forget ``callback(*args)`` after ``delay``.
+
+        For periodic protocol activity that is never cancelled (session
+        initiation timers, advertisement ticks): no cancel handle is
+        returned, letting runtimes skip handle allocation. The default
+        delegates to :meth:`schedule` and drops the handle; the
+        simulation runtime overrides it with the kernel's trusted path.
+        """
+        self.schedule(delay, callback, *args)
+
     # -- pub/sub --------------------------------------------------------
 
     @abstractmethod

@@ -78,6 +78,11 @@ class SimRuntime(Runtime):
     def cancel(self, handle: object) -> bool:
         return self.sim.cancel(handle)
 
+    def schedule_fast(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        self.sim.schedule_fast(delay, callback, *args)
+
     # -- cross-cutting services -----------------------------------------
 
     @property

@@ -25,6 +25,12 @@ from .network import (
 )
 from .process import Interrupted, Process, Signal
 from .rng import RngRegistry, derive_seed
+from .sharded import (
+    ShardedSimulator,
+    ShardEngine,
+    compute_lookahead,
+    partition_topology,
+)
 from .trace import TraceRecord, Tracer
 
 __all__ = [
@@ -47,6 +53,10 @@ __all__ = [
     "Interrupted",
     "RngRegistry",
     "derive_seed",
+    "ShardedSimulator",
+    "ShardEngine",
+    "partition_topology",
+    "compute_lookahead",
     "Tracer",
     "TraceRecord",
 ]

@@ -7,6 +7,14 @@ simulation needs — deterministic RNG streams (:mod:`repro.sim.rng`),
 structured tracing (:mod:`repro.sim.trace`) and a tiny topic-based
 pub/sub bus that metrics collectors subscribe to.
 
+The heap stores plain ``(time, priority, seq, handle, callback, args)``
+tuples: ordering is decided by the first three scalar elements, so every
+push/pop comparison runs in C instead of ``Event.__lt__`` — the hottest
+call site by count in profile runs.  ``handle`` is ``None`` for events
+scheduled through the trusted :meth:`Simulator.schedule_fast` path
+(kernel-originated, fire-and-forget deliveries that are never
+cancelled), which also skips argument validation and handle allocation.
+
 The engine replaces the NS-2 kernel the paper's authors built on; the
 paper measures everything in "average session times", so no packet-level
 fidelity is needed — only ordered delivery of timestamped callbacks.
@@ -15,10 +23,10 @@ fidelity is needed — only ordered delivery of timestamped callbacks.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
-from .events import DEFAULT_PRIORITY, Event, EventHandle, next_sequence
+from .events import DEFAULT_PRIORITY, EventHandle, _sequence
 from .rng import RngRegistry
 from .trace import Tracer
 
@@ -28,9 +36,15 @@ RUN_UNTIL = "until"  # reached the time horizon
 RUN_MAX_EVENTS = "max-events"  # executed the event budget
 RUN_STOPPED = "stopped"  # stop() called from inside a callback
 
+#: One heap element: ``(time, priority, seq, handle_or_None, callback, args)``.
+HeapEntry = Tuple[float, int, int, Optional[EventHandle], Callable[..., Any], tuple]
+
 #: Compaction only kicks in past this many dead heap entries, so small
 #: simulations never pay for a rebuild.
 _COMPACT_MIN_CANCELLED = 64
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Simulator:
@@ -57,7 +71,7 @@ class Simulator:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer()
-        self._heap: List[Event] = []
+        self._heap: List[HeapEntry] = []
         self._pending = 0
         self._cancelled_in_heap = 0
         self._stopping = False
@@ -76,9 +90,22 @@ class Simulator:
         label: str = "",
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` from now."""
-        return self.schedule_at(
-            self.now + delay, callback, *args, priority=priority, label=label
-        )
+        # Body duplicated from schedule_at (minus the absolute-time
+        # arithmetic): session timers fire through here constantly and
+        # the delegation call showed up in macro profiles.
+        time = self.now + delay
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        if not callable(callback):
+            raise SimulationError(f"callback {callback!r} is not callable")
+        seq = next(_sequence)
+        handle = EventHandle(time=float(time), priority=priority, seq=seq)
+        handle.sim = self
+        _heappush(self._heap, (handle.time, priority, seq, handle, callback, args))
+        self._pending += 1
+        return handle
 
     def schedule_at(
         self,
@@ -95,13 +122,30 @@ class Simulator:
             )
         if not callable(callback):
             raise SimulationError(f"callback {callback!r} is not callable")
-        handle = EventHandle(time=float(time), priority=priority, seq=next_sequence())
-        event = Event(handle=handle, callback=callback, args=args, label=label)
-        event.sim = self
-        handle._event = event
-        heapq.heappush(self._heap, event)
+        seq = next(_sequence)
+        handle = EventHandle(time=float(time), priority=priority, seq=seq)
+        handle.sim = self
+        _heappush(self._heap, (handle.time, priority, seq, handle, callback, args))
         self._pending += 1
         return handle
+
+    def schedule_fast(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Trusted internal fast path: fire-and-forget in ``delay``.
+
+        Skips the past-time and callability validation of
+        :meth:`schedule_at` and allocates no :class:`EventHandle`, so the
+        scheduled event **cannot be cancelled**.  Only kernel-originated
+        call sites whose arguments are correct by construction (message
+        delivery in :class:`~repro.sim.network.Network`) may use it;
+        everything user-facing goes through :meth:`schedule`.
+        """
+        _heappush(
+            self._heap,
+            (self.now + delay, DEFAULT_PRIORITY, next(_sequence), None, callback, args),
+        )
+        self._pending += 1
 
     def cancel(self, handle: EventHandle) -> bool:
         """Cancel a scheduled event.
@@ -111,13 +155,13 @@ class Simulator:
             it had already fired, was already cancelled, or belongs to a
             different simulator.
         """
-        event = getattr(handle, "_event", None)
-        if event is None or event.cancelled or event.sim is not self:
+        if (
+            getattr(handle, "sim", None) is not self
+            or handle.fired
+            or handle.cancelled
+        ):
             return False
-        event.cancelled = True
-        # Release the handle -> event back-reference so retained handles
-        # do not keep the callback and its arguments alive.
-        handle._event = None
+        handle.cancelled = True
         self._pending -= 1
         self._cancelled_in_heap += 1
         # Cancelled events otherwise sit in the heap until their time
@@ -134,7 +178,9 @@ class Simulator:
 
     def _compact_heap(self) -> None:
         """Drop cancelled events from the heap and restore the invariant."""
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap = [
+            entry for entry in self._heap if entry[3] is None or not entry[3].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
@@ -175,19 +221,20 @@ class Simulator:
         Returns:
             True if an event was executed, False if the heap is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            # Drop the handle -> event back-reference: a late cancel()
-            # through the handle then reports False, and a retained
-            # handle no longer keeps the fired callback and args alive.
-            event.handle._event = None
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            handle = entry[3]
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                # A late cancel() through the handle then reports False.
+                handle.fired = True
             self._pending -= 1
-            self.now = event.sort_key[0]
+            self.now = entry[0]
             self.events_executed += 1
-            event.fire()
+            entry[4](*entry[5])
             return True
         return False
 
@@ -210,21 +257,40 @@ class Simulator:
         self._running = True
         self._stopping = False
         executed = 0
+        heap = self._heap  # rebound only by _compact_heap, handled below
         try:
+            # The loop body is step() inlined: one pass over heap[0]
+            # decides live-ness, the stop conditions, and execution
+            # without a second peek or a method call per event.
             while True:
                 if self._stopping:
                     return RUN_STOPPED
                 if max_events is not None and executed >= max_events:
                     return RUN_MAX_EVENTS
-                event = self._peek_live()
-                if event is None:
+                heap = self._heap
+                while heap:
+                    entry = heap[0]
+                    handle = entry[3]
+                    if handle is not None and handle.cancelled:
+                        _heappop(heap)
+                        self._cancelled_in_heap -= 1
+                        continue
+                    break
+                else:
                     if until is not None and until > self.now:
                         self.now = until
                     return RUN_EXHAUSTED
-                if until is not None and event.sort_key[0] > until:
+                if until is not None and entry[0] > until:
                     self.now = until
                     return RUN_UNTIL
-                self.step()
+                _heappop(heap)
+                if handle is not None:
+                    # A late cancel() through the handle then reports False.
+                    handle.fired = True
+                self._pending -= 1
+                self.now = entry[0]
+                self.events_executed += 1
+                entry[4](*entry[5])
                 executed += 1
         finally:
             self._running = False
@@ -233,9 +299,15 @@ class Simulator:
         """Request that :meth:`run` return after the current event."""
         self._stopping = True
 
-    def _peek_live(self) -> Optional[Event]:
-        """Return the next non-cancelled event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled_in_heap -= 1
-        return self._heap[0] if self._heap else None
+    def _peek_live(self) -> Optional[HeapEntry]:
+        """Return the next non-cancelled heap entry without popping it."""
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            handle = entry[3]
+            if handle is not None and handle.cancelled:
+                _heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            return entry
+        return None

@@ -1,17 +1,26 @@
 """Event primitives for the discrete-event engine.
 
-An :class:`Event` couples an activation time with a callback. Users never
-build events directly; :meth:`repro.sim.engine.Simulator.schedule`
-returns an :class:`EventHandle` that can be used to cancel the event
-before it fires.
+Users never build these directly;
+:meth:`repro.sim.engine.Simulator.schedule` returns an
+:class:`EventHandle` that can be used to cancel the event before it
+fires.
 
 Events at the same timestamp are ordered by ``priority`` (lower fires
 first) and then by insertion order, which makes simulations fully
 deterministic for a fixed seed.
 
-Both classes use ``__slots__``: a simulation allocates one event per
-message hop and per session timer, so the per-instance dict of a plain
-class is measurable overhead in large parallel sweeps.
+The engine's heap stores plain ``(time, priority, seq, handle,
+callback, args)`` tuples rather than objects: tuple comparison runs
+entirely in C and, because ``seq`` is unique, never reaches the
+non-comparable tail elements.  ``EventHandle`` therefore carries only
+scalars plus two state flags — it holds no reference to the callback or
+its arguments, so a retained handle can never keep a fired event's
+payload alive.
+
+:class:`Event` remains as the object view of one scheduled entry (the
+pre-tuple heap element).  It is still part of the public
+:mod:`repro.sim` API for code that builds or inspects events standalone,
+but the engine no longer allocates it on the scheduling hot path.
 """
 
 from __future__ import annotations
@@ -25,6 +34,9 @@ DEFAULT_PRIORITY = 0
 #: Priority for engine-internal bookkeeping that must run after user events.
 LATE_PRIORITY = 1_000_000
 
+#: Process-wide insertion counter shared by every simulator, so relative
+#: event order is well defined even when simulations are interleaved in
+#: one process.  The engine advances it directly with ``next()``.
 _sequence = itertools.count()
 
 
@@ -40,17 +52,21 @@ class EventHandle:
         time: Simulated time at which the event fires.
         priority: Same-time ordering key; lower fires first.
         seq: Insertion-order tie break.
+        sim: The owning simulator (cancellation rejects foreign handles).
+        cancelled: Set by :meth:`Simulator.cancel`.
+        fired: Set by the engine when the event executes; a fired handle
+            can no longer cancel anything.
     """
 
-    __slots__ = ("time", "priority", "seq", "_event")
+    __slots__ = ("time", "priority", "seq", "sim", "cancelled", "fired")
 
     def __init__(self, time: float, priority: int, seq: int):
         self.time = time
         self.priority = priority
         self.seq = seq
-        # Back-reference to the scheduled Event, set by the engine; lets
-        # Simulator.cancel work without a handle -> event dict.
-        self._event = None
+        self.sim = None
+        self.cancelled = False
+        self.fired = False
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -79,19 +95,15 @@ class EventHandle:
 
 
 class Event:
-    """A scheduled callback inside the engine's heap.
+    """Object view of one scheduled callback.
 
     Attributes:
         handle: Sort key / cancellation token for this event.
         callback: Zero-argument-compatible callable invoked at
             ``handle.time`` with ``args``.
         args: Positional arguments passed to ``callback``.
-        cancelled: Set by :meth:`Simulator.cancel`; cancelled events are
-            skipped (lazily removed) when popped from the heap. When an
-            event fires (or is cancelled) the engine clears the handle's
-            back-reference instead, so a handle can never cancel an
-            already-executed event.
-        sort_key: Precomputed ``(time, priority, seq)`` heap key.
+        cancelled: Cancelled events are skipped when popped.
+        sort_key: The ``(time, priority, seq)`` ordering key.
     """
 
     __slots__ = ("handle", "callback", "args", "cancelled", "label", "sort_key", "sim")
@@ -110,8 +122,6 @@ class Event:
         self.cancelled = cancelled
         self.label = label
         self.sort_key: Tuple[float, int, int] = (handle.time, handle.priority, handle.seq)
-        # Owning simulator, set by Simulator.schedule_at; cancel() uses it
-        # to reject handles that belong to a different simulator.
         self.sim = None
 
     def __lt__(self, other: "Event") -> bool:

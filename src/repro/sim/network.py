@@ -215,12 +215,17 @@ class Network:
         self._overlay: Dict[int, Dict[int, float]] = {}
         self._partition: Optional[Dict[int, int]] = None
         self.counters = TrafficCounters()
-        #: message type -> whether the class defines a callable
-        #: ``size_bytes`` — caches the per-message size resolution of
-        #: the send hot path (message classes are few, messages are
-        #: millions). Attribute lookup on the instance still runs, so
-        #: instance-level overrides keep their normal precedence.
-        self._has_size: Dict[type, bool] = {}
+        #: message type -> (kind, has_size) — caches the per-message
+        #: kind string and size resolution of the send hot path (message
+        #: classes are few, messages are millions). Attribute lookup on
+        #: the instance still runs for sizes, so instance-level
+        #: overrides keep their normal precedence.
+        self._type_info: Dict[type, Tuple[str, bool]] = {}
+        # The latency model is fixed for the network's lifetime, so the
+        # delay_with_size/delay resolution of resolve_delay() is bound
+        # once here instead of via getattr per send.
+        self._delay_with_size = getattr(self.latency, "delay_with_size", None)
+        self._delay_plain = self.latency.delay
 
     # -- attachment -----------------------------------------------------
 
@@ -327,17 +332,25 @@ class Network:
         """
         if src == dst:
             raise SimulationError(f"node {src} sending to itself")
-        kind = message_kind(message)
         message_type = message.__class__
-        has_size = self._has_size.get(message_type)
-        if has_size is None:
-            has_size = callable(getattr(message_type, "size_bytes", None))
-            self._has_size[message_type] = has_size
+        info = self._type_info.get(message_type)
+        if info is None:
+            info = (
+                message_kind(message),
+                callable(getattr(message_type, "size_bytes", None)),
+            )
+            self._type_info[message_type] = info
+        kind, has_size = info
         size = int(message.size_bytes()) if has_size else message_size(message)
         overlay = self._overlay.get(src)
         overlay_delay = overlay.get(dst) if overlay else None
-        if overlay_delay is None and not self.topology.has_edge(src, dst):
-            raise SimulationError(f"no link {src}->{dst} (and no overlay)")
+        if overlay_delay is None:
+            try:
+                distance = self.topology.edge_weight(src, dst)
+            except Exception:
+                raise SimulationError(
+                    f"no link {src}->{dst} (and no overlay)"
+                ) from None
         self.counters.note_send(kind, size)
         trace = self.sim.trace
         if trace.wants("net.send"):
@@ -352,10 +365,14 @@ class Network:
             return True
         if overlay_delay is not None:
             delay = overlay_delay
+        elif self._delay_with_size is not None:
+            delay = self._delay_with_size(src, dst, distance, size)
         else:
-            distance = self.topology.edge_weight(src, dst)
-            delay = resolve_delay(self.latency, src, dst, distance, size)
-        self.sim.schedule(delay, self._deliver, src, dst, message, label=kind)
+            delay = self._delay_plain(src, dst, distance)
+        # Trusted fast path: delivery events are kernel-originated,
+        # never cancelled, and their delay is non-negative by
+        # construction (latency models validate their parameters).
+        self.sim.schedule_fast(delay, self._deliver, src, dst, message)
         return True
 
     def broadcast(self, src: int, message: object) -> int:

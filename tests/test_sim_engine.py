@@ -117,14 +117,26 @@ class TestCancellation:
         other.run()
         assert fired == ["x"]
 
-    def test_handle_releases_event_after_fire_and_cancel(self, sim):
+    def test_handle_holds_no_payload_references(self, sim):
+        # Handles carry only scalars and state flags — a retained handle
+        # can never keep a fired callback or its arguments alive.
         fired_handle = sim.schedule(1.0, lambda: None)
         cancelled_handle = sim.schedule(2.0, lambda: None)
         sim.cancel(cancelled_handle)
         sim.run()
-        # No lingering back-references keeping callbacks/args alive.
-        assert fired_handle._event is None
-        assert cancelled_handle._event is None
+        assert fired_handle.fired and not fired_handle.cancelled
+        assert cancelled_handle.cancelled and not cancelled_handle.fired
+        payload_slots = set(type(fired_handle).__slots__)
+        assert payload_slots == {"time", "priority", "seq", "sim", "cancelled", "fired"}
+
+    def test_schedule_fast_fires_in_order_without_handle(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "handled")
+        assert sim.schedule_fast(0.5, fired.append, "fast") is None
+        assert sim.pending_count() == 2
+        sim.run()
+        assert fired == ["fast", "handled"]
+        assert sim.pending_count() == 0
 
     def test_cancel_churn_keeps_heap_bounded(self, sim):
         # A session-timeout-style schedule/cancel loop must not grow the

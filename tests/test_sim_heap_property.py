@@ -1,0 +1,137 @@
+"""Property tests: the tuple-keyed heap preserves the Event ordering.
+
+The engine's heap stores ``(time, priority, seq, handle, callback,
+args)`` tuples; before that it stored :class:`~repro.sim.events.Event`
+objects ordered by ``Event.__lt__`` over ``(time, priority, seq)``.
+These properties pin the refactor: on arbitrary schedule/cancel/run
+interleavings the firing order must equal what sorting the equivalent
+``Event`` objects produces, ties and all.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.events import DEFAULT_PRIORITY, Event
+
+# A coarse grid of delays and priorities forces plenty of exact
+# (time, priority) collisions, so the seq tie-break actually decides.
+delays = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0])
+priorities = st.sampled_from([-1, 0, 1])
+
+schedule_op = st.tuples(st.just("schedule"), delays, priorities)
+cancel_op = st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=500))
+run_op = st.tuples(st.just("run"), st.integers(min_value=1, max_value=4))
+
+interleavings = st.lists(
+    st.one_of(schedule_op, cancel_op, run_op), min_size=1, max_size=60
+)
+
+
+class ModelEntry:
+    """One scheduled event mirrored outside the engine."""
+
+    def __init__(self, event_id, handle, priority):
+        self.id = event_id
+        self.handle = handle
+        # The Event wraps the real handle, so Event.__lt__ compares the
+        # genuine (time, priority, seq) keys — the pre-refactor order.
+        self.event = Event(handle, lambda: None, (), label=str(event_id))
+        self.cancelled = False
+        self.fired = False
+
+    @property
+    def live(self):
+        return not self.cancelled and not self.fired
+
+
+def model_order(entries):
+    """Firing order per the pre-refactor semantics: Event.__lt__ sort."""
+    return [
+        entry.id
+        for entry in sorted(
+            (e for e in entries if e.live), key=lambda e: e.event
+        )
+    ]
+
+
+class EventKey:
+    """Adapter so sorted(key=...) goes through Event.__lt__ itself."""
+
+    def __init__(self, event):
+        self.event = event
+
+    def __lt__(self, other):
+        return self.event < other.event
+
+
+@settings(max_examples=60, deadline=None)
+@given(interleavings)
+def test_firing_order_matches_event_lt_model(ops):
+    sim = Simulator(seed=0)
+    sim.trace.disable()
+    fired = []
+    entries = []
+    expected_fired = []
+
+    for op in ops:
+        if op[0] == "schedule":
+            _, delay, priority = op
+            event_id = len(entries)
+            handle = sim.schedule(delay, fired.append, event_id, priority=priority)
+            entries.append(ModelEntry(event_id, handle, priority))
+        elif op[0] == "cancel":
+            if not entries:
+                continue
+            entry = entries[op[1] % len(entries)]
+            expected = entry.live
+            assert sim.cancel(entry.handle) == expected
+            if expected:
+                entry.cancelled = True
+        else:  # run up to n events
+            _, budget = op
+            expected_now = [e for e in entries if e.live]
+            expected_now.sort(key=lambda e: EventKey(e.event))
+            for entry in expected_now[:budget]:
+                entry.fired = True
+                expected_fired.append(entry.id)
+            sim.run(max_events=budget)
+
+    expected_fired.extend(model_order(entries))
+    sim.run()
+    assert fired == expected_fired
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), delays, priorities), min_size=1, max_size=40
+    )
+)
+def test_schedule_fast_shares_the_ordering(mix):
+    """schedule_fast entries slot into the same total order as schedule.
+
+    The fast path skips handle allocation but draws from the same
+    sequence counter, so a fast event scheduled after a handled event
+    at the same (time, priority) fires after it — exactly the Event
+    model with insertion order as the tie-break.
+    """
+    sim = Simulator(seed=0)
+    sim.trace.disable()
+    fired = []
+    expected = []
+
+    for index, (fast, delay, priority) in enumerate(mix):
+        if fast:
+            # schedule_fast has no priority parameter: DEFAULT_PRIORITY.
+            sim.schedule_fast(delay, fired.append, index)
+            expected.append((delay, DEFAULT_PRIORITY, index))
+        else:
+            sim.schedule(delay, fired.append, index, priority=priority)
+            expected.append((delay, priority, index))
+
+    expected.sort()
+    sim.run()
+    assert fired == [event_id for _t, _p, event_id in expected]
