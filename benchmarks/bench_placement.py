@@ -1,0 +1,169 @@
+"""Demand-driven placement vs static replicas: the closed loop pays off.
+
+The paper argues replicas belong where demand is; the placement
+subsystem (``repro.placement``) closes that loop by spawning and
+retiring copies from live demand observations. This benchmark runs the
+placement-swept declarative pipeline on two scenarios:
+
+* **flash-crowd / grid** — uniform background demand with a 12x spike
+  on ~1/12 of the sites during [10, 45): the canonical case where a
+  static deployment saturates while the autoscaler adds serving
+  capacity exactly where (and while) it is needed;
+* **flash-crowd / cdn** — the same demand on a two-tier AS/router
+  hierarchy, where control traffic pays multi-hop overlay delays.
+
+Every placement policy runs against ``static`` placement on identical
+seeds, so the Fig. 3-style capacity-aware satisfaction areas are
+paired. Results go to ``BENCH_placement.json`` at the repo root
+(tracked by ``bench_trend.py`` like every other BENCH artifact).
+
+The quantitative claims under test:
+
+* on flash-crowd scenarios the threshold autoscaler's mean satisfied
+  area strictly beats static placement's (the whole point of the
+  subsystem);
+* the control loop's byte overhead stays a small fraction of total
+  traffic;
+* a placement sweep is bit-identical between the serial and
+  process-pool backends.
+
+Set ``BENCH_PLACEMENT_QUICK=1`` (the CI placement-smoke job does) to
+shrink repetitions for a fast signal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.plan import ExperimentPlan
+
+QUICK = os.environ.get("BENCH_PLACEMENT_QUICK", "") not in ("", "0")
+
+REPS = 2 if QUICK else 5
+SEED = 23
+MAX_TIME = 80.0
+PLACEMENTS = ("static", "threshold", "top-share", "efficiency")
+SCENARIOS = (
+    ("grid", 16),
+    ("cdn", 24),
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_placement.json"
+
+
+def _plan(topology: str, n: int) -> ExperimentPlan:
+    return ExperimentPlan(
+        name=f"placement-{topology}",
+        topology=topology,
+        demand="flash-crowd",
+        variants=("fast",),
+        placements=PLACEMENTS,
+        n=n,
+        reps=REPS,
+        seed=SEED,
+        max_time=MAX_TIME,
+    )
+
+
+def _series_row(series) -> dict:
+    trials = series.trials
+    return {
+        "trials": len(trials),
+        "mean_satisfied_area": round(series.mean_satisfied_area(), 2),
+        "mean_spawned": round(
+            sum(t.replicas_spawned for t in trials) / len(trials), 2
+        ),
+        "mean_retired": round(
+            sum(t.replicas_retired for t in trials) / len(trials), 2
+        ),
+        "peak_copies": max(t.replicas_peak for t in trials),
+        "mean_placement_bytes": round(
+            sum(t.placement_bytes for t in trials) / len(trials), 1
+        ),
+        "mean_bytes_total": round(series.mean_bytes(), 1),
+    }
+
+
+def test_placement_autoscaler(benchmark, report):
+    plans = [_plan(topology, n) for topology, n in SCENARIOS]
+
+    def run_all():
+        return [plan.run(SerialBackend()) for plan in plans]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    payload = {
+        "reps": REPS,
+        "seed": SEED,
+        "max_time": MAX_TIME,
+        "quick_mode": QUICK,
+        "placements": list(PLACEMENTS),
+        "scenarios": {},
+    }
+    for plan, result in zip(plans, results):
+        rows = {
+            label: _series_row(result.series[label])
+            for label in plan.series_labels()
+        }
+        static_area = rows["fast+static"]["mean_satisfied_area"]
+        for label, row in rows.items():
+            row["vs_static"] = round(
+                row["mean_satisfied_area"] / static_area, 4
+            )
+            row["placement_overhead_fraction"] = round(
+                row["mean_placement_bytes"] / row["mean_bytes_total"], 4
+            )
+        payload["scenarios"][plan.topology] = rows
+
+    # Determinism gate: the same placement sweep on a process pool must
+    # reproduce the serial trial rows bit-for-bit.
+    check_plan = plans[0]
+    with ProcessPoolBackend(max_workers=2) as pool:
+        pooled = check_plan.run(pool)
+    serial_rows = {
+        label: results[0].series[label].trials for label in check_plan.series_labels()
+    }
+    pooled_rows = {
+        label: pooled.series[label].trials for label in check_plan.series_labels()
+    }
+    payload["serial_equals_process"] = serial_rows == pooled_rows
+
+    # Record before asserting so a red run still uploads the measured
+    # numbers that diagnose it.
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    assert payload["serial_equals_process"], "placement sweep diverged across backends"
+
+    for topology, rows in payload["scenarios"].items():
+        static_area = rows["fast+static"]["mean_satisfied_area"]
+        threshold = rows["fast+threshold"]
+        # The headline claim: closing the loop beats static placement on
+        # the paired flash-crowd satisfaction metric.
+        assert threshold["mean_satisfied_area"] > static_area, (
+            f"{topology}: autoscaler did not beat static placement "
+            f"({threshold['mean_satisfied_area']} <= {static_area})"
+        )
+        assert threshold["mean_spawned"] > 0, f"{topology}: no copies spawned"
+        # Control traffic stays cheap relative to the replication itself.
+        for label, row in rows.items():
+            assert row["placement_overhead_fraction"] < 0.25, (
+                f"{topology}/{label}: placement overhead "
+                f"{row['placement_overhead_fraction']} is not small"
+            )
+
+    lines = []
+    for topology, rows in payload["scenarios"].items():
+        lines.append(f"[{topology}]")
+        for label, row in rows.items():
+            lines.append(
+                f"  {label}: area={row['mean_satisfied_area']} "
+                f"(x{row['vs_static']} vs static), "
+                f"spawned={row['mean_spawned']}, peak={row['peak_copies']}, "
+                f"ctl-bytes={row['mean_placement_bytes']} "
+                f"({100 * row['placement_overhead_fraction']:.1f}%)"
+            )
+    lines.append(f"serial == process: {payload['serial_equals_process']}")
+    report.add("placement-autoscaler", "\n".join(lines))

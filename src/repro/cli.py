@@ -41,7 +41,14 @@ from .experiments.backends import resolve_backend
 from .experiments.campaign import CampaignPaused
 from .experiments.figures import CAMPAIGNS
 from .experiments.plan import ExperimentPlan
-from .experiments.scenarios import DEMANDS, FAULTS, TOPOLOGIES, VARIANTS, build_system
+from .experiments.scenarios import (
+    DEMANDS,
+    FAULTS,
+    PLACEMENTS,
+    TOPOLOGIES,
+    VARIANTS,
+    build_system,
+)
 from .experiments.sink import JsonLinesSink, sink_status
 from .experiments.tables import format_kv, format_table
 from .viz.ascii import bar_chart, cdf_plot
@@ -181,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=["none"],
         help="fault regimes to sweep, paired with the same seeds "
         f"({', '.join(sorted(FAULTS))})",
+    )
+    p.add_argument(
+        "--placements",
+        nargs="+",
+        metavar="NAME",
+        default=["none"],
+        help="placement regimes to sweep, paired with the same seeds "
+        f"({', '.join(sorted(PLACEMENTS))})",
     )
     p.add_argument("-n", "--nodes", type=int, default=50)
     p.add_argument("--max-time", type=float, default=80.0)
@@ -361,6 +376,7 @@ def cmd_scaling(args) -> str:
 
 def cmd_sweep(args) -> str:
     faults = tuple(getattr(args, "faults", None) or ("none",))
+    placements = tuple(getattr(args, "placements", None) or ("none",))
     plan = ExperimentPlan(
         name=f"sweep-{args.topology}-{args.demand}",
         topology=args.topology,
@@ -372,10 +388,12 @@ def cmd_sweep(args) -> str:
         max_time=args.max_time,
         loss=args.loss,
         faults=faults,
+        placements=placements,
     )
     with _backend(args) as backend:
         result = plan.run(backend)
     faulted = faults != ("none",)
+    placed = placements != ("none",)
     censored = False
 
     def mean_of(cdf) -> str:
@@ -402,6 +420,9 @@ def cmd_sweep(args) -> str:
                 conv += " !"
                 censored = True
             row.append(conv)
+        if placed:
+            area = series.mean_satisfied_area()
+            row.append("n/a" if area is None else f"{area:.0f}")
         rows.append(tuple(row))
     title = (
         f"sweep — {args.topology} n={args.nodes}, demand={args.demand}, "
@@ -412,6 +433,8 @@ def cmd_sweep(args) -> str:
     headers = ["series", "mean (all)", "mean (top 10%)", "mean (hottest)", "msgs"]
     if faulted:
         headers.extend(["post-heal", "conv"])
+    if placed:
+        headers.append("satisfied")
     out = [format_table(headers, rows, title=title)]
     if censored:
         out.append(

@@ -106,6 +106,7 @@ class AntiEntropyAgent:
         self._session_counter = 0
         self._interval_rng = runtime.rng.stream("session-interval", self.node)
         self._started = False
+        self._stopped = False
 
     # -- lifecycle --------------------------------------------------------
 
@@ -115,6 +116,14 @@ class AntiEntropyAgent:
             raise ReplicationError(f"agent for node {self.node} already started")
         self._started = True
         self.runtime.schedule_fast(self._draw_interval(), self._initiate)
+
+    def stop(self) -> None:
+        """Stop initiating sessions (replica retirement).
+
+        The periodic timer chain dies at its next firing; in-flight
+        sessions drain through their ordinary timeouts.
+        """
+        self._stopped = True
 
     def _draw_interval(self) -> float:
         mean = self.config.session_interval_mean
@@ -129,6 +138,8 @@ class AntiEntropyAgent:
     # -- initiation --------------------------------------------------------
 
     def _initiate(self) -> None:
+        if self._stopped:
+            return
         # Keep the initiation rate steady no matter what happens below.
         # Never cancelled, so the handle-free fast path applies.
         self.runtime.schedule_fast(self._draw_interval(), self._initiate)

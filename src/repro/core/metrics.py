@@ -176,9 +176,10 @@ def staleness_under_partition(
 
 def satisfied_requests_series(
     times: Mapping[int, float],
-    demand: Mapping[int, float],
+    demand: "Mapping[int, float] | DemandModel",
     horizon: int,
     t0: float = 0.0,
+    nodes: Optional[Sequence[int]] = None,
 ) -> List[float]:
     """Fig. 3's series: requests served with consistent content per step.
 
@@ -186,16 +187,44 @@ def satisfied_requests_series(
     session time) of the replicas that were already consistent at
     session ``k`` — i.e. the number of requests satisfied with updated
     content during that unit interval.
+
+    ``demand`` is either a static ``node -> rate`` mapping or a
+    :class:`~repro.demand.base.DemandModel`, re-evaluated at the end of
+    each step (``t0 + k``) so flash crowds and demand shocks are
+    measured against the rates in force *during* the run rather than a
+    frozen pre-shock snapshot. The model form requires ``nodes`` (a
+    model has no node set of its own); with a mapping and no ``nodes``
+    the historical code path runs unchanged.
     """
     if horizon < 1:
         raise ExperimentError(f"horizon must be >= 1, got {horizon}")
+    if isinstance(demand, Mapping):
+        if nodes is None:
+            series = []
+            for step in range(1, horizon + 1):
+                total = 0.0
+                for node, rate in demand.items():
+                    at = times.get(int(node))
+                    if at is not None and at - t0 <= step:
+                        total += rate
+                series.append(total)
+            return series
+        rate_at = lambda node, time: demand.get(node, 0.0)  # noqa: E731
+    else:
+        if nodes is None:
+            raise ExperimentError(
+                "satisfied_requests_series needs an explicit node set "
+                "when demand is a model"
+            )
+        rate_at = demand.demand
+    node_ids = [int(n) for n in nodes]
     series = []
     for step in range(1, horizon + 1):
         total = 0.0
-        for node, rate in demand.items():
-            at = times.get(int(node))
+        for node in node_ids:
+            at = times.get(node)
             if at is not None and at - t0 <= step:
-                total += rate
+                total += rate_at(node, t0 + step)
         series.append(total)
     return series
 

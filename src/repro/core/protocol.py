@@ -120,6 +120,16 @@ class ReplicationNode:
         if self.advertiser is not None:
             self.advertiser.start()
 
+    def stop(self) -> None:
+        """Stop all periodic activity (replica retirement).
+
+        Idempotent; safe on a node that was never started. In-flight
+        sessions are left to drain through their ordinary timeouts.
+        """
+        self.anti_entropy.stop()
+        if self.advertiser is not None:
+            self.advertiser.stop()
+
     def on_message(self, src: int, message: object) -> None:
         """Route a delivered message to the owning agent."""
         handler = self._dispatch.get(message.__class__)

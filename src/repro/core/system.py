@@ -224,6 +224,10 @@ class ReplicationSystem:
         self.servers: Dict[int, ReplicaServer] = {}
         self.nodes: Dict[int, ReplicationNode] = {}
         self.tables: Dict[int, DemandTable] = {}
+        #: Nodes decommissioned by :meth:`retire_replica`. They stay in
+        #: the topology (ids are never reused) but no longer count
+        #: toward convergence and generate no traffic.
+        self.retired: Set[int] = set()
         self._apply_times: Dict[UpdateId, Dict[int, float]] = {}
         self._watch: Dict[UpdateId, Tuple[Set[int], float]] = {}
         #: Set by fault-aware assemblers (build_system, run_trial) to the
@@ -308,6 +312,8 @@ class ReplicationSystem:
         for peer in attach:
             if peer not in self.servers:
                 raise ConfigurationError(f"attach point {peer} does not exist")
+            if peer in self.retired:
+                raise ConfigurationError(f"attach point {peer} is retired")
         if new_node in self.servers:
             raise ConfigurationError(f"node {new_node} already exists")
         self.topology.add_node(new_node, position)
@@ -341,6 +347,74 @@ class ReplicationSystem:
             self.runtime.now, "replica.created", node=new_node, donor=donor
         )
         return donor
+
+    @property
+    def active_nodes(self) -> Tuple[int, ...]:
+        """Topology nodes minus retired replicas (insertion order)."""
+        if not self.retired:
+            return tuple(self.topology.nodes)
+        return tuple(n for n in self.topology.nodes if n not in self.retired)
+
+    def retire_replica(self, node: int, grace: Optional[float] = None) -> None:
+        """Decommission a replica created with :meth:`add_replica`.
+
+        The node's periodic activity stops, its network handler is
+        detached (in-flight messages to it are dropped), and after a
+        ``grace`` period — long enough for peers' in-flight sessions
+        with it to time out — its links leave the topology so partner
+        selection stops targeting it. The node id stays reserved; ids
+        are never reused, which keeps event ordering deterministic.
+
+        Raises:
+            ConfigurationError: If the node is unknown, already
+                retired, the last active replica, or if removing it
+                would disconnect the remaining active replicas.
+        """
+        node = int(node)
+        if node not in self.servers:
+            raise ConfigurationError(f"unknown node {node}")
+        if node in self.retired:
+            raise ConfigurationError(f"node {node} already retired")
+        remaining = [n for n in self.active_nodes if n != node]
+        if not remaining:
+            raise ConfigurationError("cannot retire the last active replica")
+        if not self._connected_without(node, remaining):
+            raise ConfigurationError(
+                f"retiring node {node} would disconnect the active replicas"
+            )
+        self.retired.add(node)
+        self.nodes[node].stop()
+        self.network.set_node_down(node)
+        self.network.detach(node)
+        # The retired node no longer gates convergence watches.
+        for uid in list(self._watch):
+            remaining_watch, _ = self._watch[uid]
+            remaining_watch.discard(node)
+            if not remaining_watch:
+                self._watch.pop(uid, None)
+                self.runtime.stop()
+        if grace is None:
+            grace = self.config.session_timeout + 1.0
+        self.runtime.schedule(grace, self._unlink_retired, node)
+        self.runtime.trace.record(self.runtime.now, "replica.retired", node=node)
+
+    def _connected_without(self, node: int, remaining: List[int]) -> bool:
+        """Are the active nodes still one component if ``node`` leaves?"""
+        active = set(remaining)
+        seen = {remaining[0]}
+        frontier = [remaining[0]]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self.topology.neighbors(current):
+                if neighbor in active and neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(active)
+
+    def _unlink_retired(self, node: int) -> None:
+        """Remove a retired node's links once its sessions have drained."""
+        for neighbor in list(self.topology.neighbors(node)):
+            self.topology.remove_edge(node, neighbor)
 
     # -- write injection and convergence tracking ----------------------------
 
@@ -382,7 +456,10 @@ class ReplicationSystem:
         return set(self._apply_times.get(uid, {}))
 
     def all_have(self, uid: UpdateId) -> bool:
-        return len(self._apply_times.get(uid, {})) == self.topology.num_nodes
+        times = self._apply_times.get(uid, {})
+        if not self.retired:
+            return len(times) == self.topology.num_nodes
+        return all(n in times for n in self.active_nodes)
 
     # -- running ----------------------------------------------------------------
 
@@ -398,7 +475,7 @@ class ReplicationSystem:
         Returns None if the horizon ``max_time`` expires first (the
         update may still be missing somewhere, e.g. under heavy loss).
         """
-        missing = set(self.topology.nodes) - self.nodes_with(uid)
+        missing = set(self.active_nodes) - self.nodes_with(uid)
         if not missing:
             times = self._apply_times.get(uid, {})
             return max(times.values()) if times else None

@@ -83,6 +83,7 @@ class DemandAdvertiser:
         self.rounds_sent = 0
         self.adverts_received = 0
         self._started = False
+        self._stopped = False
 
     def start(self) -> None:
         """Schedule the first advertisement round."""
@@ -93,7 +94,14 @@ class DemandAdvertiser:
         first = rng.uniform(0, self.jitter) if self.jitter else 0.0
         self.runtime.schedule_fast(first, self._round)
 
+    def stop(self) -> None:
+        """Stop advertising (replica retirement); the timer chain dies
+        at its next firing."""
+        self._stopped = True
+
     def _round(self) -> None:
+        if self._stopped:
+            return
         value = self.model.demand(self.node, self.runtime.now)
         advert = DemandAdvert(sender=self.node, value=value)
         for neighbor in self.transport.physical_neighbors(self.node):

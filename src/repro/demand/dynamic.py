@@ -44,27 +44,36 @@ class ScheduledDemand(DemandModel):
             int(n): validate_demand_value(v, int(n)) for n, v in initial.items()
         }
         self.schedules: Dict[int, Schedule] = {}
+        self._times: Dict[int, List[float]] = {}
         for node, points in (changes or {}).items():
             node = int(node)
-            schedule = sorted(
-                (float(t), validate_demand_value(v, node)) for t, v in points
-            )
-            for time, _ in schedule:
+            schedule = [(float(t), validate_demand_value(v, node)) for t, v in points]
+            # Sort by time only (stable), so entries sharing a change
+            # time keep their input order and the last one wins below —
+            # sorting the (time, value) pairs would instead resolve
+            # duplicates by value, which has no semantic meaning.
+            schedule.sort(key=lambda point: point[0])
+            deduped: Schedule = []
+            for time, value in schedule:
                 if time < 0:
                     raise DemandError(f"change time {time} < 0 for node {node}")
-            self.schedules[node] = schedule
+                if deduped and deduped[-1][0] == time:
+                    deduped[-1] = (time, value)
+                else:
+                    deduped.append((time, value))
+            self.schedules[node] = deduped
+            self._times[node] = [t for t, _ in deduped]
 
     def demand(self, node: int, time: float) -> float:
         node = int(node)
         base = self.initial.get(node, 0.0)
-        schedule = self.schedules.get(node)
-        if not schedule:
+        times = self._times.get(node)
+        if not times:
             return base
-        times = [t for t, _ in schedule]
         index = bisect.bisect_right(times, time) - 1
         if index < 0:
             return base
-        return schedule[index][1]
+        return self.schedules[node][index][1]
 
     def change_times(self) -> List[float]:
         """All distinct times at which any node's demand changes."""
@@ -134,6 +143,7 @@ class RandomWalkDemand(DemandModel):
         self.high = float(high)
         self.seed = int(seed)
         self._paths: Dict[int, List[float]] = {}
+        self._rngs: Dict[int, random.Random] = {}
 
     def _reflect(self, value: float) -> float:
         span = self.high - self.low
@@ -148,17 +158,18 @@ class RandomWalkDemand(DemandModel):
         if path is None:
             path = [self._reflect(self.initial.get(node, self.low))]
             self._paths[node] = path
+            # One cached generator per node: each increment is drawn
+            # exactly once, so extending a k-step path to k+m steps
+            # costs m draws instead of re-deriving all k+m from
+            # scratch. Query order cannot matter — increment i is
+            # always the i-th draw of this stream.
+            self._rngs[node] = random.Random((self.seed << 24) ^ (node * 1000003))
         if len(path) <= steps:
-            rng = random.Random((self.seed << 24) ^ (node * 1000003))
-            # Re-derive the increments deterministically from scratch so
-            # extending the path never depends on query history.
-            values = [path[0]]
-            for _ in range(steps):
-                values.append(
-                    self._reflect(values[-1] + rng.uniform(-self.step, self.step))
+            rng = self._rngs[node]
+            for _ in range(steps - len(path) + 1):
+                path.append(
+                    self._reflect(path[-1] + rng.uniform(-self.step, self.step))
                 )
-            self._paths[node] = values
-            path = values
         return path
 
     def demand(self, node: int, time: float) -> float:

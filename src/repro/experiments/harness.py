@@ -36,6 +36,9 @@ from ..demand.base import DemandModel
 from ..errors import ExperimentError
 from ..faults.process import FaultProcess, prepare_demand
 from ..faults.schedule import FaultSchedule
+from ..placement.controller import PlacementController
+from ..placement.metrics import capacity_satisfied_series, placement_traffic
+from ..placement.policies import PlacementSetup
 from ..sim.rng import derive_seed
 from ..topology.analysis import diameter as topo_diameter
 from ..topology.graph import Topology
@@ -95,6 +98,7 @@ class TrialSpec:
     island_percentile: float = 75.0
     loss: float = 0.0
     faults: Optional[FaultSchedule] = None
+    placement: Optional[PlacementSetup] = None
 
 
 def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
@@ -105,6 +109,15 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
     :func:`repro.faults.process.prepare_demand`), and the trial
     additionally records the post-heal convergence time when the
     schedule contains a healed partition.
+
+    With ``spec.placement``, the trial measures the capacity-aware
+    satisfaction area (and, unless the regime is ``"static"``, runs a
+    :class:`~repro.placement.controller.PlacementController` at the
+    origin that spawns/retires replicas from live demand). Placement
+    trials keep simulating to ``max_time`` after convergence so the
+    scale-down half of the trajectory is observed, and all convergence
+    metrics are computed over the *base* topology nodes — spawned
+    copies accelerate serving capacity, they do not move the goalposts.
     """
     demand = prepare_demand(spec.demand, spec.faults)
     system = ReplicationSystem(
@@ -126,12 +139,27 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
     # tracer off wholesale: a disabled tracer costs one attribute check
     # per would-be record.
     system.sim.trace.disable()
+    # Captured before the run: a placement controller grows the (shared)
+    # topology object as it spawns copies.
+    base_nodes = spec.topology.nodes
+    diameter = topo_diameter(spec.topology)
+    controller = None
+    if spec.placement is not None and spec.placement.policy != "static":
+        controller = PlacementController(
+            system, spec.placement, home=spec.origin, sites=base_nodes
+        )
     system.start()
+    if controller is not None:
+        controller.start()
     update = system.inject_write(spec.origin)
     t0 = system.sim.now
     system.run_until_replicated(update.uid, max_time=spec.max_time)
+    if spec.placement is not None and system.sim.now < spec.max_time:
+        # Keep the demand/placement dynamics running to the horizon so
+        # the satisfaction series and scale-down events are complete.
+        system.run_until(spec.max_time)
     times = system.apply_times(update.uid)
-    nodes = spec.topology.nodes
+    nodes = base_nodes
     top_nodes = spec.demand.top_fraction(nodes, spec.top_fraction, time=0.0)
     top1 = spec.demand.ranked(nodes, time=0.0)[0]
     time_post_heal = None
@@ -150,6 +178,28 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
                 nodes, spec.top_fraction, time=shock_at
             )
             time_top_shocked = reach_time(times, shocked_top, t0)
+    satisfied_area = None
+    replicas_spawned = None
+    replicas_retired = None
+    replicas_peak = None
+    placement_bytes = None
+    if spec.placement is not None:
+        horizon = max(1, int(round(spec.max_time - t0)))
+        events = controller.events if controller is not None else ()
+        series = capacity_satisfied_series(
+            times,
+            system.demand,
+            horizon,
+            nodes,
+            spec.placement.capacity,
+            events,
+            t0,
+        )
+        satisfied_area = sum(series)
+        replicas_spawned = controller.spawned_total if controller else 0
+        replicas_retired = controller.retired_total if controller else 0
+        replicas_peak = controller.peak_copies if controller else 0
+        placement_bytes = placement_traffic(system.network).bytes
     trial = TrialResult(
         rep=-1,
         origin=spec.origin,
@@ -157,12 +207,17 @@ def run_trial(spec: TrialSpec) -> Tuple[TrialResult, ReplicationSystem]:
         time_top=reach_time(times, top_nodes, t0),
         time_top1=reach_time(times, [top1], t0),
         mean_time=mean_reach_time(times, nodes, t0),
-        diameter=topo_diameter(spec.topology),
+        diameter=diameter,
         messages=system.network.counters.messages_sent,
         bytes_sent=system.network.counters.bytes_sent,
-        n_nodes=spec.topology.num_nodes,
+        n_nodes=len(nodes),
         time_post_heal=time_post_heal,
         time_top_shocked=time_top_shocked,
+        satisfied_area=satisfied_area,
+        replicas_spawned=replicas_spawned,
+        replicas_retired=replicas_retired,
+        replicas_peak=replicas_peak,
+        placement_bytes=placement_bytes,
     )
     return trial, system
 

@@ -37,7 +37,7 @@ from ..faults.schedule import FaultSchedule
 from ..topology.graph import Topology
 from .harness import DEFAULT_TOP_FRACTION, TrialSpec, rep_seeds, run_trial
 from .results import ExperimentResult, TrialResult
-from .scenarios import DEMANDS, FAULTS, TOPOLOGIES, VARIANTS
+from .scenarios import DEMANDS, FAULTS, PLACEMENTS, TOPOLOGIES, VARIANTS
 
 
 def _check_registry_key(kind: str, registry: Mapping[str, object], name: str) -> None:
@@ -47,14 +47,16 @@ def _check_registry_key(kind: str, registry: Mapping[str, object], name: str) ->
         )
 
 
-def series_label(variant: str, faults: str) -> str:
-    """Result-series name for a (variant, fault regime) pair.
+def series_label(variant: str, faults: str, placement: str = "none") -> str:
+    """Result-series name for a (variant, fault regime, placement) triple.
 
     Healthy trials keep the bare variant name (existing results stay
     stable); faulted trials append the regime, so a plan sweeping fault
-    regimes yields one comparable series per pair.
+    regimes yields one comparable series per pair, and placement
+    regimes append a ``+placement`` suffix the same way.
     """
-    return variant if faults == "none" else f"{variant}@{faults}"
+    label = variant if faults == "none" else f"{variant}@{faults}"
+    return label if placement == "none" else f"{label}+{placement}"
 
 
 @dataclass(frozen=True)
@@ -84,6 +86,10 @@ class ScenarioSpec:
         fault_seed: Derived seed the fault generator runs with; shared
             by every variant of a repetition so fault comparisons are
             paired too.
+        placement: :data:`~repro.experiments.scenarios.PLACEMENTS` key
+            naming the placement regime (``"none"`` = classic harness,
+            ``"static"`` = capacity metric without a controller, any
+            policy name = run the autoscaler).
     """
 
     experiment: str
@@ -103,6 +109,7 @@ class ScenarioSpec:
     island_percentile: float = 75.0
     faults: str = "none"
     fault_seed: int = 0
+    placement: str = "none"
 
     def validate(self) -> "ScenarioSpec":
         """Raise :class:`ExperimentError` if any registry key is unknown."""
@@ -110,21 +117,27 @@ class ScenarioSpec:
         _check_registry_key("demand", DEMANDS, self.demand)
         _check_registry_key("variant", VARIANTS, self.variant)
         _check_registry_key("fault regime", FAULTS, self.faults)
+        _check_registry_key("placement", PLACEMENTS, self.placement)
         return self
 
     def series_label(self) -> str:
         """Name of the result series this trial belongs to."""
-        return series_label(self.variant, self.faults)
+        return series_label(self.variant, self.faults, self.placement)
 
     def key(self) -> str:
         """Stable identity of this scenario within its experiment.
 
-        ``(rep, faults, variant)`` uniquely names a scenario inside one
-        plan (topology, demand and n are plan constants), so the key is
-        what checkpoint sinks use to skip already-recorded work on
-        resume. Campaign runners prefix it with the plan's name.
+        ``(rep, faults, placement, variant)`` uniquely names a scenario
+        inside one plan (topology, demand and n are plan constants), so
+        the key is what checkpoint sinks use to skip already-recorded
+        work on resume. Campaign runners prefix it with the plan's
+        name. Placement-free scenarios keep the historical three-part
+        key, so existing checkpoints stay valid.
         """
-        return f"rep={self.rep}/faults={self.faults}/variant={self.variant}"
+        key = f"rep={self.rep}/faults={self.faults}/variant={self.variant}"
+        if self.placement != "none":
+            key += f"/placement={self.placement}"
+        return key
 
     # -- materialisation (runs inside the worker process) -----------------
 
@@ -157,6 +170,7 @@ class ScenarioSpec:
             island_percentile=self.island_percentile,
             loss=self.loss,
             faults=self.build_faults(topology),
+            placement=PLACEMENTS[self.placement](),
         )
 
     def run(self) -> TrialResult:
@@ -189,6 +203,11 @@ class ExperimentPlan:
             (variant, regime) pair of a repetition shares the
             repetition's seeds, so fault comparisons are paired the same
             way variant comparisons are.
+        placements: Placement-regime registry keys to sweep (default:
+            placement disabled). Sweeping e.g. ``("static",
+            "threshold")`` yields paired series whose
+            ``satisfied_area`` difference is the autoscaler's measured
+            benefit on identical seeds.
         params: Extra parameters recorded verbatim in the result.
     """
 
@@ -203,11 +222,12 @@ class ExperimentPlan:
     top_fraction: float = DEFAULT_TOP_FRACTION
     loss: float = 0.0
     faults: Tuple[str, ...] = ("none",)
+    placements: Tuple[str, ...] = ("none",)
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # A bare string is a single key, not an iterable of characters.
-        for attr in ("variants", "faults"):
+        for attr in ("variants", "faults", "placements"):
             value = getattr(self, attr)
             coerced = (value,) if isinstance(value, str) else tuple(value)
             object.__setattr__(self, attr, coerced)
@@ -223,12 +243,18 @@ class ExperimentPlan:
             raise ExperimentError("no fault regimes given (use ('none',))")
         if len(set(self.faults)) != len(self.faults):
             raise ExperimentError(f"duplicate fault regimes in {self.faults}")
+        if not self.placements:
+            raise ExperimentError("no placements given (use ('none',))")
+        if len(set(self.placements)) != len(self.placements):
+            raise ExperimentError(f"duplicate placements in {self.placements}")
         _check_registry_key("topology", TOPOLOGIES, self.topology)
         _check_registry_key("demand", DEMANDS, self.demand)
         for variant in self.variants:
             _check_registry_key("variant", VARIANTS, variant)
         for fault in self.faults:
             _check_registry_key("fault regime", FAULTS, fault)
+        for placement in self.placements:
+            _check_registry_key("placement", PLACEMENTS, placement)
         return self
 
     # -- expansion --------------------------------------------------------
@@ -247,39 +273,47 @@ class ExperimentPlan:
         for rep in range(self.reps):
             seeds = rep_seeds(self.seed, rep)
             for fault in self.faults:
-                for variant in self.variants:
-                    specs.append(
-                        ScenarioSpec(
-                            experiment=self.name,
-                            rep=rep,
-                            variant=variant,
-                            topology=self.topology,
-                            demand=self.demand,
-                            n=self.n,
-                            topo_seed=seeds.topology,
-                            demand_seed=seeds.demand,
-                            sim_seed=seeds.simulator,
-                            origin_seed=seeds.origin,
-                            max_time=self.max_time,
-                            top_fraction=self.top_fraction,
-                            loss=self.loss,
-                            faults=fault,
-                            fault_seed=seeds.faults,
+                for placement in self.placements:
+                    for variant in self.variants:
+                        specs.append(
+                            ScenarioSpec(
+                                experiment=self.name,
+                                rep=rep,
+                                variant=variant,
+                                topology=self.topology,
+                                demand=self.demand,
+                                n=self.n,
+                                topo_seed=seeds.topology,
+                                demand_seed=seeds.demand,
+                                sim_seed=seeds.simulator,
+                                origin_seed=seeds.origin,
+                                max_time=self.max_time,
+                                top_fraction=self.top_fraction,
+                                loss=self.loss,
+                                faults=fault,
+                                fault_seed=seeds.faults,
+                                placement=placement,
+                            )
                         )
-                    )
         return specs
 
     def series_labels(self) -> Tuple[str, ...]:
         """Result-series names in expansion order (fault-major)."""
         return tuple(
-            series_label(variant, fault)
+            series_label(variant, fault, placement)
             for fault in self.faults
+            for placement in self.placements
             for variant in self.variants
         )
 
     def total_trials(self) -> int:
-        """Number of trials the plan expands to (``reps * faults * variants``)."""
-        return self.reps * len(self.faults) * len(self.variants)
+        """Trials the plan expands to (``reps * faults * placements * variants``)."""
+        return (
+            self.reps
+            * len(self.faults)
+            * len(self.placements)
+            * len(self.variants)
+        )
 
     # -- execution --------------------------------------------------------
 
@@ -311,6 +345,7 @@ class ExperimentPlan:
                 "demand": self.demand,
                 "variants": list(self.variants),
                 "faults": list(self.faults),
+                "placements": list(self.placements),
                 "n": self.n,
                 **dict(self.params),
             },

@@ -50,6 +50,18 @@ class TrialResult:
             otherwise). ``time_top`` always ranks by pre-shock demand,
             so the pair shows whether a variant re-routed toward the
             newly hot region.
+        satisfied_area: Sum of the capacity-aware satisfied-requests
+            series over the run (Fig. 3 area under the curve with a
+            finite per-replica capacity), for trials run under a
+            placement regime (None otherwise). Comparing an autoscaled
+            trial's area to the paired static trial's is the
+            placement benefit.
+        replicas_spawned: Replicas the placement controller created
+            (0 under static placement; None without a regime).
+        replicas_retired: Replicas the controller retired.
+        replicas_peak: Peak simultaneous extra copies.
+        placement_bytes: Control-loop bytes (demand reports + placement
+            commands) the network carried.
     """
 
     rep: int
@@ -64,6 +76,11 @@ class TrialResult:
     n_nodes: Optional[int] = None
     time_post_heal: Optional[float] = None
     time_top_shocked: Optional[float] = None
+    satisfied_area: Optional[float] = None
+    replicas_spawned: Optional[int] = None
+    replicas_retired: Optional[int] = None
+    replicas_peak: Optional[int] = None
+    placement_bytes: Optional[int] = None
 
 
 @dataclass
@@ -117,6 +134,18 @@ class VariantSeries:
             raise ExperimentError(f"variant {self.variant} has no trials")
         converged = sum(1 for t in self.trials if t.time_all is not None)
         return converged / len(self.trials)
+
+    def mean_satisfied_area(self) -> Optional[float]:
+        """Mean capacity-aware satisfaction area over placement trials.
+
+        None when no trial in the series ran under a placement regime.
+        """
+        values = [
+            t.satisfied_area for t in self.trials if t.satisfied_area is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
 
     def mean_messages(self) -> float:
         if not self.trials:

@@ -31,6 +31,7 @@ from ..core.variants import (
     weak_consistency,
 )
 from ..demand.base import DemandModel
+from ..demand.dynamic import FlashCrowdDemand
 from ..demand.field import two_valley_field
 from ..demand.static import ConstantDemand, UniformRandomDemand, ZipfDemand
 from ..errors import ExperimentError, ExperimentSizeWarning
@@ -43,8 +44,10 @@ from ..faults.generators import (
 )
 from ..faults.process import FaultProcess, prepare_demand
 from ..faults.schedule import FaultSchedule
+from ..placement.policies import PlacementSetup
 from ..topology.brite import internet_like, waxman, BriteConfig
 from ..topology.graph import Topology
+from ..topology.hierarchical import hierarchical
 from ..topology.simple import complete, grid, line, ring, star, torus
 
 import math
@@ -62,6 +65,7 @@ TOPOLOGIES: Dict[str, Callable[[int, int], Topology]] = {
     "grid": lambda n, seed: grid(*_square_sides(n)),
     "torus": lambda n, seed: torus(*_square_sides(n)),
     "complete": lambda n, seed: complete(n),
+    "cdn": lambda n, seed: hierarchical(seed=seed, **_cdn_shape(n)),
 }
 
 #: name -> demand factory taking (topology, seed).
@@ -70,6 +74,7 @@ DEMANDS: Dict[str, Callable[[Topology, int], DemandModel]] = {
     "zipf": lambda topo, seed: ZipfDemand(topo.nodes, exponent=1.0, seed=seed),
     "constant": lambda topo, seed: ConstantDemand(10.0),
     "two-valleys": lambda topo, seed: _two_valleys(topo),
+    "flash-crowd": lambda topo, seed: _flash_crowd(topo, seed),
 }
 
 #: name -> fault-schedule factory taking (topology, seed).
@@ -80,6 +85,20 @@ FAULTS: Dict[str, Callable[[Topology, int], FaultSchedule]] = {
     "flapping_links": flapping_links,
     "demand_shock": demand_shock_storm,
     "rolling_restart": rolling_restart,
+}
+
+#: name -> placement regime constructor (None = placement disabled).
+#: ``"none"`` runs the classic harness untouched; ``"static"`` measures
+#: the capacity-aware satisfaction metric without a controller (the
+#: baseline every autoscaling policy is compared against); the rest run
+#: a :class:`~repro.placement.controller.PlacementController` with the
+#: named policy.
+PLACEMENTS: Dict[str, Callable[[], Optional[PlacementSetup]]] = {
+    "none": lambda: None,
+    "static": lambda: PlacementSetup(policy="static"),
+    "threshold": lambda: PlacementSetup(policy="threshold"),
+    "top-share": lambda: PlacementSetup(policy="top-share"),
+    "efficiency": lambda: PlacementSetup(policy="efficiency"),
 }
 
 #: name -> protocol variant constructor.
@@ -113,6 +132,50 @@ def _square_sides(n: int) -> tuple:
             stacklevel=3,
         )
     return side, side
+
+
+def _cdn_shape(n: int) -> dict:
+    """AS/router split of the ``cdn`` topology for ``n`` requested nodes.
+
+    A small AS tier (>= 3, so the BA generator's ``as_m=2`` is valid)
+    over near-even router tiers. Like grid/torus the effective node
+    count may differ from the request — the harness records it in
+    ``TrialResult.n_nodes``.
+    """
+    as_count = max(3, int(round(math.sqrt(n) / 2)))
+    routers = max(3, int(math.ceil(n / as_count)))
+    effective = as_count * routers
+    if effective != n:
+        warnings.warn(
+            f"cdn topologies are AS x router rectangles: requested n={n} "
+            f"nodes but building {as_count}x{routers} = {effective}; "
+            "results record the effective node count in n_nodes",
+            ExperimentSizeWarning,
+            stacklevel=3,
+        )
+    return {"autonomous_systems": as_count, "routers_per_as": routers}
+
+
+def _flash_crowd(topo: Topology, seed: int) -> DemandModel:
+    """A mid-run demand spike on ~1/12 of the nodes.
+
+    The base is uniform (2-10 req/unit, all well under one replica's
+    default 25-capacity); during [10, 45) the hot set's demand is
+    multiplied by 12, far past what a single replica serves — the
+    scenario the placement control loop exists for. The base model is
+    :class:`UniformRandomDemand` rather than Zipf because controller-
+    spawned replicas must be able to query their own demand (uniform
+    models accept any node id).
+    """
+    nodes = sorted(topo.nodes)
+    hot = random.Random(seed).sample(nodes, max(1, len(nodes) // 12))
+    return FlashCrowdDemand(
+        UniformRandomDemand(2.0, 10.0, seed=seed),
+        hot_nodes=hot,
+        start=10.0,
+        end=45.0,
+        factor=12.0,
+    )
 
 
 def _two_valleys(topo: Topology) -> DemandModel:
@@ -161,6 +224,17 @@ def build_faults(name: str, topology: Topology, seed: int = 0) -> FaultSchedule:
             f"unknown fault regime {name!r}; known: {sorted(FAULTS)}"
         ) from None
     return factory(topology, seed)
+
+
+def build_placement(name: str) -> Optional[PlacementSetup]:
+    """Build a placement regime by registry name (``"none"`` -> None)."""
+    try:
+        factory = PLACEMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown placement {name!r}; known: {sorted(PLACEMENTS)}"
+        ) from None
+    return factory()
 
 
 def build_variant(name: str) -> ProtocolConfig:

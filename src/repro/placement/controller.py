@@ -1,0 +1,222 @@
+"""The demand-driven replica autoscaler (closing the paper's loop).
+
+The paper's premise is that demand should drive replication; this
+controller closes the loop at system level. One node (the *home*, by
+convention the write origin) runs a Dealer-style cycle:
+
+1. **update popularity** — every site periodically reports its own
+   demand to the home over real (metered) network messages; the
+   controller smooths the reports with an EWMA;
+2. **compute copy list** — a pluggable
+   :class:`~repro.placement.policies.PlacementPolicy` maps popularity
+   to a target number of extra copies per site;
+3. **commit copies** — the home sends :class:`PlacementCommand`
+   messages to sites whose target changed; on arrival the site spawns
+   replicas through :meth:`ReplicationSystem.add_replica` (a real
+   anti-entropy bootstrap against a donor chosen by the configured
+   :class:`~repro.replica.creation.DonorSelectionPolicy`) or retires
+   its most recent copies through
+   :meth:`ReplicationSystem.retire_replica`.
+
+Nothing here is free: reports and commands ride the network (overlay
+links where home and site are not physically adjacent, with a delay
+proportional to their hop distance), and every bootstrap pays full
+anti-entropy message/byte cost. All iteration is in sorted order and
+all ids derive from the base topology, so serial and process-pool runs
+are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..replica.creation import (
+    DonorSelectionPolicy,
+    FreshestDonor,
+    MostCompleteLog,
+    NearestDonor,
+    WeightedDonorScore,
+)
+from ..core.system import ReplicationSystem
+from ..demand.views import DemandTable
+from ..topology.analysis import bfs_distances
+from .messages import DemandReport, PlacementCommand
+from .policies import PlacementSetup, build_policy
+
+#: A controller event: ``(time, kind, site, replica)`` with kind in
+#: {"spawn", "retire"} — the raw material of the replica-count
+#: trajectory and the capacity-aware satisfaction metric.
+PlacementEvent = Tuple[float, str, int, int]
+
+_DONORS = {
+    "most-complete": MostCompleteLog,
+    "nearest": NearestDonor,
+    "freshest": FreshestDonor,
+    "weighted": WeightedDonorScore,
+}
+
+#: How many of a site's physical neighbours join a spawn's attach set
+#: (donor-selection candidates beyond the site itself).
+ATTACH_NEIGHBORS = 2
+
+
+class PlacementController:
+    """Runs the placement loop on one :class:`ReplicationSystem`.
+
+    Args:
+        system: The system to autoscale (not yet started).
+        setup: Placement knobs; ``setup.policy`` must name a control
+            policy (``"static"`` setups never build a controller).
+        home: Node hosting the controller (conventionally the write
+            origin).
+        sites: Sites observed and scaled (default: the base topology's
+            nodes at construction time).
+    """
+
+    def __init__(
+        self,
+        system: ReplicationSystem,
+        setup: PlacementSetup,
+        home: int,
+        sites: Optional[Sequence[int]] = None,
+    ):
+        setup.validate()
+        self.system = system
+        self.setup = setup
+        self.home = int(home)
+        source = system.topology.nodes if sites is None else sites
+        self.sites: Tuple[int, ...] = tuple(sorted(int(s) for s in source))
+        if self.home not in system.servers:
+            raise ConfigurationError(f"home node {self.home} does not exist")
+        for site in self.sites:
+            if site not in system.servers:
+                raise ConfigurationError(f"site {site} does not exist")
+        self.policy = build_policy(setup)
+        self.donor_policy: DonorSelectionPolicy = _DONORS[setup.donor]()
+        #: Observed (reported) demand per site.
+        self.table = DemandTable()
+        #: EWMA-smoothed popularity per site.
+        self.popularity: Dict[int, float] = {}
+        #: Extra copies currently running per site (spawn order).
+        self.copies: Dict[int, List[int]] = {s: [] for s in self.sites}
+        #: Spawn/retire history, for metrics.
+        self.events: List[PlacementEvent] = []
+        self.cycles_run = 0
+        self.reports_received = 0
+        self.commands_sent = 0
+        self.spawned_total = 0
+        self.retired_total = 0
+        self.peak_copies = 0
+        self._next_id = max(system.topology.nodes) + 1
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Wire handlers, overlay links, reporters, and the first cycle."""
+        if self._started:
+            raise ConfigurationError("placement controller already started")
+        self._started = True
+        runtime = self.system.runtime
+        network = self.system.network
+        topology = self.system.topology
+        hops = bfs_distances(topology, self.home)
+        link_delay = self.system.config.link_delay
+        self.system.nodes[self.home]._dispatch[DemandReport] = self._handle_report
+        for site in self.sites:
+            self.system.nodes[site]._dispatch[PlacementCommand] = self._handle_command
+            if site == self.home:
+                continue
+            if not topology.has_edge(site, self.home):
+                # Multi-hop control tunnel: delay grows with distance,
+                # so far-away sites observe and react later.
+                network.add_overlay_link(
+                    self.home, site, link_delay * max(1, hops.get(site, 1))
+                )
+            rng = runtime.rng.stream("placement-report", site)
+            first = rng.uniform(0, self.setup.report_period)
+            runtime.schedule_fast(first, self._report_round, site)
+        runtime.schedule_fast(self.setup.cycle_period, self._cycle)
+
+    # -- observation (Dealer step 1: update popularity) --------------------
+
+    def _report_round(self, site: int) -> None:
+        runtime = self.system.runtime
+        runtime.schedule_fast(self.setup.report_period, self._report_round, site)
+        value = self.system.demand.demand(site, runtime.now)
+        self.system.network.send(site, self.home, DemandReport(site, value))
+
+    def _handle_report(self, src: int, message: DemandReport) -> None:
+        self.reports_received += 1
+        self.table.update(message.sender, message.value, self.system.runtime.now)
+
+    # -- the cycle ---------------------------------------------------------
+
+    def _cycle(self) -> None:
+        runtime = self.system.runtime
+        runtime.schedule_fast(self.setup.cycle_period, self._cycle)
+        now = runtime.now
+        alpha = self.setup.ewma_alpha
+        for site in self.sites:
+            if site == self.home:
+                # The home observes its own demand directly.
+                raw = self.system.demand.demand(site, now)
+            elif self.table.staleness(site, now) is None:
+                continue  # nothing reported yet; keep the prior belief
+            else:
+                raw = self.table.believed(site)
+            previous = self.popularity.get(site, raw)
+            self.popularity[site] = alpha * raw + (1.0 - alpha) * previous
+        committed = {site: len(self.copies[site]) for site in self.sites}
+        targets = self.policy.targets(self.popularity, committed)
+        for site in self.sites:
+            target = max(0, min(self.setup.max_copies, targets.get(site, 0)))
+            if target == committed[site]:
+                continue
+            if site == self.home:
+                self._execute(site, target)
+            else:
+                self.commands_sent += 1
+                self.system.network.send(
+                    self.home, site, PlacementCommand(site, target)
+                )
+        self.cycles_run += 1
+
+    # -- commitment (Dealer step 3: commit copies) -------------------------
+
+    def _handle_command(self, src: int, message: PlacementCommand) -> None:
+        self._execute(message.site, message.target)
+
+    def _execute(self, site: int, target: int) -> None:
+        system = self.system
+        now = system.runtime.now
+        target = max(0, min(self.setup.max_copies, int(target)))
+        copies = self.copies[site]
+        while len(copies) < target:
+            new_id = self._next_id
+            self._next_id += 1
+            attach = [site] + sorted(
+                n
+                for n in system.topology.neighbors(site)
+                if n not in system.retired
+            )[:ATTACH_NEIGHBORS]
+            system.add_replica(new_id, attach_to=attach, donor_policy=self.donor_policy)
+            copies.append(new_id)
+            self.events.append((now, "spawn", site, new_id))
+            self.spawned_total += 1
+        while len(copies) > target:
+            victim = copies.pop()
+            system.retire_replica(victim)
+            self.events.append((now, "retire", site, victim))
+            self.retired_total += 1
+        self.peak_copies = max(self.peak_copies, self.total_copies())
+
+    # -- introspection -----------------------------------------------------
+
+    def total_copies(self) -> int:
+        """Extra copies currently running across all sites."""
+        return sum(len(v) for v in self.copies.values())
+
+    def copy_count(self, site: int) -> int:
+        return len(self.copies[site])

@@ -1,0 +1,44 @@
+"""Wire messages of the placement control loop.
+
+Placement is never free: demand observations flow from every site to
+the controller's home node and copy-list commits flow back as real
+network messages, metered by kind so experiments can read the control
+loop's traffic overhead directly from
+``Network.counters.bytes_by_kind`` (``"placement-report"`` /
+``"placement-cmd"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes of framing per control message (addresses, type tag).
+CONTROL_HEADER_BYTES = 20
+#: One float64 (report value) / one int64 (command target).
+CONTROL_VALUE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class DemandReport:
+    """Site -> controller: ``sender`` currently serves ``value`` req/unit."""
+
+    sender: int
+    value: float
+
+    kind = "placement-report"
+
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + CONTROL_VALUE_BYTES
+
+
+@dataclass(frozen=True)
+class PlacementCommand:
+    """Controller -> site: run ``target`` extra copies for ``site``."""
+
+    site: int
+    target: int
+
+    kind = "placement-cmd"
+
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + CONTROL_VALUE_BYTES

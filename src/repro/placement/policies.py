@@ -1,0 +1,237 @@
+"""Placement policies: observed demand -> target copy list.
+
+The controller runs a Dealer-style cycle (update popularity -> compute
+copy list -> commit copies); the *compute* step is pluggable through
+:class:`PlacementPolicy`. Every policy maps the smoothed per-site demand
+to a target number of **extra** copies per site (the site itself always
+serves one replica's worth of capacity), capped at
+``setup.max_copies``:
+
+* :class:`ThresholdPolicy` — copies proportional to demand over
+  capacity, with a hysteresis band so borderline sites do not flap.
+* :class:`TopShareDemandPolicy` — only the smallest set of sites
+  covering ``setup.top_share`` of total demand gets extra copies (the
+  paper's "greatest demand" focus applied to placement).
+* :class:`EfficiencyFactorPolicy` — Delavar-style: a new copy is only
+  worth creating when it would absorb at least ``min_efficiency`` of
+  one replica's capacity, scale-up is rate-limited to ``spawn_budget``
+  copies per cycle (amortising bootstrap cost over cycles), and the
+  marginal copy is retired once its utilisation falls below
+  ``retire_utilisation``.
+
+All policies are pure functions of their inputs and iterate sites in
+sorted order, so serial and process-pool runs commit identical copy
+lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from ..errors import ConfigurationError
+
+#: Donor-policy registry keys accepted by :attr:`PlacementSetup.donor`.
+DONOR_POLICIES = ("most-complete", "nearest", "freshest", "weighted")
+
+
+@dataclass(frozen=True)
+class PlacementSetup:
+    """Declarative, picklable configuration of the placement loop.
+
+    Attributes:
+        policy: :data:`POLICIES` key (``"static"`` = capacity model
+            only, no controller).
+        capacity: Requests per time unit one replica serves; demand
+            beyond ``capacity * copies`` at a site goes unsatisfied.
+        report_period: Time between a site's demand reports to the
+            controller.
+        cycle_period: Time between controller cycles.
+        ewma_alpha: Popularity smoothing (1.0 = trust the last report).
+        max_copies: Cap on extra copies per site.
+        hysteresis: Threshold policy scale-down band (fraction of
+            capacity) preventing spawn/retire flapping.
+        top_share: Demand share covered by the top-share policy.
+        min_efficiency: Efficiency policy: minimum fraction of one
+            replica's capacity a new copy must absorb.
+        retire_utilisation: Efficiency policy: retire the marginal copy
+            when its utilisation falls below this.
+        spawn_budget: Efficiency policy: spawns committed per cycle.
+        donor: Donor-selection policy for bootstrap
+            (:data:`DONOR_POLICIES`).
+    """
+
+    policy: str = "threshold"
+    capacity: float = 25.0
+    report_period: float = 1.0
+    cycle_period: float = 4.0
+    ewma_alpha: float = 0.6
+    max_copies: int = 4
+    hysteresis: float = 0.25
+    top_share: float = 0.9
+    min_efficiency: float = 0.5
+    retire_utilisation: float = 0.3
+    spawn_budget: int = 2
+    donor: str = "most-complete"
+
+    def validate(self) -> "PlacementSetup":
+        if self.policy != "static" and self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown placement policy {self.policy!r}; "
+                f"known: {sorted(POLICIES)} or 'static'"
+            )
+        if self.capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {self.capacity}")
+        if self.report_period <= 0 or self.cycle_period <= 0:
+            raise ConfigurationError("report/cycle periods must be > 0")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.max_copies < 1:
+            raise ConfigurationError(f"max_copies must be >= 1, got {self.max_copies}")
+        if self.hysteresis < 0:
+            raise ConfigurationError(f"hysteresis must be >= 0, got {self.hysteresis}")
+        if not 0.0 < self.top_share <= 1.0:
+            raise ConfigurationError(
+                f"top_share must be in (0, 1], got {self.top_share}"
+            )
+        if self.min_efficiency < 0 or self.retire_utilisation < 0:
+            raise ConfigurationError("efficiency knobs must be >= 0")
+        if self.spawn_budget < 1:
+            raise ConfigurationError(
+                f"spawn_budget must be >= 1, got {self.spawn_budget}"
+            )
+        if self.donor not in DONOR_POLICIES:
+            raise ConfigurationError(
+                f"unknown donor policy {self.donor!r}; known: {DONOR_POLICIES}"
+            )
+        return self
+
+
+class PlacementPolicy:
+    """Maps observed demand to a target extra-copy count per site."""
+
+    def __init__(self, setup: PlacementSetup):
+        self.setup = setup
+
+    def targets(
+        self, observed: Mapping[int, float], committed: Mapping[int, int]
+    ) -> Dict[int, int]:
+        """Target extra copies per site (sites = ``observed`` keys).
+
+        Args:
+            observed: Smoothed demand per site.
+            committed: Extra copies currently committed per site.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _needed(self, demand: float) -> int:
+        """Extra copies needed so ``capacity * (1 + extras) >= demand``."""
+        capacity = self.setup.capacity
+        needed = int(math.ceil(demand / capacity)) - 1
+        return max(0, min(self.setup.max_copies, needed))
+
+
+class ThresholdPolicy(PlacementPolicy):
+    """Demand-over-capacity with a hysteresis band against flapping."""
+
+    def targets(
+        self, observed: Mapping[int, float], committed: Mapping[int, int]
+    ) -> Dict[int, int]:
+        hysteresis = self.setup.hysteresis
+        out: Dict[int, int] = {}
+        for site in sorted(observed):
+            demand = observed[site]
+            current = committed.get(site, 0)
+            scale_up = self._needed(demand)
+            # Scale down only when even demand inflated by the
+            # hysteresis band no longer justifies the current copies.
+            scale_down = self._needed(demand * (1.0 + hysteresis))
+            if scale_up > current:
+                out[site] = scale_up
+            elif scale_down < current:
+                out[site] = scale_down
+            else:
+                out[site] = current
+        return out
+
+
+class TopShareDemandPolicy(PlacementPolicy):
+    """Extra copies only for the sites covering ``top_share`` of demand."""
+
+    def targets(
+        self, observed: Mapping[int, float], committed: Mapping[int, int]
+    ) -> Dict[int, int]:
+        total = sum(observed.values())
+        out: Dict[int, int] = {site: 0 for site in observed}
+        if total <= 0:
+            return out
+        # Highest demand first; ties broken by id for determinism.
+        ranked = sorted(observed, key=lambda s: (-observed[s], s))
+        covered = 0.0
+        for site in ranked:
+            out[site] = self._needed(observed[site])
+            covered += observed[site]
+            if covered >= self.setup.top_share * total:
+                break
+        return out
+
+
+class EfficiencyFactorPolicy(PlacementPolicy):
+    """Delavar-style efficiency factor with creation-cost amortisation.
+
+    A candidate copy's efficiency is the fraction of one replica's
+    capacity it would absorb (``unserved / capacity``). Copies are
+    created highest-efficiency first, at most ``spawn_budget`` per
+    cycle; the marginal copy at a site is retired when its utilisation
+    (``demand / (capacity * copies)``) drops below
+    ``retire_utilisation``.
+    """
+
+    def targets(
+        self, observed: Mapping[int, float], committed: Mapping[int, int]
+    ) -> Dict[int, int]:
+        setup = self.setup
+        out: Dict[int, int] = {}
+        candidates = []
+        for site in sorted(observed):
+            demand = observed[site]
+            current = committed.get(site, 0)
+            out[site] = current
+            if current > 0:
+                utilisation = demand / (setup.capacity * (1 + current))
+                if utilisation < setup.retire_utilisation:
+                    out[site] = current - 1
+                    continue
+            unserved = demand - setup.capacity * (1 + current)
+            if unserved > 0 and current < setup.max_copies:
+                efficiency = min(1.0, unserved / setup.capacity)
+                if efficiency >= setup.min_efficiency:
+                    candidates.append((-efficiency, site))
+        budget = setup.spawn_budget
+        for _, site in sorted(candidates):
+            if budget == 0:
+                break
+            out[site] += 1
+            budget -= 1
+        return out
+
+
+#: name -> policy class, keyed by :attr:`PlacementSetup.policy`.
+POLICIES: Dict[str, Callable[[PlacementSetup], PlacementPolicy]] = {
+    "threshold": ThresholdPolicy,
+    "top-share": TopShareDemandPolicy,
+    "efficiency": EfficiencyFactorPolicy,
+}
+
+
+def build_policy(setup: PlacementSetup) -> PlacementPolicy:
+    """Instantiate the policy named by ``setup.policy`` (not static)."""
+    setup.validate()
+    if setup.policy == "static":
+        raise ConfigurationError("static placement has no control policy")
+    return POLICIES[setup.policy](setup)

@@ -14,6 +14,7 @@ from repro.core.metrics import (
 )
 from repro.core.system import ReplicationSystem
 from repro.core.variants import fast_consistency, weak_consistency
+from repro.demand.dynamic import FlashCrowdDemand
 from repro.demand.static import ConstantDemand, ExplicitDemand
 from repro.errors import ExperimentError
 from repro.topology.simple import line
@@ -73,6 +74,46 @@ class TestSatisfiedRequests:
     def test_invalid_horizon(self):
         with pytest.raises(ExperimentError):
             satisfied_requests_series({}, {}, 0)
+
+    def test_model_path_tracks_demand_shifts(self):
+        # A flash crowd quintuples node 1's rate over [2, 4); sampled
+        # at the end of each step that boosts steps 2 and 3. The series
+        # must reflect the rate in force during each step, not a frozen
+        # pre-shock snapshot (the pre-fix behaviour).
+        model = FlashCrowdDemand(
+            ConstantDemand(2.0), hot_nodes=[1], start=2.0, end=4.0, factor=5.0
+        )
+        times = {0: 0.0, 1: 0.0}
+        series = satisfied_requests_series(times, model, 5, nodes=[0, 1])
+        assert series == [4.0, 12.0, 12.0, 4.0, 4.0]
+
+    def test_model_path_matches_mapping_for_static_demand(self):
+        demand = {0: 4.0, 1: 6.0, 2: 3.0, 3: 8.0, 4: 7.0}
+        times = {1: 0.0, 2: 1.0, 0: 2.0, 4: 3.0, 3: 4.0}
+        model = ExplicitDemand(demand)
+        via_mapping = satisfied_requests_series(times, demand, 4)
+        via_model = satisfied_requests_series(
+            times, model, 4, nodes=sorted(demand)
+        )
+        assert via_model == via_mapping
+
+    def test_model_path_requires_nodes(self):
+        with pytest.raises(ExperimentError):
+            satisfied_requests_series({}, ConstantDemand(1.0), 3)
+
+    def test_mapping_path_with_explicit_nodes_filters(self):
+        demand = {0: 2.0, 1: 9.0}
+        times = {0: 0.0, 1: 0.0}
+        assert satisfied_requests_series(times, demand, 2, nodes=[0]) == [2.0, 2.0]
+
+    def test_t0_offset_applies_to_model_sampling(self):
+        # With t0=10, step k samples the model at 10+k.
+        model = FlashCrowdDemand(
+            ConstantDemand(1.0), hot_nodes=[0], start=11.5, end=12.5, factor=3.0
+        )
+        times = {0: 10.0}
+        series = satisfied_requests_series(times, model, 3, t0=10.0, nodes=[0])
+        assert series == [1.0, 3.0, 1.0]
 
 
 class TestConvergenceTracker:

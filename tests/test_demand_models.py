@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.demand.base import (
     DemandModel,
@@ -241,3 +245,75 @@ class TestDynamicModels:
     def test_random_walk_negative_time_rejected(self):
         with pytest.raises(DemandError):
             RandomWalkDemand({0: 1.0}).demand(0, -1.0)
+
+    def test_scheduled_duplicate_change_times_last_wins(self):
+        # Two changes at t=2.0: the later entry in the input wins.
+        # (Previously the pair sort resolved duplicates by *value*,
+        # so (2.0, 5.0) would shadow (2.0, 1.0).)
+        model = ScheduledDemand(
+            initial={0: 3.0}, changes={0: [(2.0, 5.0), (2.0, 1.0)]}
+        )
+        assert model.demand(0, 1.9) == 3.0
+        assert model.demand(0, 2.0) == 1.0
+        assert model.demand(0, 9.0) == 1.0
+
+    def test_scheduled_duplicate_times_last_wins_unsorted_input(self):
+        # Input order (not time order) decides among duplicates, even
+        # when the schedule arrives unsorted.
+        model = ScheduledDemand(
+            initial={0: 0.0},
+            changes={0: [(4.0, 9.0), (2.0, 5.0), (2.0, 1.0)]},
+        )
+        assert model.demand(0, 3.0) == 1.0
+        assert model.demand(0, 4.0) == 9.0
+        assert model.schedules[0] == [(2.0, 1.0), (4.0, 9.0)]
+        assert model.change_times() == [2.0, 4.0]
+
+    def test_scheduled_change_times_precomputed(self):
+        # The bisect key array is built once in __init__, not rebuilt
+        # on every demand() query.
+        model = ScheduledDemand(
+            initial={0: 2.0}, changes={0: [(2.0, 0.0), (5.0, 7.0)]}
+        )
+        times = model._times[0]
+        assert times == [2.0, 5.0]
+        model.demand(0, 3.0)
+        assert model._times[0] is times
+
+    def test_random_walk_extension_draws_each_increment_once(self, monkeypatch):
+        # A sequential scan of k steps must cost exactly k RNG draws.
+        # The pre-fix code re-derived the whole path on every
+        # extension, so k sequential queries drew k*(k+1)/2 times.
+        from repro.demand import dynamic
+
+        draws = {"count": 0}
+
+        class CountingRandom(random.Random):
+            def uniform(self, a, b):
+                draws["count"] += 1
+                return super().uniform(a, b)
+
+        monkeypatch.setattr(dynamic.random, "Random", CountingRandom)
+        model = RandomWalkDemand({0: 50.0}, step=5.0, seed=4)
+        steps = 100
+        for t in range(1, steps + 1):
+            model.demand(0, float(t))
+        assert draws["count"] == steps
+        # Re-querying an already-materialised step draws nothing.
+        model.demand(0, 37.0)
+        assert draws["count"] == steps
+
+    @settings(max_examples=25, deadline=None)
+    @given(perm=st.permutations(list(range(20))))
+    def test_random_walk_shuffled_query_order_identical(self, perm):
+        initial = {0: 40.0, 1: 60.0}
+        reference = RandomWalkDemand(initial, step=7.0, seed=9)
+        expected = {
+            (n, t): reference.demand(n, float(t))
+            for n in (0, 1)
+            for t in range(20)
+        }
+        shuffled = RandomWalkDemand(initial, step=7.0, seed=9)
+        for t in perm:
+            for n in (1, 0):
+                assert shuffled.demand(n, float(t)) == expected[(n, t)]

@@ -1,0 +1,224 @@
+"""Placement policy unit tests: demand in, copy lists out."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.placement.metrics import (
+    capacity_satisfied_series,
+    replica_count_series,
+)
+from repro.placement.policies import (
+    EfficiencyFactorPolicy,
+    PlacementSetup,
+    ThresholdPolicy,
+    TopShareDemandPolicy,
+    build_policy,
+)
+from repro.errors import ExperimentError
+
+
+def setup_with(**overrides):
+    return PlacementSetup(**overrides)
+
+
+class TestPlacementSetup:
+    def test_defaults_validate(self):
+        assert PlacementSetup().validate() is not None
+
+    def test_static_is_a_valid_regime(self):
+        PlacementSetup(policy="static").validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"policy": "bogus"},
+            {"capacity": 0.0},
+            {"capacity": -1.0},
+            {"report_period": 0.0},
+            {"cycle_period": -1.0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"max_copies": 0},
+            {"hysteresis": -0.1},
+            {"top_share": 0.0},
+            {"top_share": 1.2},
+            {"min_efficiency": -0.5},
+            {"spawn_budget": 0},
+            {"donor": "bogus"},
+        ],
+    )
+    def test_bad_knobs_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            setup_with(**overrides).validate()
+
+    def test_build_policy_rejects_static(self):
+        with pytest.raises(ConfigurationError, match="static"):
+            build_policy(PlacementSetup(policy="static"))
+
+    def test_build_policy_instantiates_named_policy(self):
+        assert isinstance(
+            build_policy(PlacementSetup(policy="threshold")), ThresholdPolicy
+        )
+        assert isinstance(
+            build_policy(PlacementSetup(policy="top-share")), TopShareDemandPolicy
+        )
+        assert isinstance(
+            build_policy(PlacementSetup(policy="efficiency")), EfficiencyFactorPolicy
+        )
+
+
+class TestThresholdPolicy:
+    def test_scale_up_to_cover_demand(self):
+        policy = ThresholdPolicy(setup_with(capacity=25.0, max_copies=4))
+        targets = policy.targets({0: 60.0, 1: 10.0}, {0: 0, 1: 0})
+        # 60 req needs ceil(60/25)=3 replicas -> 2 extras; 10 fits in one.
+        assert targets == {0: 2, 1: 0}
+
+    def test_max_copies_caps_target(self):
+        policy = ThresholdPolicy(setup_with(capacity=25.0, max_copies=3))
+        assert policy.targets({0: 10_000.0}, {0: 0}) == {0: 3}
+
+    def test_hysteresis_holds_borderline_sites(self):
+        policy = ThresholdPolicy(
+            setup_with(capacity=25.0, hysteresis=0.25, max_copies=4)
+        )
+        # 1 extra committed; demand 45 needs ceil(45/25)-1 = 1, and even
+        # 45*1.25 = 56.25 still needs 2 replicas: hold at 1.
+        assert policy.targets({0: 45.0}, {0: 1}) == {0: 1}
+        # Demand 22 would justify 0, and 22*1.25 = 27.5 needs ceil=2-1=1:
+        # inside the band -> still held.
+        assert policy.targets({0: 22.0}, {0: 1}) == {0: 1}
+        # Demand 15: 15*1.25 = 18.75 fits one replica -> scale down.
+        assert policy.targets({0: 15.0}, {0: 1}) == {0: 0}
+
+    def test_zero_hysteresis_scales_down_immediately(self):
+        policy = ThresholdPolicy(setup_with(capacity=25.0, hysteresis=0.0))
+        assert policy.targets({0: 20.0}, {0: 2}) == {0: 0}
+
+
+class TestTopShareDemandPolicy:
+    def test_only_top_share_sites_get_copies(self):
+        policy = TopShareDemandPolicy(
+            setup_with(policy="top-share", capacity=25.0, top_share=0.8)
+        )
+        observed = {0: 300.0, 1: 60.0, 2: 5.0, 3: 5.0}
+        targets = policy.targets(observed, {s: 0 for s in observed})
+        # Site 0 alone covers 300/370 = 81% >= 80%: the tail gets zero.
+        assert targets[0] == 4  # ceil(300/25)-1 = 11, capped at 4
+        assert targets[1] == targets[2] == targets[3] == 0
+
+    def test_covers_prefix_until_share_met(self):
+        policy = TopShareDemandPolicy(
+            setup_with(policy="top-share", capacity=25.0, top_share=0.9)
+        )
+        observed = {0: 100.0, 1: 80.0, 2: 20.0}
+        targets = policy.targets(observed, {s: 0 for s in observed})
+        assert targets == {0: 3, 1: 3, 2: 0}
+
+    def test_all_zero_demand_yields_no_copies(self):
+        policy = TopShareDemandPolicy(setup_with(policy="top-share"))
+        assert policy.targets({0: 0.0, 1: 0.0}, {0: 0, 1: 0}) == {0: 0, 1: 0}
+
+    def test_ties_rank_by_node_id(self):
+        policy = TopShareDemandPolicy(
+            setup_with(policy="top-share", capacity=25.0, top_share=0.5)
+        )
+        observed = {5: 100.0, 2: 100.0}
+        targets = policy.targets(observed, {5: 0, 2: 0})
+        # Equal demand: the lower id is ranked first and alone covers 50%.
+        assert targets == {2: 3, 5: 0}
+
+
+class TestEfficiencyFactorPolicy:
+    def test_spawn_budget_limits_per_cycle_growth(self):
+        policy = EfficiencyFactorPolicy(
+            setup_with(policy="efficiency", capacity=25.0, spawn_budget=2)
+        )
+        observed = {0: 200.0, 1: 200.0, 2: 200.0}
+        targets = policy.targets(observed, {0: 0, 1: 0, 2: 0})
+        assert sum(targets.values()) == 2
+
+    def test_highest_efficiency_spawns_first(self):
+        policy = EfficiencyFactorPolicy(
+            setup_with(policy="efficiency", capacity=25.0, spawn_budget=1)
+        )
+        # Site 1's unserved demand (50) saturates a new copy; site 0's
+        # (15) would only fill 60% of one.
+        targets = policy.targets({0: 40.0, 1: 75.0}, {0: 0, 1: 0})
+        assert targets == {0: 0, 1: 1}
+
+    def test_min_efficiency_gates_marginal_copies(self):
+        policy = EfficiencyFactorPolicy(
+            setup_with(policy="efficiency", capacity=25.0, min_efficiency=0.5)
+        )
+        # Unserved 10/25 = 0.4 < 0.5: not worth the bootstrap cost.
+        assert policy.targets({0: 35.0}, {0: 0}) == {0: 0}
+
+    def test_cold_marginal_copy_retired(self):
+        policy = EfficiencyFactorPolicy(
+            setup_with(policy="efficiency", capacity=25.0, retire_utilisation=0.3)
+        )
+        # 2 extras, demand 10: utilisation 10/75 = 0.13 < 0.3.
+        assert policy.targets({0: 10.0}, {0: 2}) == {0: 1}
+
+    def test_busy_copies_kept(self):
+        policy = EfficiencyFactorPolicy(
+            setup_with(policy="efficiency", capacity=25.0, retire_utilisation=0.3)
+        )
+        assert policy.targets({0: 40.0}, {0: 1}) == {0: 1}
+
+
+class TestPlacementMetricHelpers:
+    def test_capacity_satisfied_series_validates_inputs(self):
+        with pytest.raises(ExperimentError):
+            capacity_satisfied_series({}, {0: 1.0}, 0, [0], 25.0)
+        with pytest.raises(ExperimentError):
+            capacity_satisfied_series({}, {0: 1.0}, 3, [0], 0.0)
+        with pytest.raises(ExperimentError):
+            capacity_satisfied_series({}, {0: 1.0}, 3, [], 25.0)
+        with pytest.raises(ExperimentError):
+            capacity_satisfied_series(
+                {}, {0: 1.0}, 3, [0], 25.0, events=[(0.0, "bogus", 0, 1)]
+            )
+
+    def test_static_series_caps_at_capacity(self):
+        times = {0: 0.5}
+        series = capacity_satisfied_series(times, {0: 100.0}, 3, [0], 25.0)
+        assert series == [25.0, 25.0, 25.0]
+
+    def test_consistent_spawn_raises_ceiling(self):
+        # Copy 7 spawned for site 0 at t=1 and consistent from t=1.5;
+        # from step 2 on the site serves through two replicas.
+        times = {0: 0.5, 7: 1.5}
+        events = [(1.0, "spawn", 0, 7)]
+        series = capacity_satisfied_series(times, {0: 100.0}, 3, [0], 25.0, events)
+        assert series == [25.0, 50.0, 50.0]
+
+    def test_retired_copy_stops_serving(self):
+        times = {0: 0.5, 7: 1.5}
+        events = [(1.0, "spawn", 0, 7), (2.5, "retire", 0, 7)]
+        series = capacity_satisfied_series(times, {0: 100.0}, 4, [0], 25.0, events)
+        assert series == [25.0, 50.0, 25.0, 25.0]
+
+    def test_inconsistent_spawn_does_not_serve(self):
+        # The copy exists but never applied the tracked update.
+        times = {0: 0.5}
+        events = [(1.0, "spawn", 0, 7)]
+        series = capacity_satisfied_series(times, {0: 100.0}, 3, [0], 25.0, events)
+        assert series == [25.0, 25.0, 25.0]
+
+    def test_unserved_site_contributes_nothing(self):
+        series = capacity_satisfied_series({}, {0: 100.0}, 2, [0], 25.0)
+        assert series == [0.0, 0.0]
+
+    def test_replica_count_series_trajectory(self):
+        events = [
+            (1.0, "spawn", 0, 7),
+            (2.0, "spawn", 1, 8),
+            (3.5, "retire", 0, 7),
+        ]
+        assert replica_count_series(events, 5) == [1, 2, 2, 1, 1]
+
+    def test_replica_count_series_validates_horizon(self):
+        with pytest.raises(ExperimentError):
+            replica_count_series([], 0)

@@ -63,9 +63,75 @@ class TestDonorPolicies:
             WeightedDonorScore(hops_weight=-1.0)
 
     def test_empty_candidates_rejected(self):
-        for policy in (MostCompleteLog(), NearestDonor(), FreshestDonor()):
+        for policy in (
+            MostCompleteLog(),
+            NearestDonor(),
+            FreshestDonor(),
+            WeightedDonorScore(),
+        ):
             with pytest.raises(ReplicationError):
                 policy.choose({})
+
+    def test_most_complete_final_tie_breaks_by_id(self):
+        candidates = {
+            7: info(7, writes=9, hops=2),
+            3: info(3, writes=9, hops=2),
+            5: info(5, writes=9, hops=2),
+        }
+        assert MostCompleteLog().choose(candidates) == 3
+
+    def test_nearest_breaks_ties_by_completeness_then_id(self):
+        candidates = {
+            1: info(1, writes=2, hops=1),
+            2: info(2, writes=9, hops=1),
+        }
+        assert NearestDonor().choose(candidates) == 2
+        candidates = {
+            4: info(4, writes=9, hops=1),
+            2: info(2, writes=9, hops=1),
+        }
+        assert NearestDonor().choose(candidates) == 2
+
+    def test_freshest_breaks_ties_by_completeness(self):
+        candidates = {
+            1: info(1, staleness=1.0, writes=2),
+            2: info(2, staleness=1.0, writes=9),
+        }
+        assert FreshestDonor().choose(candidates) == 2
+
+    def test_weighted_score_breaks_exact_ties_by_id(self):
+        candidates = {9: info(9, writes=5), 4: info(4, writes=5)}
+        assert WeightedDonorScore().choose(candidates) == 4
+
+    def test_weighted_score_all_zero_maxima(self):
+        # A pool where every component max is zero must not divide by
+        # zero; scores tie at the completeness weight and the lowest id
+        # wins.
+        candidates = {
+            6: info(6, writes=0, hops=0, staleness=0.0, demand=0.0),
+            2: info(2, writes=0, hops=0, staleness=0.0, demand=0.0),
+        }
+        assert WeightedDonorScore().choose(candidates) == 2
+
+    def test_weighted_score_zero_max_writes_keeps_other_components(self):
+        # With no writes anywhere the hops term still discriminates.
+        candidates = {
+            1: info(1, writes=0, hops=4, staleness=0.0, demand=0.0),
+            2: info(2, writes=0, hops=1, staleness=0.0, demand=0.0),
+        }
+        assert WeightedDonorScore().choose(candidates) == 2
+
+    def test_weighted_score_zero_staleness_and_demand_maxima(self):
+        # staleness/demand maxima of zero fall back to a 1.0 divisor;
+        # the completeness gap decides.
+        candidates = {
+            1: info(1, writes=9, hops=1, staleness=0.0, demand=0.0),
+            2: info(2, writes=1, hops=1, staleness=0.0, demand=0.0),
+        }
+        assert WeightedDonorScore().choose(candidates) == 1
+
+    def test_weighted_score_single_candidate(self):
+        assert WeightedDonorScore().choose({8: info(8)}) == 8
 
 
 class TestAddReplica:
