@@ -1,4 +1,4 @@
-"""Live-runtime throughput and put-to-replicated latency: fast vs weak.
+"""Live-runtime latency benches: serving (fast vs weak) and chaos SLOs.
 
 Every other benchmark measures the protocol in virtual time.  This one
 exercises the *wall-clock* execution world: a :class:`ReplicaCluster`
@@ -9,12 +9,18 @@ replica absorbed the write.  Results go to ``BENCH_runtime.json`` at
 the repo root so the live-serving trajectory is tracked across PRs
 alongside ``BENCH_pipeline.json`` / ``BENCH_faults.json``.
 
-The quantitative claim under test is the paper's headline, transplanted
-to real time: demand-ordered fast update reaches the high-demand subset
-far sooner than plain anti-entropy, and is no slower overall.  Exact
-wall timings vary with machine load, so the gate is deliberately loose
-(fast p50-to-hot-set must beat weak by at least 2x; the paper-scale gap
-is an order of magnitude).
+Two experiments share that file:
+
+* ``serving`` — the paper's headline transplanted to real time:
+  demand-ordered fast update reaches the high-demand subset far sooner
+  than plain anti-entropy.  Wall timings vary with machine load, so
+  the gate is deliberately loose (fast p50-to-hot-set must beat weak
+  by at least 2x; the paper-scale gap is an order of magnitude).
+* ``chaos`` — the same cluster serving *through* an injected fault
+  schedule (``rolling_restart``, ``flapping_links``).  Gates: every
+  accepted put converges after the schedule heals, puts addressed to a
+  crashed node fail cleanly (never hang), and the p99 put-to-replicated
+  latency stays under a loose SLO.
 """
 
 from __future__ import annotations
@@ -24,10 +30,12 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from repro.errors import ReplicationError
 from repro.experiments.cdf import EmpiricalCdf
-from repro.experiments.scenarios import VARIANTS
+from repro.experiments.scenarios import VARIANTS, build_faults
 from repro.experiments.tables import format_table
 from repro.runtime.cluster import ReplicaCluster
+from repro.topology.brite import internet_like
 
 NODES = 12
 PUTS = 40
@@ -35,7 +43,33 @@ SEED = 7
 TIME_SCALE = 0.02  # 50 protocol units per wall second
 VARIANT_NAMES = ("fast", "weak")
 
+CHAOS_NODES = 8
+CHAOS_SCHEDULES = ("rolling_restart", "flapping_links")
+#: Very loose: a healthy run sits well under 200 ms; the SLO only
+#: catches convergence pathologies, not machine-load jitter.
+CHAOS_P99_SLO_MS = 1500.0
+
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _write_section(section: str, payload: Dict[str, object]) -> None:
+    """Merge one experiment's payload into BENCH_runtime.json.
+
+    The serving and chaos benches run as separate tests (possibly
+    filtered to one of them), so each merges its own section instead of
+    overwriting the whole file.
+    """
+    data: Dict[str, object] = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            existing = None
+        # The pre-chaos layout was one flat experiment dict; replace it.
+        if isinstance(existing, dict) and "experiment" not in existing:
+            data = existing
+    data[section] = payload
+    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
 
 def _hot_set(cluster: ReplicaCluster) -> List[int]:
@@ -119,7 +153,7 @@ def test_runtime_serving(benchmark, report):
         "time_scale": TIME_SCALE,
         "results": results,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    _write_section("serving", payload)
 
     rows = [
         (
@@ -139,5 +173,119 @@ def test_runtime_serving(benchmark, report):
             rows,
             title=f"ReplicaCluster n={NODES}, {PUTS} puts, "
             f"time_scale={TIME_SCALE}",
+        ),
+    )
+
+
+def _serve_through_chaos(name: str) -> Dict[str, object]:
+    """Serve puts while ``name``'s fault schedule replays; measure SLOs."""
+    topology = internet_like(CHAOS_NODES, seed=SEED)
+    schedule = build_faults(name, topology, seed=SEED)
+    config = VARIANTS["fast"]()
+    with ReplicaCluster(
+        topology,
+        config=config,
+        seed=SEED,
+        time_scale=TIME_SCALE,
+        faults=schedule,
+    ) as cluster:
+        node_ids = cluster.node_ids
+        uids = []
+        refused = 0
+        # Serve for the whole schedule plus a post-heal tail.
+        horizon = (schedule.duration + 2.0) * TIME_SCALE
+        started = time.monotonic()
+        sequence = 0
+        while time.monotonic() - started < horizon:
+            node = node_ids[sequence % len(node_ids)]
+            try:
+                uids.append(cluster.put("content", f"v{sequence}", node=node).uid)
+            except ReplicationError:
+                # The target is crashed right now; a clean refusal is
+                # the contract (a hang here would blow the bench gate).
+                refused += 1
+            sequence += 1
+            time.sleep(0.01)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status = cluster.chaos_status()
+            if status is not None and status["done"]:
+                break
+            time.sleep(0.05)
+        chaos = cluster.chaos_status() or {}
+        converged = sum(
+            1 for uid in uids if cluster.wait_replicated(uid, timeout=30.0)
+        )
+        latencies = [
+            latency
+            for uid in uids
+            if (latency := cluster.replication_latency(uid)) is not None
+        ]
+        stats = cluster.stats()
+    cdf = EmpiricalCdf(latencies) if latencies else None
+    return {
+        "schedule": name,
+        "puts_accepted": len(uids),
+        "puts_refused": refused,
+        "converged": converged,
+        "fault_events_applied": chaos.get("applied", 0),
+        "fault_events_total": chaos.get("total", 0),
+        "p50_all_ms": 1000 * cdf.quantile(0.5) if cdf else None,
+        "p99_all_ms": 1000 * cdf.quantile(0.99) if cdf else None,
+        "messages": stats["traffic"]["messages_sent"],
+        "handler_errors": stats["handler_errors"],
+    }
+
+
+def test_runtime_chaos(benchmark, report):
+    results: Dict[str, Dict[str, object]] = {}
+
+    def run_all() -> None:
+        for name in CHAOS_SCHEDULES:
+            results[name] = _serve_through_chaos(name)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for name in CHAOS_SCHEDULES:
+        result = results[name]
+        # Every scheduled fault fired, and every put the cluster
+        # accepted converged once the schedule healed.
+        assert result["fault_events_applied"] == result["fault_events_total"], result
+        assert result["puts_accepted"] > 0, result
+        assert result["converged"] == result["puts_accepted"], result
+        assert result["handler_errors"] == 0, result
+        assert result["p99_all_ms"] is not None, result
+        assert result["p99_all_ms"] <= CHAOS_P99_SLO_MS, result
+
+    payload = {
+        "experiment": "runtime-chaos",
+        "nodes": CHAOS_NODES,
+        "seed": SEED,
+        "time_scale": TIME_SCALE,
+        "p99_slo_ms": CHAOS_P99_SLO_MS,
+        "results": results,
+    }
+    _write_section("chaos", payload)
+
+    rows = [
+        (
+            name,
+            results[name]["puts_accepted"],
+            results[name]["puts_refused"],
+            f"{results[name]['converged']}/{results[name]['puts_accepted']}",
+            f"{results[name]['p50_all_ms']:.1f}",
+            f"{results[name]['p99_all_ms']:.1f}",
+            f"{results[name]['fault_events_applied']}"
+            f"/{results[name]['fault_events_total']}",
+        )
+        for name in CHAOS_SCHEDULES
+    ]
+    report.add(
+        "live runtime — serving through chaos (wall-clock ms)",
+        format_table(
+            ["schedule", "puts", "refused", "converged", "p50", "p99", "faults"],
+            rows,
+            title=f"ReplicaCluster n={CHAOS_NODES}, fast variant, "
+            f"time_scale={TIME_SCALE}, p99 SLO {CHAOS_P99_SLO_MS:.0f} ms",
         ),
     )

@@ -66,9 +66,10 @@ from .errors import (
     ReproError,
     SimulationError,
     TopologyError,
+    TransportError,
 )
 from .faults import FaultProcess, FaultSchedule
-from .runtime import Clock, Runtime, SimRuntime, Transport
+from .runtime import Clock, FaultInjector, Runtime, SimRuntime, Transport
 
 __version__ = "1.1.0"
 
@@ -93,6 +94,7 @@ __all__ = [
     "Clock",
     "Transport",
     "Runtime",
+    "FaultInjector",
     "SimRuntime",
     "AsyncioRuntime",
     "ReplicaCluster",
@@ -108,6 +110,7 @@ __all__ = [
     "ReplicationError",
     "ConfigurationError",
     "ExperimentError",
+    "TransportError",
     "ExperimentSizeWarning",
 ]
 

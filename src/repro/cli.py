@@ -16,6 +16,10 @@ Examples::
     repro surface                    # Fig. 1 demand landscape
     repro run --variant fast -n 80   # one ad-hoc simulation
     repro serve --nodes 16 --variant fast --duration 5   # live cluster
+    repro serve --transport tcp --nodes 4 --duration 5   # one process per node
+    repro serve --faults rolling_restart --duration 8    # chaos at boot
+    repro serve --control-port 7700 --duration 60 &      # accept chaos clients
+    repro chaos --connect 127.0.0.1:7700 --faults flapping_links --wait
     repro all --reps 30              # everything, reduced fidelity
 
 Commands that run through the declarative experiment pipeline (fig5,
@@ -47,6 +51,7 @@ from .experiments.scenarios import (
     PLACEMENTS,
     TOPOLOGIES,
     VARIANTS,
+    build_faults,
     build_system,
 )
 from .experiments.sink import JsonLinesSink, sink_status
@@ -251,6 +256,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall seconds per protocol time unit (0.05 = 20 units/s)",
     )
     p.add_argument("--loss", type=float, default=0.0)
+    p.add_argument(
+        "--transport",
+        choices=["queue", "tcp"],
+        default="queue",
+        help="queue = one process, asyncio queues; tcp = one OS process "
+        "per node over real sockets",
+    )
+    p.add_argument(
+        "--faults",
+        choices=sorted(FAULTS),
+        default="none",
+        help="fault schedule replayed against the live cluster from boot",
+    )
+    p.add_argument(
+        "--control-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="open a control socket for `repro chaos` clients (0 = ephemeral)",
+    )
+
+    p = sub.add_parser(
+        "chaos",
+        help="inject a fault schedule into a serving cluster over its "
+        "control socket",
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="control address printed by `repro serve --control-port`",
+    )
+    p.add_argument(
+        "--faults",
+        choices=sorted(name for name in FAULTS if name != "none"),
+        required=True,
+        help="fault schedule to generate against the cluster's topology",
+    )
+    p.add_argument("--seed", type=int, default=1, help="schedule generator seed")
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until every event of the schedule has fired",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-round-trip socket timeout in seconds",
+    )
 
     p = sub.add_parser("all", help="run every experiment (reduced fidelity)")
     _add_common(p, reps=30)
@@ -677,31 +732,53 @@ def cmd_serve(args) -> str:
     # simulation-only commands (or any plain `import repro`).
     import time as _time
 
+    from .errors import ReplicationError
     from .experiments.cdf import EmpiricalCdf
     from .runtime.cluster import ReplicaCluster
+    from .topology.brite import internet_like
 
     if args.rate <= 0:
         raise ExperimentError(f"--rate must be positive, got {args.rate}")
     if args.duration <= 0:
         raise ExperimentError(f"--duration must be positive, got {args.duration}")
     config = VARIANTS[args.variant]()
+    topology = internet_like(args.nodes, seed=args.seed)
+    schedule = None
+    if args.faults != "none":
+        schedule = build_faults(args.faults, topology, seed=args.seed)
     gap = 1.0 / args.rate
     uids = []
+    refused = 0
     with ReplicaCluster(
-        nodes=args.nodes,
+        topology,
         config=config,
         seed=args.seed,
         time_scale=args.time_scale,
         loss=args.loss,
+        transport=args.transport,
+        faults=schedule,
+        control_port=args.control_port,
     ) as cluster:
-        node_ids = sorted(cluster.servers)
+        node_ids = cluster.node_ids
+        if cluster.control_address is not None:
+            print(
+                "control socket on "
+                f"{cluster.control_address[0]}:{cluster.control_address[1]}",
+                file=sys.stderr,
+            )
         started = _time.monotonic()
         deadline = started + args.duration
         sequence = 0
         while _time.monotonic() < deadline:
             node = node_ids[sequence % len(node_ids)]
-            update = cluster.put("content", f"v{sequence}", node=node)
-            uids.append(update.uid)
+            try:
+                update = cluster.put("content", f"v{sequence}", node=node)
+            except ReplicationError:
+                # The target is crashed by an injected fault right now;
+                # a real client would retry elsewhere.
+                refused += 1
+            else:
+                uids.append(update.uid)
             sequence += 1
             _time.sleep(gap)
         elapsed = _time.monotonic() - started
@@ -717,6 +794,7 @@ def cmd_serve(args) -> str:
     pairs = [
         ("nodes", stats["nodes"]),
         ("variant", stats["variant"]),
+        ("transport", stats["transport"]),
         ("wall seconds served", f"{elapsed:.2f}"),
         ("puts issued", stats["puts"]),
         ("sustained puts/s", f"{stats['puts'] / elapsed:.1f}"),
@@ -730,6 +808,19 @@ def cmd_serve(args) -> str:
         ("bytes", stats["traffic"]["bytes_sent"]),
         ("handler errors", stats["handler_errors"]),
     ]
+    if schedule is not None or refused:
+        chaos = stats.get("chaos") or {}
+        pairs.extend(
+            [
+                ("fault schedule", args.faults),
+                (
+                    "fault events fired",
+                    f"{chaos.get('applied', 0)}/{chaos.get('total', 0)}"
+                    + (f" ({chaos.get('skipped', 0)} skipped)" if chaos.get("skipped") else ""),
+                ),
+                ("puts refused (node down)", refused),
+            ]
+        )
     if latencies:
         cdf = EmpiricalCdf(latencies)
         pairs.extend(
@@ -739,6 +830,66 @@ def cmd_serve(args) -> str:
             ]
         )
     return format_kv(f"live cluster — {args.nodes} nodes, {args.variant}", pairs)
+
+
+def cmd_chaos(args) -> str:
+    """Drive a serving cluster's control socket: inject a fault schedule."""
+    import socket
+    import time as _time
+
+    from .errors import TransportError
+    from .runtime.tcp import SyncFrameChannel
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ExperimentError(
+            f"--connect wants HOST:PORT, got {args.connect!r}"
+        )
+    try:
+        sock = socket.create_connection(
+            (host, int(port_text)), timeout=args.timeout
+        )
+    except OSError as exc:
+        raise TransportError(f"cannot connect to {args.connect}: {exc}") from exc
+    channel = SyncFrameChannel(sock)
+    try:
+        # The schedule generators are pure functions of (topology, seed),
+        # so fetching the cluster's topology lets us build the exact
+        # schedule locally and ship it whole.
+        channel.send(("topology?",))
+        kind, topology = channel.recv(timeout=args.timeout)
+        if kind != "topology":
+            raise TransportError(f"unexpected reply {kind!r} to topology query")
+        schedule = build_faults(args.faults, topology, seed=args.seed)
+        channel.send(("chaos", schedule))
+        reply = channel.recv(timeout=args.timeout)
+        if reply[0] == "chaos-error":
+            raise TransportError(f"cluster refused the schedule: {reply[1]}")
+        if reply[0] != "chaos-ack":
+            raise TransportError(f"unexpected reply {reply[0]!r} to injection")
+        info = reply[1]
+        lines = [
+            (
+                f"injected {args.faults!r} (seed {args.seed}): "
+                f"{info['events']} events over {schedule.duration:.1f} "
+                "protocol units"
+            )
+        ]
+        if args.wait:
+            while True:
+                channel.send(("status?",))
+                _, status = channel.recv(timeout=args.timeout)
+                chaos = status.get("chaos") or {}
+                if chaos.get("done"):
+                    lines.append(
+                        f"schedule complete: {chaos['applied']}/{chaos['total']}"
+                        f" applied, {chaos['skipped']} skipped"
+                    )
+                    break
+                _time.sleep(0.2)
+        return "\n".join(lines)
+    finally:
+        channel.close()
 
 
 def cmd_all(args) -> str:
@@ -781,6 +932,7 @@ _COMMANDS = {
     "skew": cmd_skew,
     "run": cmd_run,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
     "all": cmd_all,
 }
 

@@ -53,6 +53,14 @@ class FaultError(ReproError):
     """
 
 
+class TransportError(ReproError):
+    """A live transport frame or peer connection is invalid.
+
+    Raised, for instance, for an oversized or truncated length-prefixed
+    frame, or a send addressed to a node with no known address.
+    """
+
+
 class ExperimentSizeWarning(UserWarning):
     """An experiment runs with a different size than requested.
 

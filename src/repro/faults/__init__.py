@@ -11,8 +11,11 @@ sweepable experiment axis:
   (:func:`poisson_churn`, :func:`flapping_links`, :func:`split_brain`,
   :func:`demand_shock_storm`, :func:`rolling_restart`), pure functions
   of ``(topology, seed)`` like the demand registry's builders.
-* :mod:`repro.faults.process` — :class:`FaultProcess`, which replays a
-  schedule inside a live simulation deterministically, and
+* :mod:`repro.faults.process` — replay over the
+  :class:`~repro.runtime.base.FaultInjector` port:
+  :class:`FaultProcess` (virtual time, deterministic),
+  :class:`FaultReplayer` (wall clock, for live clusters),
+  :class:`SystemFaultInjector` / :func:`apply_fault`, and
   :class:`ShockableDemand` / :func:`prepare_demand` for demand shocks.
 
 Registry names (``"split_brain"``, ``"poisson_churn"``, ...) live in
@@ -28,7 +31,15 @@ from .generators import (
     rolling_restart,
     split_brain,
 )
-from .process import FAULT_PRIORITY, FaultProcess, ShockableDemand, prepare_demand
+from .process import (
+    FAULT_PRIORITY,
+    FaultProcess,
+    FaultReplayer,
+    ShockableDemand,
+    SystemFaultInjector,
+    apply_fault,
+    prepare_demand,
+)
 from .schedule import (
     ACTIONS,
     FaultEvent,
@@ -49,8 +60,11 @@ __all__ = [
     "FAULT_PRIORITY",
     "FaultEvent",
     "FaultProcess",
+    "FaultReplayer",
     "FaultSchedule",
     "ShockableDemand",
+    "SystemFaultInjector",
+    "apply_fault",
     "demand_shock",
     "demand_shock_storm",
     "flapping_links",

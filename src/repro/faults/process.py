@@ -1,13 +1,24 @@
-"""Replaying a fault schedule inside a live simulation.
+"""Replaying a fault schedule against any execution world.
 
-:class:`FaultProcess` turns the declarative events of a
-:class:`~repro.faults.schedule.FaultSchedule` into calls on a running
-:class:`~repro.core.system.ReplicationSystem`'s network (crash/recover,
-link flaps, partitions) and demand model (shocks). Events are scheduled
-at construction time with a priority that beats ordinary protocol
-events, so a fault takes effect *at* its timestamp — before any message
-delivery or session timer due at the same instant — which keeps replays
-deterministic and bit-identical across execution backends.
+The declarative events of a :class:`~repro.faults.schedule.FaultSchedule`
+become calls on the :class:`~repro.runtime.base.FaultInjector` port —
+crash/recover, link flaps, partitions, demand shocks, churn — so the
+*same* schedule replays against the discrete-event simulator, an
+in-process asyncio cluster, or a multi-process TCP cluster:
+
+* :func:`apply_fault` maps one :class:`FaultEvent` to injector calls
+  (the single dispatch every replayer shares);
+* :class:`SystemFaultInjector` adapts a simulated
+  :class:`~repro.core.system.ReplicationSystem` (network + demand) to
+  the port — the pre-port ``FaultProcess`` behaviour, bit-identical;
+* :class:`FaultProcess` replays in *virtual* time: events are scheduled
+  at construction with a priority that beats ordinary protocol events,
+  so a fault takes effect at its timestamp — before any message
+  delivery or session timer due at the same instant — keeping replays
+  deterministic across execution backends;
+* :class:`FaultReplayer` replays on *wall-clock* time against a live
+  injector (the runtime's ``time_scale`` maps protocol units to
+  seconds), anchored at the moment the replay is armed.
 
 Demand shocks need a mutable hook into the otherwise-static demand
 model: :class:`ShockableDemand` wraps any
@@ -20,10 +31,11 @@ when a schedule carries shocks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..demand.base import DemandModel
 from ..errors import FaultError
+from ..runtime.base import FaultInjector
 from .schedule import (
     ACTION_DEMAND_SHOCK,
     ACTION_HEAL,
@@ -84,83 +96,23 @@ def prepare_demand(
     return demand
 
 
-class FaultProcess:
-    """Schedules and applies every event of a fault schedule.
+class SystemFaultInjector(FaultInjector):
+    """Fault-injector adapter over a simulated :class:`ReplicationSystem`.
 
-    Args:
-        system: The live system whose network/demand the faults hit.
-        schedule: The (validated) declarative schedule to replay.
-
-    Attributes:
-        stats: action name -> how many events of it were applied.
-        skipped: events that could not be applied (e.g. a demand shock
-            against a system built without :func:`prepare_demand`).
+    Crash/link/partition actions mutate the system's
+    :class:`~repro.sim.network.Network`; shocks reach the demand model;
+    churn parks and restores delivery handlers so a re-joined node
+    receives messages exactly as before it left.
     """
 
-    def __init__(self, system, schedule: FaultSchedule):
-        schedule.validate()
+    def __init__(self, system):
         self.system = system
-        self.schedule = schedule
-        self.stats: Dict[str, int] = {}
-        self.skipped: List[FaultEvent] = []
         self._parked_handlers: Dict[int, object] = {}
-        sim = system.sim
-        for event in schedule.events:
-            if event.time < sim.now:
-                raise FaultError(
-                    f"fault at t={event.time} is in the past (now={sim.now})"
-                )
-            sim.schedule_at(
-                event.time,
-                self._apply,
-                event,
-                priority=FAULT_PRIORITY,
-                label=f"fault.{event.action}",
-            )
 
-    # -- event application ------------------------------------------------
+    def crash_node(self, node: int) -> None:
+        self.system.network.set_node_down(node)
 
-    def _apply(self, event: FaultEvent) -> None:
-        network = self.system.network
-        action, args = event.action, event.args
-        if action == ACTION_NODE_DOWN:
-            network.set_node_down(args[0])
-        elif action == ACTION_NODE_UP:
-            self._recover(args[0])
-        elif action == ACTION_LINK_DOWN:
-            network.set_link_down(args[0], args[1])
-        elif action == ACTION_LINK_UP:
-            network.set_link_up(args[0], args[1])
-        elif action == ACTION_PARTITION:
-            network.partition(args[0])
-        elif action == ACTION_HEAL:
-            network.heal_partition()
-        elif action == ACTION_LEAVE:
-            self._leave(args[0])
-        elif action == ACTION_JOIN:
-            self._join(args[0])
-        elif action == ACTION_DEMAND_SHOCK:
-            if not self._shock(args[0], args[1]):
-                self.skipped.append(event)
-                self.system.sim.trace.record(
-                    self.system.sim.now, "fault.skipped", action=action
-                )
-                return
-        self.stats[action] = self.stats.get(action, 0) + 1
-        self.system.sim.trace.record(
-            self.system.sim.now, "fault.apply", action=action, args=args
-        )
-
-    def _leave(self, node: int) -> None:
-        """Churn out: crash the node and park its delivery handler."""
-        network = self.system.network
-        handler = network.handler_for(node)
-        if handler is not None:
-            self._parked_handlers[node] = handler
-        network.detach(node)
-        network.set_node_down(node)
-
-    def _recover(self, node: int) -> None:
+    def recover_node(self, node: int) -> None:
         """Bring a crashed node back, restoring any handler a leave parked.
 
         ``node_up`` after ``leave`` must re-attach too — the schedule
@@ -175,7 +127,36 @@ class FaultProcess:
             network.attach(node, handler)
         network.set_node_up(node)
 
-    def _join(self, node: int) -> None:
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        if up:
+            self.system.network.set_link_up(a, b)
+        else:
+            self.system.network.set_link_down(a, b)
+
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        self.system.network.partition(groups)
+
+    def heal(self) -> None:
+        self.system.network.heal_partition()
+
+    def shock_demand(self, nodes: Sequence[int], factor: float) -> bool:
+        demand = self.system.demand
+        apply_shock = getattr(demand, "apply_shock", None)
+        if apply_shock is None:
+            return False
+        apply_shock(nodes, factor, at=self.system.runtime.now)
+        return True
+
+    def leave_node(self, node: int) -> None:
+        """Churn out: crash the node and park its delivery handler."""
+        network = self.system.network
+        handler = network.handler_for(node)
+        if handler is not None:
+            self._parked_handlers[node] = handler
+        network.detach(node)
+        network.set_node_down(node)
+
+    def join_node(self, node: int) -> None:
         """Churn in: restore the handler (parked or the node's own) and recover."""
         if node not in self._parked_handlers:
             replication_node = self.system.nodes.get(node)
@@ -183,12 +164,176 @@ class FaultProcess:
                 self.system.network.handler_for(node) is None
             ):
                 self.system.network.attach(node, replication_node.on_message)
-        self._recover(node)
+        self.recover_node(node)
 
-    def _shock(self, nodes: Tuple[int, ...], factor: float) -> bool:
-        demand = self.system.demand
-        apply_shock = getattr(demand, "apply_shock", None)
-        if apply_shock is None:
-            return False
-        apply_shock(nodes, factor, at=self.system.sim.now)
-        return True
+
+def apply_fault(injector: FaultInjector, event: FaultEvent) -> bool:
+    """Apply one fault event through the injector port.
+
+    Returns False when the event could not take effect (currently only
+    a demand shock against a non-shockable deployment); replayers record
+    such events as skipped, mirroring the pre-port semantics.
+    """
+    action, args = event.action, event.args
+    if action == ACTION_NODE_DOWN:
+        injector.crash_node(args[0])
+    elif action == ACTION_NODE_UP:
+        injector.recover_node(args[0])
+    elif action == ACTION_LINK_DOWN:
+        injector.set_link(args[0], args[1], up=False)
+    elif action == ACTION_LINK_UP:
+        injector.set_link(args[0], args[1], up=True)
+    elif action == ACTION_PARTITION:
+        injector.partition(args[0])
+    elif action == ACTION_HEAL:
+        injector.heal()
+    elif action == ACTION_LEAVE:
+        injector.leave_node(args[0])
+    elif action == ACTION_JOIN:
+        injector.join_node(args[0])
+    elif action == ACTION_DEMAND_SHOCK:
+        return injector.shock_demand(args[0], args[1])
+    return True
+
+
+class FaultProcess:
+    """Schedules and applies every event of a schedule in virtual time.
+
+    Args:
+        system: The live simulated system whose network/demand the
+            faults hit (adapted via :class:`SystemFaultInjector`).
+        schedule: The (validated) declarative schedule to replay.
+
+    Attributes:
+        stats: action name -> how many events of it were applied.
+        skipped: events that could not be applied (e.g. a demand shock
+            against a system built without :func:`prepare_demand`).
+    """
+
+    def __init__(self, system, schedule: FaultSchedule):
+        schedule.validate()
+        self.system = system
+        self.schedule = schedule
+        self.injector = SystemFaultInjector(system)
+        self.stats: Dict[str, int] = {}
+        self.skipped: List[FaultEvent] = []
+        runtime = system.runtime
+        for event in schedule.events:
+            if event.time < runtime.now:
+                raise FaultError(
+                    f"fault at t={event.time} is in the past (now={runtime.now})"
+                )
+            runtime.schedule_at(
+                event.time,
+                self._apply,
+                event,
+                priority=FAULT_PRIORITY,
+                label=f"fault.{event.action}",
+            )
+
+    def _apply(self, event: FaultEvent) -> None:
+        trace = self.system.runtime.trace
+        if not apply_fault(self.injector, event):
+            self.skipped.append(event)
+            if trace.wants("fault.skipped"):
+                trace.record(
+                    self.system.runtime.now, "fault.skipped", action=event.action
+                )
+            return
+        self.stats[event.action] = self.stats.get(event.action, 0) + 1
+        if trace.wants("fault.apply"):
+            trace.record(
+                self.system.runtime.now,
+                "fault.apply",
+                action=event.action,
+                args=event.args,
+            )
+
+
+class FaultReplayer:
+    """Replays a schedule on wall-clock time against a live injector.
+
+    Each event is scheduled on the runtime's clock at ``anchor +
+    event.time`` protocol units (the runtime's ``time_scale`` maps
+    units to seconds), so the same :class:`FaultSchedule` that injures
+    a simulation injures a live cluster at the same protocol times.
+
+    Must be constructed on the runtime's event-loop thread (it calls
+    ``runtime.schedule_at``); :meth:`ReplicaCluster.inject_faults`
+    does that plumbing for cluster users.
+
+    Args:
+        runtime: Clock (and tracer) the replay is scheduled on.
+        injector: Where the fault actions land.
+        schedule: The (validated) schedule to replay.
+        anchor: Protocol time that schedule time 0 maps to; defaults to
+            ``runtime.now`` — i.e. the schedule starts *now*.
+
+    Attributes:
+        stats: action name -> how many events of it were applied.
+        skipped: events that could not be applied.
+        applied: total events applied so far (skipped ones excluded).
+    """
+
+    def __init__(
+        self,
+        runtime,
+        injector: FaultInjector,
+        schedule: FaultSchedule,
+        anchor: Optional[float] = None,
+    ):
+        schedule.validate()
+        self.runtime = runtime
+        self.injector = injector
+        self.schedule = schedule
+        self.anchor = runtime.now if anchor is None else float(anchor)
+        self.stats: Dict[str, int] = {}
+        self.skipped: List[FaultEvent] = []
+        self.applied = 0
+        self._handles = [
+            runtime.schedule_at(
+                self.anchor + event.time,
+                self._apply,
+                event,
+                priority=FAULT_PRIORITY,
+                label=f"fault.{event.action}",
+            )
+            for event in schedule.events
+        ]
+
+    @property
+    def total(self) -> int:
+        """Number of events the replay will eventually attempt."""
+        return len(self.schedule.events)
+
+    @property
+    def done(self) -> bool:
+        """True once every event has been applied or skipped."""
+        return self.applied + len(self.skipped) >= self.total
+
+    def cancel(self) -> int:
+        """Cancel all not-yet-fired events; returns how many were pending."""
+        cancelled = 0
+        for handle in self._handles:
+            if self.runtime.cancel(handle):
+                cancelled += 1
+        return cancelled
+
+    def _apply(self, event: FaultEvent) -> None:
+        trace = self.runtime.trace
+        if not apply_fault(self.injector, event):
+            self.skipped.append(event)
+            if trace.wants("fault.skipped"):
+                trace.record(
+                    self.runtime.now, "fault.skipped", action=event.action
+                )
+            return
+        self.applied += 1
+        self.stats[event.action] = self.stats.get(event.action, 0) + 1
+        if trace.wants("fault.apply"):
+            trace.record(
+                self.runtime.now,
+                "fault.apply",
+                action=event.action,
+                args=event.args,
+            )

@@ -20,7 +20,15 @@ The asyncio-backed names are imported lazily (PEP 562) so that
 
 from __future__ import annotations
 
-from .base import Clock, MessageHandler, Runtime, TopicBus, Transport
+from .base import (
+    Clock,
+    FaultInjector,
+    MessageHandler,
+    Runtime,
+    TopicBus,
+    Transport,
+)
+from .linkstate import LinkState
 from .simulation import SimRuntime
 
 #: Names resolved lazily from the asyncio-backed modules.
@@ -29,6 +37,9 @@ _LIVE_EXPORTS = {
     "AsyncioTransport": "live",
     "ReplicaCluster": "cluster",
     "DEFAULT_TIME_SCALE": "cluster",
+    "TcpTransport": "tcp",
+    "FrameDecoder": "tcp",
+    "SyncFrameChannel": "tcp",
 }
 
 __all__ = [
@@ -38,10 +49,15 @@ __all__ = [
     "Runtime",
     "TopicBus",
     "MessageHandler",
+    "FaultInjector",
+    "LinkState",
     # adapters
     "SimRuntime",
     "AsyncioRuntime",
     "AsyncioTransport",
+    "TcpTransport",
+    "FrameDecoder",
+    "SyncFrameChannel",
     # live client API
     "ReplicaCluster",
     "DEFAULT_TIME_SCALE",

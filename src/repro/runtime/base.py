@@ -11,7 +11,13 @@ needs from the outside world fits three small contracts:
 * :class:`Runtime` — the facade the protocol stack is actually handed:
   it *is* a clock, owns a transport, and hosts the cross-cutting
   services every deployment needs (named RNG streams, structured
-  tracing, a topic bus).
+  tracing, a topic bus);
+* :class:`FaultInjector` — the actions a fault schedule can take
+  against a running deployment (crash/recover a node, fail links,
+  partition/heal, shock demand, churn).  One declarative
+  :class:`~repro.faults.schedule.FaultSchedule` replays through any
+  injector, which is what turns the fault subsystem into a chaos
+  harness for the live runtimes.
 
 Two adapters implement the port:
 
@@ -166,6 +172,67 @@ class TopicBus:
         for handler in tuple(handlers):
             handler(**payload)
         return len(handlers)
+
+
+class FaultInjector(ABC):
+    """The fault-action port: what a schedule can do to a deployment.
+
+    Each method applies one :class:`~repro.faults.schedule.FaultEvent`
+    action.  Adapters exist for every execution world:
+
+    * :class:`repro.faults.process.SystemFaultInjector` — mutates a
+      simulated :class:`~repro.core.system.ReplicationSystem`'s network
+      (the pre-port ``FaultProcess`` behaviour, bit-identical);
+    * the live injectors in :mod:`repro.runtime.cluster` — drive the
+      same actions against an in-process asyncio cluster or broadcast
+      them to the node processes of a TCP cluster.
+
+    Replay (deciding *when* each action fires) is separate: see
+    :class:`repro.faults.process.FaultProcess` (virtual time) and
+    :class:`repro.faults.process.FaultReplayer` (wall clock); both
+    dispatch through :func:`repro.faults.process.apply_fault`.
+    """
+
+    @abstractmethod
+    def crash_node(self, node: int) -> None:
+        """Crash ``node``: it neither sends nor receives until recovered."""
+
+    @abstractmethod
+    def recover_node(self, node: int) -> None:
+        """Bring a crashed ``node`` back."""
+
+    @abstractmethod
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        """Fail (``up=False``) or restore (``up=True``) the a-b link."""
+
+    @abstractmethod
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Split the network; messages only flow within a group."""
+
+    @abstractmethod
+    def heal(self) -> None:
+        """Remove any active partition."""
+
+    @abstractmethod
+    def shock_demand(self, nodes: Sequence[int], factor: float) -> bool:
+        """Multiply ``nodes``' demand by ``factor`` from now on.
+
+        Returns False when the deployment cannot absorb shocks (demand
+        model not shockable); the replay records the event as skipped.
+        """
+
+    def leave_node(self, node: int) -> None:
+        """Churn out: crash ``node`` and park its delivery handler.
+
+        Default: plain crash.  Injectors whose transport keeps per-node
+        handlers override this to detach and park the handler so a later
+        join restores delivery exactly as it was.
+        """
+        self.crash_node(node)
+
+    def join_node(self, node: int) -> None:
+        """Churn in: restore the handler (if parked) and recover."""
+        self.recover_node(node)
 
 
 class Runtime(ABC):

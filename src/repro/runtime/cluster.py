@@ -1,11 +1,19 @@
 """ReplicaCluster: serve live client traffic on the replication protocol.
 
-An in-process cluster of replicas running the paper's protocol on the
-wall-clock :class:`~repro.runtime.live.AsyncioRuntime`: one event loop
-on a background thread hosts every node's protocol stack (assembled by
-the very same :func:`repro.core.system.build_node_stack` the simulator
-uses), and callers on any thread interact through a synchronous
-client API::
+A cluster of replicas running the paper's protocol on the wall-clock
+:class:`~repro.runtime.live.AsyncioRuntime`, in one of two transports:
+
+* ``transport="queue"`` (default) — every node's protocol stack lives
+  on one event loop on a background thread, exchanging messages through
+  in-process asyncio queues;
+* ``transport="tcp"`` — one OS process per node, each hosting its
+  replica on a :class:`~repro.runtime.tcp.TcpTransport` over real
+  sockets.  The parent runs a nameserver-style *hub*: node processes
+  bind an ephemeral port, register it, receive the full directory, and
+  start.  Client calls, fault actions, and replication reports travel
+  as length-prefixed control frames.
+
+Callers on any thread interact through a synchronous client API::
 
     from repro.runtime import ReplicaCluster
 
@@ -20,14 +28,26 @@ immediately (weak consistency: the write propagates via fast-update
 pushes and anti-entropy sessions); ``wait_replicated`` blocks until
 every replica has absorbed it.  ``time_scale`` compresses protocol
 time: 0.05 runs one session-time unit in 50 ms of wall clock.
+
+Chaos: the same declarative
+:class:`~repro.faults.schedule.FaultSchedule` the simulator replays
+runs against a live cluster — pass ``faults=schedule`` to arm it at
+boot, or call :meth:`ReplicaCluster.inject_faults` on a running
+cluster.  In queue mode a :class:`ClusterFaultInjector` drives the
+in-process transport's link state; in tcp mode a
+:class:`TcpBroadcastInjector` broadcasts each action to every node
+process.  With ``control_port`` set (any mode), external clients — the
+``repro chaos`` CLI — can connect and inject schedules over a socket.
 """
 
 from __future__ import annotations
 
 import collections
 import concurrent.futures
+import itertools
 import threading
-from typing import Deque, Dict, List, Optional
+import time
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import KNOWLEDGE_ADVERTISED, ProtocolConfig
 from ..core.protocol import ReplicationNode
@@ -36,13 +56,29 @@ from ..core.variants import fast_consistency
 from ..demand.advertisement import bootstrap_tables
 from ..demand.base import DemandModel
 from ..demand.static import UniformRandomDemand
-from ..errors import ConfigurationError, ReplicationError
+from ..errors import ConfigurationError, ReplicationError, ReproError
+from ..faults.process import FaultReplayer, prepare_demand
+from ..faults.schedule import (
+    ACTION_DEMAND_SHOCK,
+    ACTION_HEAL,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ACTION_LINK_DOWN,
+    ACTION_LINK_UP,
+    ACTION_NODE_DOWN,
+    ACTION_NODE_UP,
+    ACTION_PARTITION,
+    FaultSchedule,
+)
 from ..replica.log import Update, UpdateId
 from ..replica.server import ReplicaServer
 from ..replica.store import StoreEntry
 from ..sim.network import LatencyModel
 from ..topology.graph import Topology
+from .base import FaultInjector
 from .live import AsyncioRuntime, AsyncioTransport
+from .nodeproc import NodeSpec, node_process_main
+from .tcp import DEFAULT_MAX_FRAME_BYTES, FrameDecoder, encode_frame, read_frames
 
 #: Default wall-clock seconds per protocol time unit (20 units/second).
 DEFAULT_TIME_SCALE = 0.05
@@ -50,8 +86,131 @@ DEFAULT_TIME_SCALE = 0.05
 #: Ceiling on cross-thread control calls (put/get/stats plumbing).
 _CALL_TIMEOUT = 30.0
 
+#: Ceiling on tcp-mode boot (spawn + register + ready handshake).
+_BOOT_TIMEOUT = 60.0
+
 #: Default bound on per-update tracking state (see ``track_limit``).
 DEFAULT_TRACK_LIMIT = 4096
+
+
+class ClusterFaultInjector(FaultInjector):
+    """Fault-injector over an in-process (queue-mode) cluster.
+
+    Crash/link/partition actions mutate the shared
+    :class:`~repro.runtime.linkstate.LinkState` of the cluster's
+    :class:`~repro.runtime.live.AsyncioTransport`; shocks reach the
+    demand model; churn parks and restores delivery handlers — the
+    same semantics :class:`~repro.faults.process.SystemFaultInjector`
+    gives the simulator.  All methods must run on the loop thread
+    (:class:`~repro.faults.process.FaultReplayer` callbacks do).
+    """
+
+    def __init__(self, cluster: "ReplicaCluster"):
+        self.cluster = cluster
+        self._parked_handlers: Dict[int, object] = {}
+
+    def crash_node(self, node: int) -> None:
+        self.cluster.transport.set_node_down(node)
+
+    def recover_node(self, node: int) -> None:
+        transport = self.cluster.transport
+        handler = self._parked_handlers.pop(node, None)
+        if handler is not None:
+            transport.attach(node, handler)
+        transport.set_node_up(node)
+
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        transport = self.cluster.transport
+        if up:
+            transport.set_link_up(a, b)
+        else:
+            transport.set_link_down(a, b)
+
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        self.cluster.transport.partition(groups)
+
+    def heal(self) -> None:
+        self.cluster.transport.heal_partition()
+
+    def shock_demand(self, nodes: Sequence[int], factor: float) -> bool:
+        apply_shock = getattr(self.cluster.demand, "apply_shock", None)
+        if apply_shock is None:
+            return False
+        apply_shock(nodes, factor, at=self.cluster.runtime.now)
+        return True
+
+    def leave_node(self, node: int) -> None:
+        transport = self.cluster.transport
+        handler = transport.handler_for(node)
+        if handler is not None:
+            self._parked_handlers[node] = handler
+        transport.detach(node)
+        transport.set_node_down(node)
+
+    def join_node(self, node: int) -> None:
+        if node not in self._parked_handlers:
+            stack = self.cluster.nodes.get(node)
+            if stack is not None and (
+                self.cluster.transport.handler_for(node) is None
+            ):
+                self.cluster.transport.attach(node, stack.on_message)
+        self.recover_node(node)
+
+
+class TcpBroadcastInjector(FaultInjector):
+    """Fault-injector over a tcp-mode cluster: broadcast every action.
+
+    Each node process holds its own copy of the link state; broadcasting
+    the action to all of them keeps sender-side refusals (crashed peer,
+    failed link, partition boundary) consistent without shared memory.
+    Must run on the hub's loop thread (it writes to the node control
+    channels).
+    """
+
+    def __init__(self, cluster: "ReplicaCluster"):
+        self.cluster = cluster
+
+    def _broadcast(self, action: str, args: Tuple) -> None:
+        frame = encode_frame(("fault", action, tuple(args)))
+        for writer in self.cluster._node_writers.values():
+            try:
+                writer.write(frame)
+            except (ConnectionError, OSError):
+                pass  # a dead node process cannot be injured further
+
+    def crash_node(self, node: int) -> None:
+        self._broadcast(ACTION_NODE_DOWN, (int(node),))
+
+    def recover_node(self, node: int) -> None:
+        self._broadcast(ACTION_NODE_UP, (int(node),))
+
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        action = ACTION_LINK_UP if up else ACTION_LINK_DOWN
+        self._broadcast(action, (int(a), int(b)))
+
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        frozen = tuple(tuple(int(n) for n in group) for group in groups)
+        self._broadcast(ACTION_PARTITION, (frozen,))
+
+    def heal(self) -> None:
+        self._broadcast(ACTION_HEAL, ())
+
+    def shock_demand(self, nodes: Sequence[int], factor: float) -> bool:
+        if not self.cluster._has_shocks:
+            # The node processes built their demand unwrapped; the
+            # shock cannot take effect anywhere.
+            return False
+        self._broadcast(
+            ACTION_DEMAND_SHOCK,
+            (tuple(int(n) for n in nodes), float(factor)),
+        )
+        return True
+
+    def leave_node(self, node: int) -> None:
+        self._broadcast(ACTION_LEAVE, (int(node),))
+
+    def join_node(self, node: int) -> None:
+        self._broadcast(ACTION_JOIN, (int(node),))
 
 
 class ReplicaCluster:
@@ -76,6 +235,16 @@ class ReplicaCluster:
             immediately for waiters already holding its event, but
             :meth:`apply_times` / :meth:`replication_latency` return
             empty/None for it).
+        transport: ``"queue"`` (in-process, default) or ``"tcp"``
+            (one OS process per node over real sockets).
+        faults: Optional :class:`FaultSchedule` armed at :meth:`start`
+            (schedule time 0 = boot); also enables demand shocks.
+        control_port: When set, a control socket accepting ``repro
+            chaos`` clients is opened on this port (0 = ephemeral; the
+            bound address is :attr:`control_address`).  tcp mode always
+            opens one — it doubles as the node-process hub.
+        host: Interface the hub/control socket (and tcp node ports)
+            bind to.
 
     Use as a context manager, or call :meth:`start` / :meth:`close`.
     """
@@ -92,10 +261,19 @@ class ReplicaCluster:
         latency: Optional[LatencyModel] = None,
         loss: float = 0.0,
         track_limit: int = DEFAULT_TRACK_LIMIT,
+        transport: str = "queue",
+        faults: Optional[FaultSchedule] = None,
+        control_port: Optional[int] = None,
+        host: str = "127.0.0.1",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ):
         if track_limit < 1:
             raise ConfigurationError(
                 f"track_limit must be >= 1, got {track_limit}"
+            )
+        if transport not in ("queue", "tcp"):
+            raise ConfigurationError(
+                f"transport must be 'queue' or 'tcp', got {transport!r}"
             )
         if topology is None:
             from ..topology.brite import internet_like
@@ -107,7 +285,18 @@ class ReplicaCluster:
             raise ConfigurationError("cluster topology must be connected")
         self.topology = topology
         self.config = (config if config is not None else fast_consistency()).validate()
-        self.demand = demand if demand is not None else UniformRandomDemand(seed=seed)
+        self._mode = transport
+        self._faults = faults.validate() if faults is not None else None
+        self._has_shocks = (
+            self._faults is not None and self._faults.has_demand_shocks()
+        )
+        base_demand = demand if demand is not None else UniformRandomDemand(seed=seed)
+        #: The unwrapped model; tcp node processes wrap their own copy.
+        self._base_demand = base_demand
+        if self._mode == "queue":
+            self.demand = prepare_demand(base_demand, self._faults)
+        else:
+            self.demand = base_demand
         self.seed = int(seed)
         self.loss = float(loss)
         self._latency = latency
@@ -117,6 +306,8 @@ class ReplicaCluster:
         self.servers: Dict[int, ReplicaServer] = {}
 
         self._n = topology.num_nodes
+        self._node_ids: List[int] = sorted(int(n) for n in topology.nodes)
+        self._node_set = set(self._node_ids)
         self._lock = threading.Lock()
         self._track_limit = int(track_limit)
         self._apply_times: Dict[UpdateId, Dict[int, float]] = {}
@@ -139,6 +330,34 @@ class ReplicaCluster:
         self._ready = threading.Event()
         self._boot_error: Optional[BaseException] = None
         self._closed = False
+        #: Cross-thread call futures still awaiting a result; a closing
+        #: cluster fails them with ReplicationError instead of letting
+        #: callers hang until the call timeout.
+        self._pending_calls: Set["concurrent.futures.Future"] = set()
+
+        # -- chaos state ------------------------------------------------
+        self._injector: Optional[FaultInjector] = None
+        self._replayers: List[FaultReplayer] = []
+
+        # -- tcp-mode state ---------------------------------------------
+        self._host = host
+        self._control_port = control_port
+        self._max_frame_bytes = int(max_frame_bytes)
+        self.control_address: Optional[Tuple[str, int]] = None
+        self._control_server = None
+        self._control_tasks: Set[object] = set()
+        self._control_errors: List[str] = []
+        self._processes: Dict[int, object] = {}
+        self._node_writers: Dict[int, object] = {}
+        self._node_addresses: Dict[int, Tuple[str, int]] = {}
+        self._ready_nodes: Set[int] = set()
+        self._all_registered = None
+        self._all_ready = None
+        self._tcp_pending: Dict[int, "concurrent.futures.Future"] = {}
+        self._call_counter = itertools.count(1)
+        #: time.monotonic() at boot completion: the zero point used to
+        #: convert cross-process apply stamps into protocol units.
+        self._mono_anchor: Optional[float] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -154,6 +373,7 @@ class ReplicaCluster:
         if self._boot_error is not None:
             self._thread.join()
             self._thread = None
+            self._reap_processes()
             raise self._boot_error
         return self
 
@@ -161,7 +381,9 @@ class ReplicaCluster:
         """Stop the cluster and join the loop thread (idempotent).
 
         Client calls racing a concurrent ``close()`` fail with
-        :class:`ReplicationError` instead of running on a dead loop.
+        :class:`ReplicationError` instead of running on a dead loop;
+        calls already in flight when the loop stops are failed the same
+        way rather than left hanging until their timeout.
         """
         with self._lock:
             already = self._closed or self._thread is None
@@ -169,9 +391,11 @@ class ReplicaCluster:
         if already:
             return
         loop = self._loop
-        if loop is not None and loop.is_running():
+        if loop is not None and loop.is_running() and self._stop_event is not None:
             loop.call_soon_threadsafe(self._stop_event.set)
         self._thread.join(timeout)
+        self._reap_processes()
+        self._fail_pending_calls()
 
     def __enter__(self) -> "ReplicaCluster":
         return self.start()
@@ -195,45 +419,300 @@ class ReplicaCluster:
 
         try:
             self.runtime.start()
-            self.transport = AsyncioTransport(
-                self.runtime,
-                self.topology,
-                latency=self._latency,
-                loss=self.loss,
-            )
-            self.runtime.transport = self.transport
-            tables = None
-            if self.config.demand_knowledge == KNOWLEDGE_ADVERTISED:
-                tables = bootstrap_tables(self.transport, self.demand, at_time=0.0)
-            for node in self.topology.nodes:
-                stack = build_node_stack(
-                    self.runtime,
-                    self.topology,
-                    self.demand,
-                    self.config,
-                    node,
-                    tables=tables,
-                    on_new_updates=(
-                        lambda updates, source, sender, _node=node: (
-                            self._record_applied(_node, updates)
-                        )
-                    ),
-                )
-                self.nodes[node] = stack
-                self.servers[node] = stack.server
-            self.transport.start_pumps()
-            for stack in self.nodes.values():
-                stack.start()
+            if self._mode == "tcp":
+                await self._boot_tcp()
+            else:
+                self._boot_queue()
+                if self._control_port is not None:
+                    await self._open_control_server(self._control_port)
+            if self._faults is not None:
+                self._arm_replayer(self._faults)
             self._stop_event = asyncio.Event()
         except BaseException as exc:  # noqa: BLE001 - surfaced to start()
             self._boot_error = exc
-            if self.transport is not None:
-                await self.transport.stop_pumps()
+            await self._shutdown_runtime()
             self._ready.set()
             return
         self._ready.set()
         await self._stop_event.wait()
-        await self.transport.stop_pumps()
+        await self._shutdown_runtime()
+
+    def _boot_queue(self) -> None:
+        self.transport = AsyncioTransport(
+            self.runtime,
+            self.topology,
+            latency=self._latency,
+            loss=self.loss,
+        )
+        self.runtime.transport = self.transport
+        tables = None
+        if self.config.demand_knowledge == KNOWLEDGE_ADVERTISED:
+            tables = bootstrap_tables(self.transport, self.demand, at_time=0.0)
+        for node in self.topology.nodes:
+            stack = build_node_stack(
+                self.runtime,
+                self.topology,
+                self.demand,
+                self.config,
+                node,
+                tables=tables,
+                on_new_updates=(
+                    lambda updates, source, sender, _node=node: (
+                        self._record_applied(_node, updates)
+                    )
+                ),
+            )
+            self.nodes[node] = stack
+            self.servers[node] = stack.server
+        self.transport.start_pumps()
+        for stack in self.nodes.values():
+            stack.start()
+
+    async def _boot_tcp(self) -> None:
+        import asyncio
+        import multiprocessing
+
+        self._all_registered = asyncio.Event()
+        self._all_ready = asyncio.Event()
+        await self._open_control_server(self._control_port or 0)
+        context = multiprocessing.get_context("spawn")
+        for node in self._node_ids:
+            spec = NodeSpec(
+                node=node,
+                topology=self.topology,
+                demand=self._base_demand,
+                config=self.config,
+                seed=self.seed,
+                time_scale=self.runtime.time_scale,
+                hub_address=tuple(self.control_address),
+                latency=self._latency,
+                loss=self.loss,
+                has_shocks=self._has_shocks,
+                max_frame_bytes=self._max_frame_bytes,
+                host=self._host,
+            )
+            process = context.Process(
+                target=node_process_main, args=(spec,), daemon=True
+            )
+            process.start()
+            self._processes[node] = process
+        try:
+            await asyncio.wait_for(
+                self._all_registered.wait(), timeout=_BOOT_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            raise ReplicationError(
+                f"tcp cluster boot timed out: "
+                f"{len(self._node_addresses)}/{self._n} nodes registered"
+            ) from None
+        directory = dict(self._node_addresses)
+        for writer in self._node_writers.values():
+            writer.write(encode_frame(("directory", directory)))
+            writer.write(encode_frame(("start",)))
+            await writer.drain()
+        try:
+            await asyncio.wait_for(self._all_ready.wait(), timeout=_BOOT_TIMEOUT)
+        except asyncio.TimeoutError:
+            raise ReplicationError(
+                f"tcp cluster boot timed out: "
+                f"{len(self._ready_nodes)}/{self._n} nodes ready"
+            ) from None
+        self._mono_anchor = time.monotonic()
+
+    async def _open_control_server(self, port: int) -> None:
+        import asyncio
+
+        self._control_server = await asyncio.start_server(
+            self._on_control_connection, self._host, port
+        )
+        sock_host, sock_port = self._control_server.sockets[0].getsockname()[:2]
+        self.control_address = (sock_host, sock_port)
+
+    async def _shutdown_runtime(self) -> None:
+        if self._mode == "tcp":
+            for writer in self._node_writers.values():
+                try:
+                    writer.write(encode_frame(("stop",)))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+            for writer in self._node_writers.values():
+                writer.close()
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
+            self._control_server = None
+        if self._control_tasks:
+            import asyncio
+
+            for task in list(self._control_tasks):
+                task.cancel()
+            await asyncio.gather(*self._control_tasks, return_exceptions=True)
+            self._control_tasks.clear()
+        if self.transport is not None:
+            await self.transport.stop_pumps()
+
+    def _reap_processes(self, timeout: float = 5.0) -> None:
+        for process in self._processes.values():
+            process.join(timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        self._processes.clear()
+
+    def _fail_pending_calls(self) -> None:
+        with self._lock:
+            pending = list(self._pending_calls)
+            self._pending_calls.clear()
+        for future in pending:
+            if not future.done():
+                try:
+                    future.set_exception(
+                        ReplicationError(
+                            "cluster closed while the call was in flight"
+                        )
+                    )
+                except concurrent.futures.InvalidStateError:
+                    pass  # the loop resolved it in the same instant
+
+    # -- control-frame hub (tcp node processes + chaos clients) ----------
+
+    async def _on_control_connection(self, reader, writer) -> None:
+        import asyncio
+
+        task = asyncio.current_task()
+        self._control_tasks.add(task)
+        decoder = FrameDecoder(self._max_frame_bytes)
+        try:
+            async for frame in read_frames(reader, decoder):
+                await self._on_control_frame(frame, writer)
+        except ReproError as exc:
+            self._control_errors.append(str(exc))
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._control_tasks.discard(task)
+            writer.close()
+
+    async def _on_control_frame(self, frame: object, writer) -> None:
+        if not (isinstance(frame, tuple) and frame):
+            self._control_errors.append(f"unrecognised frame: {frame!r:.120}")
+            return
+        kind = frame[0]
+        if kind == "register":
+            _, node, address = frame
+            node = int(node)
+            self._node_writers[node] = writer
+            self._node_addresses[node] = (str(address[0]), int(address[1]))
+            if (
+                len(self._node_addresses) >= self._n
+                and self._all_registered is not None
+            ):
+                self._all_registered.set()
+        elif kind == "ready":
+            self._ready_nodes.add(int(frame[1]))
+            if len(self._ready_nodes) >= self._n and self._all_ready is not None:
+                self._all_ready.set()
+        elif kind == "applied":
+            _, node, pairs = frame
+            node = int(node)
+            with self._lock:
+                for uid, stamp in pairs:
+                    self._note_applied_locked(uid, node, self._units(stamp))
+        elif kind == "reply":
+            _, call_id, ok, payload = frame
+            future = self._tcp_pending.pop(call_id, None)
+            if future is not None and not future.done():
+                try:
+                    future.set_result((ok, payload))
+                except concurrent.futures.InvalidStateError:
+                    pass
+        elif kind == "chaos":
+            schedule = frame[1]
+            try:
+                replayer = self._arm_replayer(schedule)
+            except ReproError as exc:
+                writer.write(encode_frame(("chaos-error", str(exc))))
+            else:
+                writer.write(
+                    encode_frame(
+                        (
+                            "chaos-ack",
+                            {"events": replayer.total, "name": schedule.name},
+                        )
+                    )
+                )
+            await writer.drain()
+        elif kind == "topology?":
+            writer.write(encode_frame(("topology", self.topology)))
+            await writer.drain()
+        elif kind == "status?":
+            writer.write(encode_frame(("status", self._status())))
+            await writer.drain()
+        else:
+            self._control_errors.append(f"unrecognised frame kind {kind!r}")
+
+    def _units(self, stamp: float) -> float:
+        """A cross-process ``time.monotonic()`` stamp in protocol units."""
+        anchor = self._mono_anchor if self._mono_anchor is not None else 0.0
+        return (stamp - anchor) / self.runtime.time_scale
+
+    def _status(self) -> Dict[str, object]:
+        with self._lock:
+            status: Dict[str, object] = {
+                "nodes": self._n,
+                "transport": self._mode,
+                "time_scale": self.runtime.time_scale,
+                "puts": self._puts,
+                "updates_tracked": len(self._apply_times),
+                "updates_fully_replicated": self._completed_total,
+            }
+        status["chaos"] = self.chaos_status()
+        return status
+
+    # -- chaos ----------------------------------------------------------
+
+    def _make_injector(self) -> FaultInjector:
+        if self._injector is None:
+            if self._mode == "tcp":
+                self._injector = TcpBroadcastInjector(self)
+            else:
+                self._injector = ClusterFaultInjector(self)
+        return self._injector
+
+    def _arm_replayer(self, schedule: FaultSchedule) -> FaultReplayer:
+        """Arm a wall-clock replay *on the loop thread* (schedule t=0 is now)."""
+        schedule.validate()
+        replayer = FaultReplayer(self.runtime, self._make_injector(), schedule)
+        self._replayers.append(replayer)
+        return replayer
+
+    def inject_faults(self, schedule: FaultSchedule) -> FaultReplayer:
+        """Replay ``schedule`` against the running cluster on wall clock.
+
+        Schedule time 0 maps to the moment of injection; event times are
+        protocol units, scaled by the cluster's ``time_scale`` — the
+        very same :class:`FaultSchedule` object a simulation replays.
+        Returns the armed :class:`FaultReplayer` (its ``applied`` /
+        ``skipped`` / ``done`` reflect live progress).
+        """
+        schedule.validate()
+        return self._call(self._arm_replayer, schedule)
+
+    def chaos_status(self) -> Optional[Dict[str, object]]:
+        """Progress of the most recent fault replay (None before any)."""
+        if not self._replayers:
+            return None
+        replayer = self._replayers[-1]
+        return {
+            "schedule": replayer.schedule.name,
+            "applied": replayer.applied,
+            "skipped": len(replayer.skipped),
+            "total": replayer.total,
+            "done": replayer.done,
+        }
 
     # -- replication tracking -------------------------------------------
 
@@ -241,17 +720,18 @@ class ReplicaCluster:
         now = self.runtime.now
         with self._lock:
             for update in updates:
-                times = self._apply_times.setdefault(update.uid, {})
-                times.setdefault(node, now)
-                if len(times) >= self._n:
-                    event = self._replicated.setdefault(
-                        update.uid, threading.Event()
-                    )
-                    if not event.is_set():
-                        event.set()
-                        self._completed_total += 1
-                        self._completed_order.append(update.uid)
-                        self._evict_locked()
+                self._note_applied_locked(update.uid, node, now)
+
+    def _note_applied_locked(self, uid: UpdateId, node: int, t: float) -> None:
+        times = self._apply_times.setdefault(uid, {})
+        times.setdefault(node, t)
+        if len(times) >= self._n:
+            event = self._replicated.setdefault(uid, threading.Event())
+            if not event.is_set():
+                event.set()
+                self._completed_total += 1
+                self._completed_order.append(uid)
+                self._evict_locked()
 
     def _evict_locked(self) -> None:
         """Drop tracking state of the oldest fully replicated updates
@@ -286,30 +766,50 @@ class ReplicaCluster:
 
     # -- cross-thread plumbing ------------------------------------------
 
+    def _register_pending(self) -> "concurrent.futures.Future":
+        """New call future, tracked so close() can fail it cleanly."""
+        future: "concurrent.futures.Future" = concurrent.futures.Future()
+        with self._lock:
+            if self._thread is None or self._closed:
+                raise ReplicationError(
+                    "cluster is not running (start() it first)"
+                )
+            self._pending_calls.add(future)
+        future.add_done_callback(self._discard_pending)
+        return future
+
+    def _discard_pending(self, future) -> None:
+        with self._lock:
+            self._pending_calls.discard(future)
+
     def _call(self, fn, *args):
         """Run ``fn(*args)`` on the loop thread; return its result.
 
         Raises :class:`ReplicationError` when the cluster is not (or no
         longer) running — including a concurrent :meth:`close` racing
         this call, in which case the pending call fails rather than
-        executing on a stopped loop.
+        executing on a stopped loop or hanging until the call timeout.
         """
-        future: "concurrent.futures.Future" = concurrent.futures.Future()
+        future = self._register_pending()
 
         def runner() -> None:
+            if future.done():
+                return  # already failed by a concurrent close()
             try:
-                future.set_result(fn(*args))
+                result = fn(*args)
             except BaseException as exc:  # noqa: BLE001 - re-raised at caller
-                future.set_exception(exc)
+                try:
+                    future.set_exception(exc)
+                except concurrent.futures.InvalidStateError:
+                    pass
+            else:
+                try:
+                    future.set_result(result)
+                except concurrent.futures.InvalidStateError:
+                    pass
 
-        with self._lock:
-            if self._thread is None or self._closed:
-                raise ReplicationError(
-                    "cluster is not running (start() it first)"
-                )
-            loop = self._loop
         try:
-            loop.call_soon_threadsafe(runner)
+            self._loop.call_soon_threadsafe(runner)
         except RuntimeError as exc:  # loop already closed under us
             raise ReplicationError("cluster stopped during the call") from exc
         try:
@@ -319,14 +819,61 @@ class ReplicaCluster:
                 "cluster call timed out (cluster closing concurrently?)"
             ) from exc
 
+    def _tcp_call(self, node: int, method: str, args: Tuple):
+        """Round-trip one control call to ``node``'s process."""
+        future = self._register_pending()
+        call_id = next(self._call_counter)
+
+        def dispatch() -> None:
+            if future.done():
+                return
+            writer = self._node_writers.get(node)
+            if writer is None:
+                try:
+                    future.set_exception(
+                        ReplicationError(
+                            f"node {node} has no control channel (process dead?)"
+                        )
+                    )
+                except concurrent.futures.InvalidStateError:
+                    pass
+                return
+            self._tcp_pending[call_id] = future
+            writer.write(encode_frame(("call", call_id, method, tuple(args))))
+
+        try:
+            self._loop.call_soon_threadsafe(dispatch)
+        except RuntimeError as exc:
+            raise ReplicationError("cluster stopped during the call") from exc
+        try:
+            ok, payload = future.result(timeout=_CALL_TIMEOUT)
+        except concurrent.futures.TimeoutError as exc:
+            raise ReplicationError(
+                f"call to node {node} timed out after {_CALL_TIMEOUT}s"
+            ) from exc
+        finally:
+            loop = self._loop
+            if loop is not None and loop.is_running():
+                loop.call_soon_threadsafe(
+                    lambda: self._tcp_pending.pop(call_id, None)
+                )
+        if not ok:
+            raise ReplicationError(str(payload))
+        return payload
+
     def _resolve_node(self, node: Optional[int]) -> int:
         if self._thread is None or self._closed:
             raise ReplicationError("cluster is not running (start() it first)")
         if node is None:
-            return self._client_rng.choice(sorted(self.servers))
-        if node not in self.servers:
+            return self._client_rng.choice(self._node_ids)
+        if int(node) not in self._node_set:
             raise ReplicationError(f"unknown node {node}")
         return int(node)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All replica node ids, sorted (valid targets for put/read)."""
+        return list(self._node_ids)
 
     # -- client API -----------------------------------------------------
 
@@ -344,19 +891,35 @@ class ReplicaCluster:
         propagates it in the background (fast-update push first, then
         anti-entropy).  With ``wait=True``, block until every replica
         absorbed it (raises :class:`ReplicationError` on timeout).
+        A write addressed to a node currently crashed by an injected
+        fault fails with a clean :class:`ReplicationError`.
         """
         target = self._resolve_node(node)
 
-        def write() -> Update:
-            t0 = self.runtime.now
-            update = self.servers[target].local_write(key, value)
+        if self._mode == "tcp":
+            update, stamp = self._tcp_call(target, "put", (key, value))
             with self._lock:
-                self._put_times[update.uid] = t0
-            return update
+                self._put_times[update.uid] = self._units(stamp)
+                self._puts += 1
+        else:
 
-        update = self._call(write)
-        with self._lock:
-            self._puts += 1
+            def write() -> Update:
+                transport = self.transport
+                if transport.link_state.active and not transport.node_is_up(
+                    target
+                ):
+                    raise ReplicationError(
+                        f"node {target} is down (injected fault)"
+                    )
+                t0 = self.runtime.now
+                result = self.servers[target].local_write(key, value)
+                with self._lock:
+                    self._put_times[result.uid] = t0
+                return result
+
+            update = self._call(write)
+            with self._lock:
+                self._puts += 1
         if wait and not self.wait_replicated(update.uid, timeout=timeout):
             raise ReplicationError(
                 f"update {update.uid} not fully replicated within {timeout}s"
@@ -373,7 +936,16 @@ class ReplicaCluster:
         target = self._resolve_node(node)
         with self._lock:
             self._gets += 1
-        return self._call(self.servers[target].read, key)
+        if self._mode == "tcp":
+            return self._tcp_call(target, "read", (key,))
+
+        def reader() -> Optional[StoreEntry]:
+            transport = self.transport
+            if transport.link_state.active and not transport.node_is_up(target):
+                raise ReplicationError(f"node {target} is down (injected fault)")
+            return self.servers[target].read(key)
+
+        return self._call(reader)
 
     def wait_replicated(
         self, uid: UpdateId, timeout: Optional[float] = None
@@ -414,24 +986,57 @@ class ReplicaCluster:
             tracked = len(self._apply_times)
             replicated = self._completed_total
             puts, gets = self._puts, self._gets
-        sessions: Dict[str, int] = {}
-        for stack in self.nodes.values():
-            stats = stack.anti_entropy.stats
-            for name in ("initiated", "completed_initiator", "completed_responder"):
-                sessions[name] = sessions.get(name, 0) + getattr(stats, name)
         out: Dict[str, object] = {
             "nodes": self._n,
             "variant": self.config.describe(),
+            "transport": self._mode,
             "time_scale": self.runtime.time_scale,
             "puts": puts,
             "gets": gets,
             "updates_tracked": tracked,
             "updates_fully_replicated": replicated,
-            "sessions": sessions,
         }
-        if self.transport is not None:
-            out["traffic"] = self.transport.counters.snapshot()
-            out["handler_errors"] = len(self.transport.handler_errors)
+        chaos = self.chaos_status()
+        if chaos is not None:
+            out["chaos"] = chaos
+        if self._mode == "tcp":
+            sessions: Dict[str, int] = {}
+            traffic: Optional[Dict[str, object]] = None
+            handler_errors = 0
+            for node in self._node_ids:
+                payload = self._tcp_call(node, "stats", ())
+                for name, count in payload["sessions"].items():
+                    sessions[name] = sessions.get(name, 0) + count
+                snapshot = payload["traffic"]
+                if traffic is None:
+                    traffic = dict(snapshot)
+                else:
+                    for name, value in snapshot.items():
+                        if isinstance(value, dict):
+                            merged = dict(traffic.get(name, {}))
+                            for k, v in value.items():
+                                merged[k] = merged.get(k, 0) + v
+                            traffic[name] = merged
+                        else:
+                            traffic[name] = traffic.get(name, 0) + value
+                handler_errors += payload["handler_errors"]
+            out["sessions"] = sessions
+            out["traffic"] = traffic
+            out["handler_errors"] = handler_errors
+        else:
+            sessions = {}
+            for stack in self.nodes.values():
+                stats = stack.anti_entropy.stats
+                for name in (
+                    "initiated",
+                    "completed_initiator",
+                    "completed_responder",
+                ):
+                    sessions[name] = sessions.get(name, 0) + getattr(stats, name)
+            out["sessions"] = sessions
+            if self.transport is not None:
+                out["traffic"] = self.transport.counters.snapshot()
+                out["handler_errors"] = len(self.transport.handler_errors)
         if self._loop is not None and self._loop.is_running():
             out["uptime_units"] = self._call(lambda: self.runtime.now)
         return out

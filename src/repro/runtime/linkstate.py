@@ -1,0 +1,105 @@
+"""Shared fault-state filter for live transports.
+
+:class:`LinkState` holds the crash / failed-link / partition state a
+fault injector applies to a running transport and answers the one
+question every send and delivery asks: *can this channel carry a
+message right now?*  The semantics mirror the simulator's
+:class:`~repro.sim.network.Network` exactly — a crashed endpoint, a
+failed link or a partition boundary refuses the message — so the same
+:class:`~repro.faults.schedule.FaultSchedule` means the same thing in
+every execution world.
+
+The simulator's ``Network`` keeps its own hand-tuned copy of this logic
+(its send path is hot and golden-trace-pinned); the live transports
+(:class:`~repro.runtime.live.AsyncioTransport`,
+:class:`~repro.runtime.tcp.TcpTransport`) share this one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+
+class LinkState:
+    """Mutable crash/link/partition state with Network-compatible queries."""
+
+    __slots__ = ("_down_nodes", "_down_links", "_partition")
+
+    def __init__(self) -> None:
+        self._down_nodes: Set[int] = set()
+        self._down_links: Set[Tuple[int, int]] = set()
+        self._partition: Optional[Dict[int, int]] = None
+
+    # -- mutation (the fault-injection surface) -------------------------
+
+    def set_node_down(self, node: int) -> None:
+        """Crash a node: it neither sends nor receives until restored."""
+        self._down_nodes.add(int(node))
+
+    def set_node_up(self, node: int) -> None:
+        """Restore a crashed node."""
+        self._down_nodes.discard(int(node))
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def set_link_down(self, a: int, b: int) -> None:
+        """Fail the link between ``a`` and ``b`` (both directions)."""
+        self._down_links.add(self._link_key(int(a), int(b)))
+
+    def set_link_up(self, a: int, b: int) -> None:
+        """Restore a failed link."""
+        self._down_links.discard(self._link_key(int(a), int(b)))
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network: messages may only cross within a group."""
+        assignment: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                assignment[int(node)] = index
+        self._partition = assignment
+
+    def heal_partition(self) -> None:
+        """Remove any active partition."""
+        self._partition = None
+
+    # -- queries ---------------------------------------------------------
+
+    def node_is_up(self, node: int) -> bool:
+        return node not in self._down_nodes
+
+    def link_is_up(self, a: int, b: int) -> bool:
+        return self._link_key(a, b) not in self._down_links
+
+    @property
+    def active(self) -> bool:
+        """True when any fault is currently in effect."""
+        return bool(
+            self._down_nodes or self._down_links or self._partition is not None
+        )
+
+    def down_nodes(self) -> Set[int]:
+        """Snapshot of the currently crashed nodes."""
+        return set(self._down_nodes)
+
+    def can_carry(self, src: int, dst: int) -> bool:
+        """Whether the ``src``->``dst`` channel carries a message now.
+
+        Same rules as the simulator's network: both endpoints up, the
+        link not failed, and no partition boundary between them.
+        """
+        if (
+            not self._down_nodes
+            and not self._down_links
+            and self._partition is None
+        ):
+            return True
+        if src in self._down_nodes or dst in self._down_nodes:
+            return False
+        if self._link_key(src, dst) in self._down_links:
+            return False
+        if self._partition is not None:
+            if self._partition.get(src) != self._partition.get(dst):
+                return False
+        return True

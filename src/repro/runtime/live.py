@@ -32,6 +32,7 @@ from ..sim.network import (
 from ..sim.rng import RngRegistry
 from ..sim.trace import Tracer
 from .base import MessageHandler, Runtime, TopicBus
+from .linkstate import LinkState
 
 
 class _LiveHandle:
@@ -194,6 +195,9 @@ class AsyncioTransport:
         self.loss = loss
         self.counters = TrafficCounters()
         self._rng = runtime.rng.stream(seed_stream)
+        #: Crash/link/partition state a live fault injector mutates;
+        #: same carry semantics as the simulator's Network.
+        self.link_state = LinkState()
         self._handlers: Dict[int, MessageHandler] = {}
         self._queues: Dict[int, "asyncio.Queue[Tuple[int, object]]"] = {}
         self._pumps: Dict[int, "asyncio.Task[None]"] = {}
@@ -224,6 +228,35 @@ class AsyncioTransport:
         """The currently attached handler of ``node`` (None if detached)."""
         return self._handlers.get(node)
 
+    # -- fault injection (delegates to the shared LinkState) -------------
+
+    def set_node_down(self, node: int) -> None:
+        """Crash a node: it neither sends nor receives until restored."""
+        self.link_state.set_node_down(node)
+
+    def set_node_up(self, node: int) -> None:
+        """Restore a crashed node."""
+        self.link_state.set_node_up(node)
+
+    def node_is_up(self, node: int) -> bool:
+        return self.link_state.node_is_up(node)
+
+    def set_link_down(self, a: int, b: int) -> None:
+        """Fail the link between ``a`` and ``b`` (both directions)."""
+        self.link_state.set_link_down(a, b)
+
+    def set_link_up(self, a: int, b: int) -> None:
+        """Restore a failed link."""
+        self.link_state.set_link_up(a, b)
+
+    def partition(self, groups) -> None:
+        """Split the network: messages may only cross within a group."""
+        self.link_state.partition(groups)
+
+    def heal_partition(self) -> None:
+        """Remove any active partition."""
+        self.link_state.heal_partition()
+
     # -- pump lifecycle --------------------------------------------------
 
     def start_pumps(self) -> None:
@@ -241,6 +274,10 @@ class AsyncioTransport:
         queue = self._queues[node]
         while True:
             src, message = await queue.get()
+            if not self.link_state.node_is_up(node):
+                # Crashed while the message sat in the mailbox.
+                self._drop(src, node, message_kind(message), "crashed-in-flight")
+                continue
             handler = self._handlers.get(node)
             if handler is None:
                 self._drop(src, node, message_kind(message), "no-handler")
@@ -273,7 +310,12 @@ class AsyncioTransport:
     # -- sending ---------------------------------------------------------
 
     def send(self, src: int, dst: int, message: object) -> bool:
-        """One-hop send; True if the message entered the channel."""
+        """One-hop send; True if the message entered the channel.
+
+        Returns False when an injected fault (crashed endpoint, failed
+        link, partition boundary) refuses the message — the same
+        refusal contract as the simulator's Network.
+        """
         if src == dst:
             raise SimulationError(f"node {src} sending to itself")
         kind = message_kind(message)
@@ -281,6 +323,9 @@ class AsyncioTransport:
         if not self.topology.has_edge(src, dst):
             raise SimulationError(f"no link {src}->{dst}")
         self.counters.note_send(kind, size)
+        if self.link_state.active and not self.link_state.can_carry(src, dst):
+            self._drop(src, dst, kind, "link-down")
+            return False
         if self.loss and self._rng.random() < self.loss:
             self._drop(src, dst, kind, "loss")
             return True
@@ -298,6 +343,13 @@ class AsyncioTransport:
         return sent
 
     def _deliver(self, src: int, dst: int, message: object) -> None:
+        # Failures that occurred while the message was in flight still
+        # prevent delivery (the channel is not clairvoyant).
+        if self.link_state.active and not (
+            self.link_state.node_is_up(src) and self.link_state.node_is_up(dst)
+        ):
+            self._drop(src, dst, message_kind(message), "crashed-in-flight")
+            return
         queue = self._queues.get(dst)
         if queue is None:
             self._drop(src, dst, message_kind(message), "no-handler")

@@ -1,0 +1,259 @@
+"""One replica per OS process: the child side of the TCP cluster.
+
+:class:`~repro.runtime.cluster.ReplicaCluster` in ``transport="tcp"``
+mode spawns one process per node; each runs :func:`node_process_main`
+with a picklable :class:`NodeSpec`.  The child:
+
+1. builds an :class:`~repro.runtime.live.AsyncioRuntime` and a
+   :class:`~repro.runtime.tcp.TcpTransport` hosting just its node,
+   binds an ephemeral port, and *registers* it with the parent's hub;
+2. waits for the hub's *directory* (every peer's address) and *start*
+   frames, then assembles the very same protocol stack the simulator
+   uses (:func:`~repro.core.system.build_node_stack`) — demand tables
+   are recomputed locally, which is safe because
+   :func:`~repro.demand.advertisement.bootstrap_tables` is a pure
+   function of topology + demand, both carried in the spec;
+3. serves hub control frames until told to stop: client ``call``\\ s
+   (put / read / stats), broadcast ``fault`` actions applied to the
+   local transport's :class:`~repro.runtime.linkstate.LinkState`
+   through the :class:`~repro.runtime.base.FaultInjector` port, and
+   streams ``applied`` reports (update uid + ``time.monotonic()``)
+   back so the hub can track cluster-wide replication.
+
+Apply/put times cross process boundaries as raw ``time.monotonic()``
+readings — system-wide comparable on Linux — which the hub converts to
+protocol units; only differences are ever used.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.config import KNOWLEDGE_ADVERTISED, ProtocolConfig
+from ..core.system import build_node_stack
+from ..demand.advertisement import bootstrap_tables
+from ..demand.base import DemandModel
+from ..errors import ReplicationError
+from ..faults.process import ShockableDemand, apply_fault
+from ..faults.schedule import FaultEvent
+from ..sim.network import LatencyModel
+from ..topology.graph import Topology
+from .base import FaultInjector
+from .live import AsyncioRuntime
+from .tcp import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    TcpTransport,
+    encode_frame,
+    read_frames,
+)
+
+
+@dataclass
+class NodeSpec:
+    """Everything one node process needs to boot (fully picklable)."""
+
+    node: int
+    topology: Topology
+    demand: DemandModel
+    config: ProtocolConfig
+    seed: int
+    time_scale: float
+    hub_address: Tuple[str, int]
+    latency: Optional[LatencyModel] = None
+    loss: float = 0.0
+    #: True when the cluster's fault schedule carries demand shocks —
+    #: the child wraps its demand in ShockableDemand before building.
+    has_shocks: bool = False
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    host: str = "127.0.0.1"
+
+
+class NodeProcInjector(FaultInjector):
+    """Fault-injector over one node process's local state.
+
+    Every process receives every broadcast fault action and applies it
+    to its *local* link state, so sender-side refusals (crashed peer,
+    failed link, partition boundary) work without any shared memory.
+    Churn handler parking only applies to the process's own node — no
+    other process holds that handler.
+    """
+
+    def __init__(self, runtime, transport, demand, own_node: int, stack):
+        self.runtime = runtime
+        self.transport = transport
+        self.demand = demand
+        self.own_node = own_node
+        self.stack = stack
+        self._parked = None
+
+    def crash_node(self, node: int) -> None:
+        self.transport.set_node_down(node)
+
+    def recover_node(self, node: int) -> None:
+        if node == self.own_node and self._parked is not None:
+            self.transport.attach(node, self._parked)
+            self._parked = None
+        self.transport.set_node_up(node)
+
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        if up:
+            self.transport.set_link_up(a, b)
+        else:
+            self.transport.set_link_down(a, b)
+
+    def partition(self, groups) -> None:
+        self.transport.partition(groups)
+
+    def heal(self) -> None:
+        self.transport.heal_partition()
+
+    def shock_demand(self, nodes, factor: float) -> bool:
+        apply_shock = getattr(self.demand, "apply_shock", None)
+        if apply_shock is None:
+            return False
+        apply_shock(nodes, factor, at=self.runtime.now)
+        return True
+
+    def leave_node(self, node: int) -> None:
+        if node == self.own_node:
+            handler = self.transport.handler_for(node)
+            if handler is not None:
+                self._parked = handler
+            self.transport.detach(node)
+        self.transport.set_node_down(node)
+
+    def join_node(self, node: int) -> None:
+        if (
+            node == self.own_node
+            and self._parked is None
+            and self.transport.handler_for(node) is None
+        ):
+            self.transport.attach(node, self.stack.on_message)
+        self.recover_node(node)
+
+
+async def _node_main(spec: NodeSpec) -> None:
+    runtime = AsyncioRuntime(seed=spec.seed, time_scale=spec.time_scale)
+    runtime.start()
+    demand = ShockableDemand(spec.demand) if spec.has_shocks else spec.demand
+    transport = TcpTransport(
+        runtime,
+        spec.topology,
+        local_nodes=[spec.node],
+        latency=spec.latency,
+        loss=spec.loss,
+        max_frame_bytes=spec.max_frame_bytes,
+    )
+    runtime.transport = transport
+    address = await transport.serve(spec.host)
+    reader, writer = await asyncio.open_connection(*spec.hub_address)
+    writer.write(encode_frame(("register", spec.node, address)))
+    await writer.drain()
+
+    stack = None
+    injector: Optional[NodeProcInjector] = None
+
+    def on_new_updates(updates, source, sender) -> None:
+        # Report arrivals to the hub with a cross-process-comparable
+        # wall-clock stamp (no drain: frames are tiny, loop flushes).
+        stamp = time.monotonic()
+        writer.write(
+            encode_frame(
+                ("applied", spec.node, [(u.uid, stamp) for u in updates])
+            )
+        )
+
+    decoder = FrameDecoder(spec.max_frame_bytes)
+    try:
+        async for frame in read_frames(reader, decoder):
+            kind = frame[0]
+            if kind == "directory":
+                transport.update_directory(frame[1])
+            elif kind == "start":
+                tables = None
+                if spec.config.demand_knowledge == KNOWLEDGE_ADVERTISED:
+                    tables = bootstrap_tables(transport, demand, at_time=0.0)
+                stack = build_node_stack(
+                    runtime,
+                    spec.topology,
+                    demand,
+                    spec.config,
+                    spec.node,
+                    tables=tables,
+                    on_new_updates=on_new_updates,
+                )
+                transport.start_pumps()
+                stack.start()
+                injector = NodeProcInjector(
+                    runtime, transport, demand, spec.node, stack
+                )
+                writer.write(encode_frame(("ready", spec.node)))
+                await writer.drain()
+            elif kind == "fault":
+                _, action, action_args = frame
+                if injector is not None:
+                    apply_fault(
+                        injector, FaultEvent(0.0, action, tuple(action_args))
+                    )
+            elif kind == "call":
+                _, call_id, method, call_args = frame
+                reply = _handle_call(
+                    spec, runtime, transport, stack, method, call_args
+                )
+                writer.write(encode_frame(("reply", call_id) + reply))
+                await writer.drain()
+            elif kind == "stop":
+                break
+    except (ConnectionError, OSError):
+        pass  # hub vanished: shut down quietly
+    finally:
+        await transport.close()
+        writer.close()
+
+
+def _handle_call(spec, runtime, transport, stack, method, args):
+    """Dispatch one hub call; returns ``(ok, payload)``."""
+    try:
+        if stack is None:
+            raise ReplicationError(f"node {spec.node} not started yet")
+        if method == "put":
+            if not transport.node_is_up(spec.node):
+                raise ReplicationError(
+                    f"node {spec.node} is down (injected fault)"
+                )
+            key, value = args
+            update = stack.server.local_write(key, value)
+            return True, (update, time.monotonic())
+        if method == "read":
+            if not transport.node_is_up(spec.node):
+                raise ReplicationError(
+                    f"node {spec.node} is down (injected fault)"
+                )
+            (key,) = args
+            return True, stack.server.read(key)
+        if method == "stats":
+            stats = stack.anti_entropy.stats
+            return True, {
+                "sessions": {
+                    name: getattr(stats, name)
+                    for name in (
+                        "initiated",
+                        "completed_initiator",
+                        "completed_responder",
+                    )
+                },
+                "traffic": transport.counters.snapshot(),
+                "handler_errors": len(transport.handler_errors),
+            }
+        raise ReplicationError(f"unknown cluster call {method!r}")
+    except Exception as exc:  # noqa: BLE001 - serialized to the hub
+        return False, f"{type(exc).__name__}: {exc}"
+
+
+def node_process_main(spec: NodeSpec) -> None:
+    """Child-process entry point (target of ``multiprocessing.Process``)."""
+    asyncio.run(_node_main(spec))

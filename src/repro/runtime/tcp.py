@@ -1,0 +1,607 @@
+"""TcpTransport: the protocol over real sockets, across OS processes.
+
+The same :class:`~repro.runtime.base.Transport` contract the in-process
+:class:`~repro.runtime.live.AsyncioTransport` satisfies, implemented on
+length-prefixed TCP frames so an :class:`~repro.runtime.live.AsyncioRuntime`
+cluster can span OS processes (or machines):
+
+* **Framing** — every frame is a 4-byte big-endian length prefix
+  followed by a pickled payload.  :class:`FrameDecoder` reassembles
+  frames from arbitrary stream chunks (partial reads are normal TCP
+  behaviour) and rejects oversized frames with a one-line
+  :class:`~repro.errors.TransportError` before buffering them.
+* **Peer discovery** — a transport only knows ``node id -> (host,
+  port)`` via its :attr:`directory`, which the cluster hub fills
+  nameserver-style: node processes bind an ephemeral port, register it,
+  and receive the complete directory before the protocol starts.
+* **Reconnect with backoff** — outbound links reconnect lazily with
+  exponential backoff; sends while a peer is unreachable are *dropped
+  and metered*, never raised (``ignore_disconnects`` semantics, after
+  eugene-eeo/rated): the replication protocol is built to survive lost
+  messages, so a flapping peer costs retries, not crashes.  Once the
+  peer is back, the next send past the backoff window reconnects and
+  delivery resumes.
+
+Fault injection shares the live transports'
+:class:`~repro.runtime.linkstate.LinkState`: a chaos controller
+broadcasts each fault action to every node process, whose transport
+then refuses to carry messages across crashed nodes, failed links or
+partition boundaries — exactly the simulator Network's semantics.
+
+This module is imported lazily by :mod:`repro.runtime` so simulation
+workflows never pay for asyncio or sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SimulationError, TransportError
+from ..sim.network import (
+    FixedLatency,
+    LatencyModel,
+    TrafficCounters,
+    message_kind,
+    message_size,
+    resolve_delay,
+)
+from .base import MessageHandler
+from .linkstate import LinkState
+from .live import AsyncioRuntime
+
+#: Length-prefix size: 4-byte unsigned big-endian frame length.
+HEADER_BYTES = 4
+_HEADER = struct.Struct(">I")
+
+#: Default ceiling on one frame's payload (update batches are small;
+#: anything near this is a protocol bug or a corrupted stream).
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(
+    payload: object, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Pickle ``payload`` and prefix it with its length.
+
+    Raises:
+        TransportError: If the pickled payload exceeds
+            ``max_frame_bytes`` (the peer would reject it anyway).
+    """
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > max_frame_bytes:
+        raise TransportError(
+            f"frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: arbitrary stream chunks in, whole frames out.
+
+    TCP guarantees a byte stream, not message boundaries — a frame may
+    arrive coalesced with its neighbours or split at any byte.  Feed
+    whatever ``recv`` returned; complete frames come back in order.
+
+    Args:
+        max_frame_bytes: Frames whose declared length exceeds this are
+            rejected *before* their body is buffered, so a corrupted or
+            hostile length prefix cannot balloon memory.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[object]:
+        """Buffer ``data``; return every frame it completed.
+
+        Raises:
+            TransportError: On an oversized frame (one-line error naming
+                both sizes; the connection should be dropped).
+        """
+        self._buffer.extend(data)
+        frames: List[object] = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise TransportError(
+                    f"incoming frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            if len(self._buffer) < HEADER_BYTES + length:
+                break
+            body = bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length])
+            del self._buffer[: HEADER_BYTES + length]
+            frames.append(pickle.loads(body))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward a not-yet-complete frame."""
+        return len(self._buffer)
+
+
+async def read_frames(
+    reader: "asyncio.StreamReader",
+    decoder: FrameDecoder,
+    chunk_size: int = 65536,
+):
+    """Async generator of frames from ``reader`` until EOF.
+
+    Propagates :class:`TransportError` from the decoder (oversized
+    frame); the caller should close the connection.
+    """
+    while True:
+        data = await reader.read(chunk_size)
+        if not data:
+            return
+        for frame in decoder.feed(data):
+            yield frame
+
+
+async def send_frame(
+    writer: "asyncio.StreamWriter",
+    payload: object,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Write one frame and drain."""
+    writer.write(encode_frame(payload, max_frame_bytes))
+    await writer.drain()
+
+
+# -- synchronous helpers (the chaos CLI client is a plain socket) ---------
+
+
+class SyncFrameChannel:
+    """Blocking frame I/O over a plain socket (for CLI control clients)."""
+
+    def __init__(
+        self,
+        sock: "socket.socket",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._pending: List[object] = []
+
+    def send(self, payload: object) -> None:
+        self.sock.sendall(encode_frame(payload, self.max_frame_bytes))
+
+    def recv(self, timeout: Optional[float] = None) -> object:
+        """Read one frame (raises TransportError on EOF or timeout)."""
+        if self._pending:
+            return self._pending.pop(0)
+        self.sock.settimeout(timeout)
+        while not self._pending:
+            try:
+                data = self.sock.recv(65536)
+            except socket.timeout:
+                raise TransportError(
+                    f"timed out after {timeout}s waiting for a frame"
+                ) from None
+            if not data:
+                raise TransportError("connection closed while reading a frame")
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.pop(0)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# The transport
+# ---------------------------------------------------------------------------
+
+
+class _PeerLink:
+    """Outbound connection to one remote node, with lazy reconnect.
+
+    A sender task drains the outbound queue; when the peer is
+    unreachable, frames are dropped (metered by the owning transport)
+    and reconnection attempts are spaced by exponential backoff.
+    """
+
+    __slots__ = (
+        "transport",
+        "node",
+        "queue",
+        "task",
+        "writer",
+        "backoff",
+        "next_attempt",
+    )
+
+    def __init__(self, transport: "TcpTransport", node: int):
+        self.transport = transport
+        self.node = node
+        self.queue: "asyncio.Queue[bytes]" = asyncio.Queue()
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.backoff = transport.reconnect_base
+        self.next_attempt = 0.0
+        self.task = transport.runtime.loop.create_task(self._run())
+
+    async def _run(self) -> None:
+        loop = self.transport.runtime.loop
+        while True:
+            frame = await self.queue.get()
+            writer = await self._ensure_connected(loop)
+            if writer is None:
+                self.transport._meter_drop(self.node, "disconnected")
+                continue
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # ignore_disconnects: the frame is lost, the protocol's
+                # retries will cover it; we just arm the backoff.
+                self._disconnect(loop)
+                self.transport._meter_drop(self.node, "disconnected")
+
+    async def _ensure_connected(self, loop) -> Optional[asyncio.StreamWriter]:
+        if self.writer is not None:
+            return self.writer
+        if loop.time() < self.next_attempt:
+            return None
+        address = self.transport.directory.get(self.node)
+        if address is None:
+            self._arm_backoff(loop)
+            return None
+        try:
+            _, writer = await asyncio.wait_for(
+                asyncio.open_connection(address[0], address[1]),
+                timeout=self.transport.connect_timeout,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self._arm_backoff(loop)
+            return None
+        self.writer = writer
+        self.backoff = self.transport.reconnect_base
+        return writer
+
+    def _arm_backoff(self, loop) -> None:
+        self.next_attempt = loop.time() + self.backoff
+        self.backoff = min(self.backoff * 2, self.transport.reconnect_cap)
+
+    def _disconnect(self, loop) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+        self._arm_backoff(loop)
+
+    def close(self) -> None:
+        self.task.cancel()
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+
+
+class TcpTransport:
+    """Socket-backed transport hosting a subset of the topology's nodes.
+
+    Each process owns one ``TcpTransport`` serving its *local* nodes
+    (one, in the cluster's spawn-per-node mode); sends to non-local
+    nodes travel as frames to the peer process listed in the
+    :attr:`directory`.  Local delivery is serialized per node through a
+    mailbox-and-pump, exactly like :class:`AsyncioTransport`, so a
+    replica behaves as a one-thread server in every world.
+
+    Link latency (protocol units, scaled by the runtime's
+    ``time_scale``) and probabilistic loss are applied at the *sender*,
+    mirroring the simulator's Network; the real network adds only its
+    own (localhost-negligible) cost on top.
+
+    Args:
+        runtime: Owning :class:`AsyncioRuntime` (clock + RNG).
+        topology: The full link graph (every process holds a copy).
+        local_nodes: Node ids hosted by this process.
+        directory: Initial ``node -> (host, port)`` map for remote
+            peers; usually filled later via :meth:`update_directory`.
+        latency: Per-link latency model (default: fixed 0.02 units).
+        loss: Probability a message is dropped in flight.
+        max_frame_bytes: Per-frame ceiling (oversized frames are
+            refused with a one-line error on both ends).
+        reconnect_base / reconnect_cap: Exponential backoff window for
+            reconnecting to an unreachable peer, in wall seconds.
+    """
+
+    def __init__(
+        self,
+        runtime: AsyncioRuntime,
+        topology,
+        local_nodes: Sequence[int],
+        directory: Optional[Dict[int, Tuple[str, int]]] = None,
+        latency: Optional[LatencyModel] = None,
+        loss: float = 0.0,
+        seed_stream: str = "network",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        reconnect_base: float = 0.05,
+        reconnect_cap: float = 2.0,
+        connect_timeout: float = 5.0,
+    ):
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError(f"loss probability {loss} outside [0, 1)")
+        self.runtime = runtime
+        self.topology = topology
+        self.local_nodes: Set[int] = {int(n) for n in local_nodes}
+        for node in self.local_nodes:
+            if node not in topology.nodes:
+                raise SimulationError(f"node {node} not in topology")
+        self.directory: Dict[int, Tuple[str, int]] = dict(directory or {})
+        self.latency = latency if latency is not None else FixedLatency()
+        self.loss = float(loss)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.reconnect_base = float(reconnect_base)
+        self.reconnect_cap = float(reconnect_cap)
+        self.connect_timeout = float(connect_timeout)
+        self.counters = TrafficCounters()
+        self.link_state = LinkState()
+        self._rng = runtime.rng.stream(seed_stream)
+        self._handlers: Dict[int, MessageHandler] = {}
+        self._queues: Dict[int, "asyncio.Queue[Tuple[int, object]]"] = {}
+        self._pumps: Dict[int, "asyncio.Task[None]"] = {}
+        self._pumping = False
+        self._peers: Dict[int, _PeerLink] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inbound_tasks: Set["asyncio.Task[None]"] = set()
+        self.address: Optional[Tuple[str, int]] = None
+        #: (node, exception) pairs from handlers that raised.
+        self.handler_errors: List[Tuple[int, BaseException]] = []
+        #: One-line records of refused inbound frames (oversized etc.).
+        self.frame_errors: List[str] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Start listening for peer frames; returns the bound address.
+
+        ``port=0`` binds an ephemeral port — the caller registers the
+        returned address with the cluster's directory service.
+        """
+        if self._server is not None:
+            raise TransportError("transport already serving")
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port
+        )
+        sock_host, sock_port = self._server.sockets[0].getsockname()[:2]
+        self.address = (sock_host, sock_port)
+        return self.address
+
+    async def close(self) -> None:
+        """Stop serving, close every peer link, cancel the pumps."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        peer_tasks = [peer.task for peer in self._peers.values()]
+        for peer in self._peers.values():
+            peer.close()
+        self._peers.clear()
+        for task in self._inbound_tasks:
+            task.cancel()
+        self._pumping = False
+        for task in self._pumps.values():
+            task.cancel()
+        pending = (
+            list(self._pumps.values()) + list(self._inbound_tasks) + peer_tasks
+        )
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._pumps.clear()
+        self._queues.clear()
+        self._inbound_tasks.clear()
+
+    def update_directory(self, directory: Dict[int, Tuple[str, int]]) -> None:
+        """Merge peer addresses (nameserver push or lazy lookup result)."""
+        for node, address in directory.items():
+            self.directory[int(node)] = (str(address[0]), int(address[1]))
+
+    # -- attachment (local nodes only) -----------------------------------
+
+    def attach(self, node: int, handler: MessageHandler) -> None:
+        """Register the delivery callback for a *local* node."""
+        if node not in self.local_nodes:
+            raise TransportError(
+                f"node {node} is not hosted by this process "
+                f"(local: {sorted(self.local_nodes)})"
+            )
+        self._handlers[node] = handler
+        if self._pumping:
+            self._ensure_pump(node)
+
+    def detach(self, node: int) -> None:
+        """Remove a node's handler; queued messages to it are dropped."""
+        self._handlers.pop(node, None)
+
+    def handler_for(self, node: int) -> Optional[MessageHandler]:
+        return self._handlers.get(node)
+
+    # -- fault injection -------------------------------------------------
+
+    def set_node_down(self, node: int) -> None:
+        self.link_state.set_node_down(node)
+
+    def set_node_up(self, node: int) -> None:
+        self.link_state.set_node_up(node)
+
+    def node_is_up(self, node: int) -> bool:
+        return self.link_state.node_is_up(node)
+
+    def set_link_down(self, a: int, b: int) -> None:
+        self.link_state.set_link_down(a, b)
+
+    def set_link_up(self, a: int, b: int) -> None:
+        self.link_state.set_link_up(a, b)
+
+    def partition(self, groups) -> None:
+        self.link_state.partition(groups)
+
+    def heal_partition(self) -> None:
+        self.link_state.heal_partition()
+
+    # -- pump lifecycle ---------------------------------------------------
+
+    def start_pumps(self) -> None:
+        """Create one mailbox and pump task per attached local node."""
+        self._pumping = True
+        for node in self._handlers:
+            self._ensure_pump(node)
+
+    def _ensure_pump(self, node: int) -> None:
+        if node not in self._pumps:
+            self._queues[node] = asyncio.Queue()
+            self._pumps[node] = self.runtime.loop.create_task(self._pump(node))
+
+    async def _pump(self, node: int) -> None:
+        queue = self._queues[node]
+        while True:
+            src, message = await queue.get()
+            if not self.link_state.node_is_up(node):
+                self._drop(src, node, message_kind(message), "crashed-in-flight")
+                continue
+            handler = self._handlers.get(node)
+            if handler is None:
+                self._drop(src, node, message_kind(message), "no-handler")
+                continue
+            self.counters.messages_delivered += 1
+            try:
+                handler(src, message)
+            except Exception as exc:  # noqa: BLE001 - replica must survive
+                self.handler_errors.append((node, exc))
+
+    # -- neighbours -------------------------------------------------------
+
+    def neighbors(self, node: int) -> List[int]:
+        return list(self.topology.neighbors(node))
+
+    def physical_neighbors(self, node: int) -> Sequence[int]:
+        return self.topology.neighbors(node)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: object) -> bool:
+        """One-hop send; True if the message entered the channel."""
+        if src == dst:
+            raise SimulationError(f"node {src} sending to itself")
+        kind = message_kind(message)
+        size = message_size(message)
+        if not self.topology.has_edge(src, dst):
+            raise SimulationError(f"no link {src}->{dst}")
+        self.counters.note_send(kind, size)
+        if self.link_state.active and not self.link_state.can_carry(src, dst):
+            self._drop(src, dst, kind, "link-down")
+            return False
+        if self.loss and self._rng.random() < self.loss:
+            self._drop(src, dst, kind, "loss")
+            return True
+        distance = self.topology.edge_weight(src, dst)
+        delay = resolve_delay(self.latency, src, dst, distance, size)
+        self.runtime.schedule(delay, self._dispatch, src, dst, message, label=kind)
+        return True
+
+    def broadcast(self, src: int, message: object) -> int:
+        sent = 0
+        for neighbor in self.physical_neighbors(src):
+            if self.send(src, neighbor, message):
+                sent += 1
+        return sent
+
+    def _dispatch(self, src: int, dst: int, message: object) -> None:
+        """After the link latency: deliver locally or frame to the peer."""
+        if self.link_state.active and not (
+            self.link_state.node_is_up(src) and self.link_state.node_is_up(dst)
+        ):
+            self._drop(src, dst, message_kind(message), "crashed-in-flight")
+            return
+        if dst in self.local_nodes:
+            queue = self._queues.get(dst)
+            if queue is None:
+                self._drop(src, dst, message_kind(message), "no-handler")
+                return
+            queue.put_nowait((src, message))
+            return
+        try:
+            frame = encode_frame(("msg", src, dst, message), self.max_frame_bytes)
+        except TransportError as exc:
+            self.frame_errors.append(str(exc))
+            self._drop(src, dst, message_kind(message), "oversized-frame")
+            return
+        peer = self._peers.get(dst)
+        if peer is None:
+            peer = self._peers[dst] = _PeerLink(self, dst)
+        peer.queue.put_nowait(frame)
+
+    # -- receiving ---------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inbound_tasks.add(task)
+            task.add_done_callback(self._inbound_tasks.discard)
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            async for frame in read_frames(reader, decoder):
+                self._on_frame(frame)
+        except TransportError as exc:
+            # One-line rejection; drop the connection, the peer's
+            # backoff will re-establish a clean one.
+            self.frame_errors.append(str(exc))
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # close() tears inbound readers down; swallow so the
+            # streams machinery does not log a spurious traceback.
+            pass
+        finally:
+            writer.close()
+
+    def _on_frame(self, frame: object) -> None:
+        if not (isinstance(frame, tuple) and frame and frame[0] == "msg"):
+            self.frame_errors.append(f"unrecognised frame: {frame!r:.120}")
+            return
+        _, src, dst, message = frame
+        if dst not in self.local_nodes:
+            self._drop(src, dst, message_kind(message), "not-local")
+            return
+        if self.link_state.active and not self.link_state.can_carry(src, dst):
+            self._drop(src, dst, message_kind(message), "link-down")
+            return
+        queue = self._queues.get(dst)
+        if queue is None:
+            self._drop(src, dst, message_kind(message), "no-handler")
+            return
+        queue.put_nowait((src, message))
+
+    # -- metering ----------------------------------------------------------
+
+    def _meter_drop(self, dst: int, reason: str) -> None:
+        self.counters.messages_dropped += 1
+        trace = self.runtime.trace
+        if trace.wants("net.drop"):
+            trace.record(
+                self.runtime.now, "net.drop", src=-1, dst=dst, kind="frame",
+                reason=reason,
+            )
+
+    def _drop(self, src: int, dst: int, kind: str, reason: str) -> None:
+        self.counters.messages_dropped += 1
+        trace = self.runtime.trace
+        if trace.wants("net.drop"):
+            trace.record(
+                self.runtime.now, "net.drop", src=src, dst=dst, kind=kind,
+                reason=reason,
+            )

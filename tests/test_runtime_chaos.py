@@ -1,0 +1,191 @@
+"""Chaos harness: one FaultSchedule, three execution worlds.
+
+The same declarative schedule must (a) replay in the simulator through
+``FaultProcess``, (b) replay against a live queue-mode cluster through
+``FaultReplayer``, and (c) travel over a control socket into a
+spawn-per-node TCP cluster.  These tests pin the cross-world contract:
+identical applied/skipped accounting, clean client errors while a
+target is crashed, and convergence after heal.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.experiments.scenarios import build_system
+from repro.faults import FaultProcess, FaultSchedule
+from repro.faults.generators import rolling_restart
+from repro.faults.schedule import demand_shock, node_down, node_up
+from repro.runtime.cluster import ReplicaCluster
+from repro.runtime.tcp import SyncFrameChannel
+from repro.sim.trace import Tracer
+from repro.topology.simple import line
+
+
+def _wait_chaos_done(cluster, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = cluster.chaos_status()
+        if status is not None and status["done"]:
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"chaos never finished: {cluster.chaos_status()}")
+
+
+class TestFaultTraceGuards:
+    class BombTracer(Tracer):
+        def record(self, time, category, **fields):
+            raise AssertionError(
+                f"record() called for {category!r} despite being disabled"
+            )
+
+    def test_fault_apply_and_skip_records_are_guarded(self):
+        # With the fault categories disabled, replaying events must
+        # never even *call* record() — the wants() guard keeps fault
+        # injection zero-cost when tracing is off.
+        system = build_system(topology="line", n=4, variant="weak", seed=3)
+        process = FaultProcess(
+            system, FaultSchedule(events=(node_down(1.0, 0),))
+        )
+        bomb = self.BombTracer()
+        bomb.enable_only(["something-else"])
+        system.runtime.sim.trace = bomb
+        process._apply(node_down(1.0, 0))
+        # An unabsorbable demand shock exercises the skip branch.
+        process._apply(demand_shock(1.5, (0,), 2.0))
+        assert process.stats == {"node_down": 1}
+        assert len(process.skipped) == 1
+
+
+class TestScheduleParity:
+    def test_sim_and_live_apply_identical_schedules(self):
+        # The very same schedule object, replayed in virtual time and
+        # on the wall clock, must account every event identically.
+        topology = line(4)
+        schedule = rolling_restart(topology, seed=5)
+
+        system = build_system(topology="line", n=4, variant="weak", seed=5)
+        process = FaultProcess(system, schedule)
+        system.start()
+        system.run_until(schedule.duration + 1.0)
+        sim_stats = dict(process.stats)
+
+        with ReplicaCluster(topology, seed=5, time_scale=0.01) as cluster:
+            replayer = cluster.inject_faults(schedule)
+            status = _wait_chaos_done(cluster)
+            live_stats = dict(replayer.stats)
+        assert sim_stats == live_stats
+        assert status["applied"] == len(schedule.events)
+        assert status["skipped"] == 0
+        assert not process.skipped
+
+    def test_unabsorbable_demand_shock_skipped_in_both_worlds(self):
+        # A cluster built without a fault schedule never wrapped its
+        # demand model, so an injected shock cannot land — it must be
+        # counted as skipped, exactly like the simulator does.
+        topology = line(3)
+        schedule = FaultSchedule(
+            events=(demand_shock(0.1, (0, 1), 3.0),), name="shock-only"
+        )
+        with ReplicaCluster(topology, seed=2, time_scale=0.01) as cluster:
+            replayer = cluster.inject_faults(schedule)
+            status = _wait_chaos_done(cluster)
+            assert status["skipped"] == 1
+            assert status["applied"] == 0
+            assert [e.action for e in replayer.skipped] == ["demand_shock"]
+
+
+class TestCrashDuringClientCalls:
+    def test_put_to_crashed_node_raises_cleanly_and_fast(self):
+        topology = line(3)
+        schedule = FaultSchedule(
+            events=(node_down(0.1, 1), node_up(5.0, 1)), name="blip"
+        )
+        with ReplicaCluster(topology, seed=4, time_scale=0.01) as cluster:
+            assert cluster.put("k", "v0", node=1)
+            cluster.inject_faults(schedule)
+            # Wait for the crash to land, then hammer the dead node:
+            # every put must fail with a clean error in bounded time,
+            # not hang until the 30 s call timeout.
+            deadline = time.monotonic() + 5.0
+            refused = False
+            while time.monotonic() < deadline and not refused:
+                started = time.monotonic()
+                try:
+                    cluster.put("k", "v1", node=1)
+                except ReplicationError as exc:
+                    assert "down" in str(exc)
+                    assert time.monotonic() - started < 5.0
+                    refused = True
+                time.sleep(0.01)
+            assert refused, "crash never surfaced to the client"
+            # Other replicas keep serving throughout.
+            update = cluster.put("k", "v2", node=0)
+            _wait_chaos_done(cluster)
+            # After the scheduled recovery the node serves again.
+            assert cluster.wait_replicated(update.uid, timeout=10.0)
+            cluster.put("k", "v3", node=1)
+
+    def test_close_fails_pending_calls_instead_of_hanging(self):
+        cluster = ReplicaCluster(line(3), seed=1, time_scale=0.01).start()
+        # White-box: a call future that never gets a loop-side result
+        # (the scenario: close() racing an in-flight client call).
+        future = cluster._register_pending()
+        cluster.close()
+        started = time.monotonic()
+        with pytest.raises(ReplicationError):
+            future.result(timeout=5.0)
+        assert time.monotonic() - started < 2.0
+
+    def test_calls_after_close_raise(self):
+        cluster = ReplicaCluster(line(3), seed=1, time_scale=0.01).start()
+        cluster.close()
+        with pytest.raises(ReplicationError):
+            cluster.put("k", "v")
+        with pytest.raises(ReplicationError):
+            cluster.get("k")
+
+
+class TestTcpCluster:
+    def test_three_processes_replicate_and_survive_chaos(self):
+        topology = line(3)
+        schedule = FaultSchedule(
+            events=(node_down(0.5, 1), node_up(3.0, 1)), name="blip"
+        )
+        with ReplicaCluster(
+            topology, seed=7, time_scale=0.02, transport="tcp"
+        ) as cluster:
+            # Plain replication across OS processes.
+            update = cluster.put("key", "v1", node=0)
+            assert cluster.wait_replicated(update.uid, timeout=20.0)
+            assert cluster.get("key", node=2) == "v1"
+            assert cluster.replication_latency(update.uid) is not None
+
+            # Chaos over the control socket, like `repro chaos` does.
+            sock = socket.create_connection(cluster.control_address, timeout=5.0)
+            channel = SyncFrameChannel(sock)
+            try:
+                channel.send(("topology?",))
+                kind, remote_topology = channel.recv(timeout=5.0)
+                assert kind == "topology"
+                assert remote_topology.num_nodes == 3
+                channel.send(("chaos", schedule))
+                reply = channel.recv(timeout=5.0)
+                assert reply[0] == "chaos-ack"
+                assert reply[1]["events"] == 2
+            finally:
+                channel.close()
+            _wait_chaos_done(cluster, timeout=30.0)
+
+            # Post-heal convergence: a fresh write still reaches all.
+            update = cluster.put("key", "v2", node=2)
+            assert cluster.wait_replicated(update.uid, timeout=20.0)
+            assert cluster.get("key", node=1) == "v2"
+
+            stats = cluster.stats()
+            assert stats["transport"] == "tcp"
+            assert stats["chaos"]["applied"] == 2
