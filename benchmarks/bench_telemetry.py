@@ -1,0 +1,168 @@
+"""Telemetry memory/latency bench: O(1) streaming status vs list baseline.
+
+``repro campaign status`` must answer from a checkpoint without
+materialising trials. This bench generates synthetic JSON-lines
+checkpoints at 10^3 / 10^4 / 10^5 trials and measures, at each rung,
+the peak traced allocation and wall latency of
+
+* :func:`repro.experiments.sink.stream_status` — the streaming path
+  (one line parsed, counted, dropped), and
+* :func:`repro.experiments.sink.sink_status` — the list baseline,
+  which loads every trial into a :class:`JsonLinesSink` dict first.
+
+Gates: the streaming peak stays flat across two orders of magnitude of
+trial count (the O(1) claim), the baseline's grows with n, and both
+paths agree on the counts. Results go to ``BENCH_telemetry.json`` at
+the repo root so ``bench_trend.py`` tracks the trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.sink import sink_status, stream_status
+from repro.experiments.tables import format_table
+
+RUNGS = (1_000, 10_000, 100_000)
+VARIANTS = ("fast", "weak")
+#: Streaming peak may grow by at most this factor from 10^3 to 10^5
+#: trials (sketchless status barely allocates; the slack covers
+#: allocator jitter, not data structures).
+FLAT_FACTOR = 3.0
+#: Absolute floor for the flatness ratio: below this many KiB the
+#: comparison measures allocator noise, not the algorithm.
+FLAT_FLOOR_KB = 256.0
+#: At the top rung the list baseline must hold at least this many times
+#: the streaming path's peak — the O(n) vs O(1) separation itself.
+SEPARATION_FACTOR = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+
+def _write_synthetic_checkpoint(path: Path, trials: int) -> None:
+    """A checkpoint shaped exactly like a real campaign's, n rows."""
+    state = 0x9E3779B9
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {"kind": "header", "campaign": "synthetic", "plans": {"bench": trials}},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        for i in range(trials):
+            state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+            spread = (state >> 11) % 10_000 / 1_000.0  # 0.0 .. 9.999
+            variant = VARIANTS[i % len(VARIANTS)]
+            trial = {
+                "rep": i,
+                "origin": i % 97,
+                "time_all": 4.0 + spread,
+                "time_top": 1.0 + spread / 4.0,
+                "time_top1": 0.5 + spread / 8.0,
+                "mean_time": 2.0 + spread / 2.0,
+                "diameter": 11,
+                "messages": 1000 + i % 311,
+                "bytes_sent": 50_000 + i % 7001,
+                "n_nodes": 100,
+                "time_post_heal": None,
+                "time_top_shocked": None,
+                "satisfied_area": None,
+                "replicas_spawned": 0,
+                "replicas_retired": 0,
+                "replicas_peak": 0,
+                "placement_bytes": 0,
+            }
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "trial",
+                        "key": f"bench::rep={i}/faults=none/variant={variant}",
+                        "trial": trial,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+
+def _measure(fn) -> Dict[str, float]:
+    """Peak traced KiB and wall ms of one status call."""
+    tracemalloc.start()
+    started = time.perf_counter()
+    result = fn()
+    elapsed_ms = 1000 * (time.perf_counter() - started)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {"peak_kb": peak / 1024.0, "ms": elapsed_ms, "result": result}
+
+
+def _bench_rung(path: Path, trials: int) -> Dict[str, object]:
+    _write_synthetic_checkpoint(path, trials)
+    streaming = _measure(lambda: stream_status(path))
+    baseline = _measure(lambda: sink_status(path))
+    status = streaming["result"]
+    _, counts = baseline["result"]
+    assert status.trials == trials, (trials, status.trials)
+    assert status.torn_lines == 0
+    assert counts["bench"] == trials, counts
+    return {
+        "trials": trials,
+        "streaming_peak_kb": streaming["peak_kb"],
+        "streaming_status_ms": streaming["ms"],
+        "baseline_peak_kb": baseline["peak_kb"],
+        "baseline_status_ms": baseline["ms"],
+    }
+
+
+def test_telemetry_status_memory(benchmark, report, tmp_path):
+    results: Dict[int, Dict[str, object]] = {}
+
+    def run_all() -> None:
+        for trials in RUNGS:
+            results[trials] = _bench_rung(tmp_path / f"cp_{trials}.jsonl", trials)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    smallest, largest = results[RUNGS[0]], results[RUNGS[-1]]
+    # The O(1) gate: two orders of magnitude more trials, flat peak.
+    flat_base = max(float(smallest["streaming_peak_kb"]), FLAT_FLOOR_KB)
+    assert largest["streaming_peak_kb"] <= FLAT_FACTOR * flat_base, results
+    # The separation gate: the list baseline pays O(n) where the
+    # streaming path does not.
+    assert (
+        largest["baseline_peak_kb"]
+        >= SEPARATION_FACTOR * largest["streaming_peak_kb"]
+    ), results
+
+    payload = {
+        "experiment": "telemetry-status",
+        "rungs": list(RUNGS),
+        "flat_factor": FLAT_FACTOR,
+        "separation_factor": SEPARATION_FACTOR,
+        "results": {str(trials): results[trials] for trials in RUNGS},
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        (
+            f"{trials:,}",
+            f"{results[trials]['streaming_peak_kb']:.0f}",
+            f"{results[trials]['streaming_status_ms']:.1f}",
+            f"{results[trials]['baseline_peak_kb']:.0f}",
+            f"{results[trials]['baseline_status_ms']:.1f}",
+        )
+        for trials in RUNGS
+    ]
+    report.add(
+        "telemetry — campaign status peak memory (KiB) and latency (ms)",
+        format_table(
+            ["trials", "stream KiB", "stream ms", "list KiB", "list ms"],
+            rows,
+            title="stream_status (O(1)) vs sink_status (materialises trials)",
+        ),
+    )

@@ -168,6 +168,44 @@ def run_trend(ref: str = BASELINE_REF) -> Tuple[List[Dict[str, object]], str]:
     return rows, report
 
 
+#: The telemetry bench's O(1)-memory claim, re-checked from the
+#: committed artifact: streaming status peak may grow by at most this
+#: factor across the artifact's rungs (10^3 -> 10^5 trials). A ratio
+#: gate is runner-independent, so unlike the absolute deltas above it
+#: is enforced, not informational.
+TELEMETRY_FLAT_FACTOR = 4.0
+
+
+def telemetry_flat_violation(tree: Dict) -> Optional[str]:
+    """None if the artifact's streaming peaks are flat, else a message."""
+    results = tree.get("results", {})
+    peaks = {
+        int(rung): float(row["streaming_peak_kb"])
+        for rung, row in results.items()
+        if isinstance(row, dict) and "streaming_peak_kb" in row
+    }
+    if len(peaks) < 2:
+        return "artifact carries fewer than two rungs"
+    smallest, largest = min(peaks), max(peaks)
+    if peaks[largest] > TELEMETRY_FLAT_FACTOR * max(peaks[smallest], 1.0):
+        return (
+            f"streaming peak grew {peaks[smallest]:.0f} KiB @ {smallest} -> "
+            f"{peaks[largest]:.0f} KiB @ {largest} trials "
+            f"(limit {TELEMETRY_FLAT_FACTOR}x)"
+        )
+    return None
+
+
+def test_telemetry_memory_stays_flat():
+    """Gate: the committed telemetry artifact still shows O(1) status."""
+    path = REPO_ROOT / "BENCH_telemetry.json"
+    if not path.exists():
+        return  # bench not yet run on this checkout; nothing to gate
+    tree = json.loads(path.read_text(encoding="utf-8"))
+    violation = telemetry_flat_violation(tree)
+    assert violation is None, violation
+
+
 def test_trend_report(report):
     """Informational in CI: print the table, never fail the build on it
     (absolute perf moves with the runner; in-bench ratio gates do the

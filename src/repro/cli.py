@@ -54,7 +54,7 @@ from .experiments.scenarios import (
     build_faults,
     build_system,
 )
-from .experiments.sink import JsonLinesSink, sink_status
+from .experiments.sink import StreamingSink, stream_status
 from .experiments.tables import format_kv, format_table
 from .viz.ascii import bar_chart, cdf_plot
 from .viz.surface import render_surface
@@ -165,6 +165,23 @@ def build_parser() -> argparse.ArgumentParser:
             )
     cp = csub.add_parser("status", help="progress of a checkpointed campaign")
     cp.add_argument("--checkpoint", metavar="PATH", required=True)
+    cp.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="also print streaming per-series aggregates from the "
+        "telemetry sidecar (means and sketch quantiles)",
+    )
+    cp = csub.add_parser(
+        "export", help="export a checkpoint for offline analysis"
+    )
+    cp.add_argument("--checkpoint", metavar="PATH", required=True)
+    cp.add_argument(
+        "--columnar",
+        metavar="DIR",
+        required=True,
+        help="write packed per-column binaries + manifest.json "
+        "(numpy/pandas/duckdb-friendly, stdlib-only writer)",
+    )
 
     p = sub.add_parser(
         "sweep", help="run any registry-named experiment grid (plan + backend)"
@@ -276,6 +293,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PORT",
         help="open a control socket for `repro chaos` clients (0 = ephemeral)",
     )
+    p.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="emit a newline-JSON telemetry snapshot every SECS seconds "
+        "(schema repro-telemetry/1, same as the campaign sidecar)",
+    )
+    p.add_argument(
+        "--metrics-path",
+        metavar="PATH",
+        default=None,
+        help="append telemetry snapshots to PATH (default: stderr); "
+        "implies --metrics-interval 1.0 when given alone",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -305,6 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="per-round-trip socket timeout in seconds",
+    )
+    p.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a JSON convergence report (faults applied/skipped, "
+        "post-heal convergence seconds, p99 put-to-replicated); "
+        "implies --wait",
     )
 
     p = sub.add_parser("all", help="run every experiment (reduced fidelity)")
@@ -500,8 +540,48 @@ def cmd_sweep(args) -> str:
     return "\n".join(out)
 
 
-def _campaign_status(path: str) -> str:
-    header, counts = sink_status(path)
+def _telemetry_table(registry) -> str:
+    """Per-series streaming aggregates, one row per recorded series."""
+    moments = {}
+    sketches = {}
+    trials = {}
+    converged = {}
+    for name, labels, metric in registry.series():
+        key = (labels.get("plan", "?"), labels.get("series", "?"))
+        if name == "campaign.trials":
+            trials[key] = metric.value
+        elif name == "campaign.converged":
+            converged[key] = metric.value
+        elif name == "trial.time_all":
+            moments[key] = metric
+        elif name == "trial.time_all.sketch":
+            sketches[key] = metric
+    rows = []
+    for key in sorted(trials):
+        mom = moments.get(key)
+        sketch = sketches.get(key)
+        rows.append(
+            (
+                key[0],
+                key[1],
+                trials[key],
+                f"{100 * converged.get(key, 0) // max(1, trials[key])}%",
+                "n/a" if mom is None or not mom.count else f"{mom.mean:.3f}",
+                "n/a" if sketch is None or not sketch.count else f"{sketch.quantile(0.5):.2f}",
+                "n/a" if sketch is None or not sketch.count else f"{sketch.quantile(0.95):.2f}",
+                "n/a" if sketch is None or not sketch.count else f"{sketch.quantile(0.99):.2f}",
+            )
+        )
+    return format_table(
+        ["plan", "series", "trials", "conv", "mean t(all)", "p50", "p95", "p99"],
+        rows,
+        title="streaming aggregates (sidecar; O(1) memory in trial count)",
+    )
+
+
+def _campaign_status(path: str, telemetry: bool = False) -> str:
+    status = stream_status(path)
+    header, counts = status.header, status.counts
     rows = []
     if header is not None:
         totals = {
@@ -526,12 +606,47 @@ def _campaign_status(path: str) -> str:
         for plan, done in sorted(counts.items()):
             rows.append((plan, done, "?", "?"))
         title = f"checkpoint {path} — {sum(counts.values())} trials recorded"
-    return format_table(["plan", "done", "total", "state"], rows, title=title)
+    if status.partial:
+        title += f" (partial: {status.torn_lines} in-flight/torn line(s))"
+    out = [format_table(["plan", "done", "total", "state"], rows, title=title)]
+    if telemetry:
+        if status.telemetry is None:
+            out.append(
+                "no telemetry sidecar next to the checkpoint (runs "
+                "record one automatically; older checkpoints have none)"
+            )
+        else:
+            out.append(_telemetry_table(status.telemetry))
+            if status.folded < status.trials:
+                out.append(
+                    f"sidecar watermark at {status.folded}/{status.trials} "
+                    "trials; aggregates lag the log until the next "
+                    "checkpoint write"
+                )
+    return "\n".join(out)
+
+
+def _campaign_export(args) -> str:
+    from .telemetry.columnar import export_columnar
+
+    manifest = export_columnar(args.checkpoint, args.columnar)
+    pairs = [
+        ("rows", manifest["rows"]),
+        ("columns", len(manifest["columns"])),
+        (
+            "nulls",
+            sum(info["nulls"] for info in manifest["columns"].values()),
+        ),
+        ("directory", args.columnar),
+    ]
+    return format_kv(f"columnar export of {args.checkpoint}", pairs)
 
 
 def cmd_campaign(args) -> str:
     if args.action == "status":
-        return _campaign_status(args.checkpoint)
+        return _campaign_status(args.checkpoint, telemetry=args.telemetry)
+    if args.action == "export":
+        return _campaign_export(args)
     campaign = figures.build_campaign(args.name, reps=args.reps, seed=args.seed)
     limit = getattr(args, "limit", None)
     if limit is not None and not args.checkpoint:
@@ -550,7 +665,7 @@ def cmd_campaign(args) -> str:
     out: List[str] = []
     with _backend(args) as backend:
         if args.checkpoint:
-            with JsonLinesSink(args.checkpoint) as sink:
+            with StreamingSink(args.checkpoint) as sink:
                 already = len(sink)
                 try:
                     outcome = campaign.run(backend, sink=sink, limit=limit)
@@ -733,14 +848,21 @@ def cmd_serve(args) -> str:
     import time as _time
 
     from .errors import ReplicationError
-    from .experiments.cdf import EmpiricalCdf
     from .runtime.cluster import ReplicaCluster
+    from .telemetry.emitter import SnapshotEmitter
     from .topology.brite import internet_like
 
     if args.rate <= 0:
         raise ExperimentError(f"--rate must be positive, got {args.rate}")
     if args.duration <= 0:
         raise ExperimentError(f"--duration must be positive, got {args.duration}")
+    metrics_interval = args.metrics_interval
+    if metrics_interval is None and args.metrics_path is not None:
+        metrics_interval = 1.0
+    if metrics_interval is not None and metrics_interval <= 0:
+        raise ExperimentError(
+            f"--metrics-interval must be positive, got {metrics_interval}"
+        )
     config = VARIANTS[args.variant]()
     topology = internet_like(args.nodes, seed=args.seed)
     schedule = None
@@ -749,6 +871,7 @@ def cmd_serve(args) -> str:
     gap = 1.0 / args.rate
     uids = []
     refused = 0
+    emitter = None
     with ReplicaCluster(
         topology,
         config=config,
@@ -766,8 +889,16 @@ def cmd_serve(args) -> str:
                 f"{cluster.control_address[0]}:{cluster.control_address[1]}",
                 file=sys.stderr,
             )
+        if metrics_interval is not None:
+            if args.metrics_path is not None:
+                emitter = SnapshotEmitter(cluster.telemetry, path=args.metrics_path)
+            else:
+                emitter = SnapshotEmitter(cluster.telemetry, stream=sys.stderr)
         started = _time.monotonic()
         deadline = started + args.duration
+        next_emit = (
+            started + metrics_interval if metrics_interval is not None else None
+        )
         sequence = 0
         while _time.monotonic() < deadline:
             node = node_ids[sequence % len(node_ids)]
@@ -780,16 +911,21 @@ def cmd_serve(args) -> str:
             else:
                 uids.append(update.uid)
             sequence += 1
+            if next_emit is not None and _time.monotonic() >= next_emit:
+                cluster.emit_metrics(emitter, puts=sequence)
+                next_emit += metrics_interval
             _time.sleep(gap)
         elapsed = _time.monotonic() - started
         # Grace period: let in-flight propagation finish before reading.
         if uids:
             cluster.wait_replicated(uids[-1], timeout=max(2.0, 20 * args.time_scale))
-        latencies = [
-            latency
-            for uid in uids
-            if (latency := cluster.replication_latency(uid)) is not None
-        ]
+        if emitter is not None:
+            # Final snapshot after the grace period, so the trail always
+            # ends with the settled distribution.
+            cluster.emit_metrics(emitter, puts=sequence, final=True)
+            emitter.close()
+        p50 = cluster.replication_latency_quantile(0.5)
+        p99 = cluster.replication_latency_quantile(0.99)
         stats = cluster.stats()
     pairs = [
         ("nodes", stats["nodes"]),
@@ -821,14 +957,18 @@ def cmd_serve(args) -> str:
                 ("puts refused (node down)", refused),
             ]
         )
-    if latencies:
-        cdf = EmpiricalCdf(latencies)
+    if p50 is not None:
+        # Streaming sketch quantiles from the cluster's own registry —
+        # the same numbers a `metrics?` client or the emitted snapshot
+        # trail sees, no per-put latency list kept anywhere.
         pairs.extend(
             [
-                ("p50 put->replicated", f"{1000 * cdf.quantile(0.5):.1f} ms"),
-                ("p99 put->replicated", f"{1000 * cdf.quantile(0.99):.1f} ms"),
+                ("p50 put->replicated", f"{1000 * p50:.1f} ms"),
+                ("p99 put->replicated", f"{1000 * p99:.1f} ms"),
             ]
         )
+    if emitter is not None:
+        pairs.append(("telemetry snapshots emitted", emitter.emitted))
     return format_kv(f"live cluster — {args.nodes} nodes, {args.variant}", pairs)
 
 
@@ -875,7 +1015,8 @@ def cmd_chaos(args) -> str:
                 "protocol units"
             )
         ]
-        if args.wait:
+        status = None
+        if args.wait or args.report:
             while True:
                 channel.send(("status?",))
                 _, status = channel.recv(timeout=args.timeout)
@@ -887,9 +1028,66 @@ def cmd_chaos(args) -> str:
                     )
                     break
                 _time.sleep(0.2)
+        if args.report:
+            # The schedule just finished: give the cluster a moment to
+            # fully replicate a post-heal write so the report's
+            # convergence time is measured, not null.
+            grace = _time.monotonic() + min(5.0, args.timeout)
+            while (
+                status.get("post_heal_seconds") is None
+                and _time.monotonic() < grace
+            ):
+                _time.sleep(0.2)
+                channel.send(("status?",))
+                _, status = channel.recv(timeout=args.timeout)
+            lines.append(_chaos_report(args, schedule, status))
         return "\n".join(lines)
     finally:
         channel.close()
+
+
+def _chaos_report(args, schedule, status) -> str:
+    """Write the per-run convergence report JSON; returns a one-liner.
+
+    The p50/p99 put-to-replicated seconds come from the cluster's own
+    streaming latency sketch (shipped inside the ``status?`` telemetry
+    snapshot), so the report covers every put the cluster ever served —
+    not just the ones still inside its ``track_limit`` window.
+    """
+    import json as _json
+
+    from .telemetry.registry import MetricRegistry
+
+    chaos = status.get("chaos") or {}
+    report = {
+        "schedule": args.faults,
+        "seed": args.seed,
+        "events_total": chaos.get("total"),
+        "events_applied": chaos.get("applied"),
+        "events_skipped": chaos.get("skipped"),
+        "schedule_duration_units": schedule.duration,
+        "post_heal_convergence_seconds": status.get("post_heal_seconds"),
+        "puts": status.get("puts"),
+        "updates_fully_replicated": status.get("updates_fully_replicated"),
+        "p50_put_to_replicated_seconds": None,
+        "p99_put_to_replicated_seconds": None,
+        "latency_rank_error_fraction": None,
+    }
+    snapshot = status.get("telemetry")
+    if snapshot is not None:
+        registry = MetricRegistry.restore(snapshot)
+        transport = str(status.get("transport", "queue"))
+        sketch = registry.get(
+            "cluster.replication_latency.sketch", transport=transport
+        )
+        if sketch is not None and sketch.count:
+            report["p50_put_to_replicated_seconds"] = sketch.quantile(0.5)
+            report["p99_put_to_replicated_seconds"] = sketch.quantile(0.99)
+            report["latency_rank_error_fraction"] = sketch.error_fraction()
+    Path(args.report).write_text(
+        _json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return f"convergence report written to {args.report}"
 
 
 def cmd_all(args) -> str:

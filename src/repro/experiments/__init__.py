@@ -68,7 +68,15 @@ from .figures import (
     scaling_plans,
     smoke_campaign,
 )
-from .sink import JsonLinesSink, ResultSink, sink_status
+from .sink import (
+    CheckpointStatus,
+    JsonLinesSink,
+    ResultSink,
+    StreamingSink,
+    default_sidecar,
+    sink_status,
+    stream_status,
+)
 from .harness import (
     DEFAULT_TOP_FRACTION,
     LiveTrial,
@@ -125,8 +133,12 @@ __all__ = [
     "CampaignPaused",
     "scenario_key",
     "JsonLinesSink",
+    "StreamingSink",
     "ResultSink",
     "sink_status",
+    "stream_status",
+    "CheckpointStatus",
+    "default_sidecar",
     "CAMPAIGNS",
     "build_campaign",
     "scaling_campaign",

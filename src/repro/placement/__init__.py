@@ -22,9 +22,11 @@ from .controller import PlacementController, PlacementEvent
 from .messages import DemandReport, PlacementCommand
 from .metrics import (
     PlacementTraffic,
+    SeriesSummary,
     capacity_satisfied_series,
     placement_traffic,
     replica_count_series,
+    summarize_series,
 )
 from .policies import (
     DONOR_POLICIES,
@@ -48,6 +50,8 @@ __all__ = [
     "PlacementPolicy",
     "PlacementSetup",
     "PlacementTraffic",
+    "SeriesSummary",
+    "summarize_series",
     "ThresholdPolicy",
     "TopShareDemandPolicy",
     "build_policy",

@@ -74,6 +74,7 @@ from ..replica.log import Update, UpdateId
 from ..replica.server import ReplicaServer
 from ..replica.store import StoreEntry
 from ..sim.network import LatencyModel
+from ..telemetry.registry import MetricRegistry
 from ..topology.graph import Topology
 from .base import FaultInjector
 from .live import AsyncioRuntime, AsyncioTransport
@@ -118,11 +119,13 @@ class ClusterFaultInjector(FaultInjector):
         if handler is not None:
             transport.attach(node, handler)
         transport.set_node_up(node)
+        self.cluster._note_heal()
 
     def set_link(self, a: int, b: int, up: bool) -> None:
         transport = self.cluster.transport
         if up:
             transport.set_link_up(a, b)
+            self.cluster._note_heal()
         else:
             transport.set_link_down(a, b)
 
@@ -131,6 +134,7 @@ class ClusterFaultInjector(FaultInjector):
 
     def heal(self) -> None:
         self.cluster.transport.heal_partition()
+        self.cluster._note_heal()
 
     def shock_demand(self, nodes: Sequence[int], factor: float) -> bool:
         apply_shock = getattr(self.cluster.demand, "apply_shock", None)
@@ -183,10 +187,13 @@ class TcpBroadcastInjector(FaultInjector):
 
     def recover_node(self, node: int) -> None:
         self._broadcast(ACTION_NODE_UP, (int(node),))
+        self.cluster._note_heal()
 
     def set_link(self, a: int, b: int, up: bool) -> None:
         action = ACTION_LINK_UP if up else ACTION_LINK_DOWN
         self._broadcast(action, (int(a), int(b)))
+        if up:
+            self.cluster._note_heal()
 
     def partition(self, groups: Sequence[Sequence[int]]) -> None:
         frozen = tuple(tuple(int(n) for n in group) for group in groups)
@@ -194,6 +201,7 @@ class TcpBroadcastInjector(FaultInjector):
 
     def heal(self) -> None:
         self._broadcast(ACTION_HEAL, ())
+        self.cluster._note_heal()
 
     def shock_demand(self, nodes: Sequence[int], factor: float) -> bool:
         if not self.cluster._has_shocks:
@@ -323,6 +331,32 @@ class ReplicaCluster:
         self._puts = 0
         self._gets = 0
         self._client_rng = self.runtime.rng.stream("cluster-client")
+
+        # -- telemetry ---------------------------------------------------
+        #: Shared-schema metrics (see :mod:`repro.telemetry`): counters
+        #: for ops, moments + sketch for put-to-replicated seconds.
+        #: Guarded by ``self._lock`` like the rest of the tracking state.
+        self.telemetry = MetricRegistry()
+        self._latency_moments = self.telemetry.moments(
+            "cluster.replication_latency", transport=transport
+        )
+        self._latency_sketch = self.telemetry.sketch(
+            "cluster.replication_latency.sketch", transport=transport
+        )
+        self._puts_counter = self.telemetry.counter(
+            "cluster.puts", transport=transport
+        )
+        self._gets_counter = self.telemetry.counter(
+            "cluster.gets", transport=transport
+        )
+        self._replicated_counter = self.telemetry.counter(
+            "cluster.updates_replicated", transport=transport
+        )
+        #: time.monotonic() of the most recent healing fault action and
+        #: of the most recent full replication — their difference is the
+        #: post-heal convergence time a chaos report wants.
+        self._last_heal_mono: Optional[float] = None
+        self._last_completion_mono: Optional[float] = None
 
         self._thread: Optional[threading.Thread] = None
         self._loop = None
@@ -651,6 +685,9 @@ class ReplicaCluster:
         elif kind == "status?":
             writer.write(encode_frame(("status", self._status())))
             await writer.drain()
+        elif kind == "metrics?":
+            writer.write(encode_frame(("metrics", self.telemetry_snapshot())))
+            await writer.drain()
         else:
             self._control_errors.append(f"unrecognised frame kind {kind!r}")
 
@@ -658,6 +695,19 @@ class ReplicaCluster:
         """A cross-process ``time.monotonic()`` stamp in protocol units."""
         anchor = self._mono_anchor if self._mono_anchor is not None else 0.0
         return (stamp - anchor) / self.runtime.time_scale
+
+    def _post_heal_seconds_locked(self) -> Optional[float]:
+        """Wall seconds from the last healing fault action to the last
+        full replication — the convergence time a chaos report wants.
+        None before any heal, or while nothing converged since it."""
+        if self._last_heal_mono is None or self._last_completion_mono is None:
+            return None
+        delta = self._last_completion_mono - self._last_heal_mono
+        return delta if delta >= 0 else None
+
+    def _note_heal(self) -> None:
+        with self._lock:
+            self._last_heal_mono = time.monotonic()
 
     def _status(self) -> Dict[str, object]:
         with self._lock:
@@ -668,6 +718,8 @@ class ReplicaCluster:
                 "puts": self._puts,
                 "updates_tracked": len(self._apply_times),
                 "updates_fully_replicated": self._completed_total,
+                "post_heal_seconds": self._post_heal_seconds_locked(),
+                "telemetry": self.telemetry.snapshot(),
             }
         status["chaos"] = self.chaos_status()
         return status
@@ -731,6 +783,17 @@ class ReplicaCluster:
                 event.set()
                 self._completed_total += 1
                 self._completed_order.append(uid)
+                self._last_completion_mono = time.monotonic()
+                self._replicated_counter.inc()
+                t0 = self._put_times.get(uid)
+                if t0 is not None:
+                    # Fold the latency *at completion*, before eviction
+                    # can drop the put stamp: the telemetry keeps the
+                    # full latency distribution even when the per-uid
+                    # records are long gone.
+                    seconds = (max(times.values()) - t0) * self.runtime.time_scale
+                    self._latency_moments.add(seconds)
+                    self._latency_sketch.add(seconds)
                 self._evict_locked()
 
     def _evict_locked(self) -> None:
@@ -901,6 +964,7 @@ class ReplicaCluster:
             with self._lock:
                 self._put_times[update.uid] = self._units(stamp)
                 self._puts += 1
+                self._puts_counter.inc()
         else:
 
             def write() -> Update:
@@ -920,6 +984,7 @@ class ReplicaCluster:
             update = self._call(write)
             with self._lock:
                 self._puts += 1
+                self._puts_counter.inc()
         if wait and not self.wait_replicated(update.uid, timeout=timeout):
             raise ReplicationError(
                 f"update {update.uid} not fully replicated within {timeout}s"
@@ -936,6 +1001,7 @@ class ReplicaCluster:
         target = self._resolve_node(node)
         with self._lock:
             self._gets += 1
+            self._gets_counter.inc()
         if self._mode == "tcp":
             return self._tcp_call(target, "read", (key,))
 
@@ -980,12 +1046,42 @@ class ReplicaCluster:
 
     # -- introspection --------------------------------------------------
 
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The registry's JSON snapshot, taken under the cluster lock.
+
+        Safe to call from any thread while the cluster serves; this is
+        what the periodic metrics emitter and the control socket's
+        ``metrics?`` frame read.
+        """
+        with self._lock:
+            return self.telemetry.snapshot()
+
+    def emit_metrics(self, emitter, **context: object) -> Dict[str, object]:
+        """Emit one snapshot line through ``emitter`` under the lock.
+
+        The :class:`~repro.telemetry.emitter.SnapshotEmitter` itself is
+        lock-free; serialising the emit here keeps the snapshot
+        consistent with concurrent folds on the loop thread.
+        """
+        with self._lock:
+            return emitter.emit(**context)
+
+    def replication_latency_quantile(self, p: float) -> Optional[float]:
+        """Streaming quantile of put-to-replicated seconds (None while
+        no put has fully replicated)."""
+        with self._lock:
+            if not self._latency_sketch.count:
+                return None
+            return self._latency_sketch.quantile(p)
+
     def stats(self) -> Dict[str, object]:
         """Operational counters: ops, replication coverage, traffic."""
         with self._lock:
             tracked = len(self._apply_times)
             replicated = self._completed_total
             puts, gets = self._puts, self._gets
+            telemetry = self.telemetry.snapshot()
+            post_heal = self._post_heal_seconds_locked()
         out: Dict[str, object] = {
             "nodes": self._n,
             "variant": self.config.describe(),
@@ -995,6 +1091,8 @@ class ReplicaCluster:
             "gets": gets,
             "updates_tracked": tracked,
             "updates_fully_replicated": replicated,
+            "post_heal_seconds": post_heal,
+            "telemetry": telemetry,
         }
         chaos = self.chaos_status()
         if chaos is not None:

@@ -1,0 +1,58 @@
+"""Streaming telemetry: O(1)-memory aggregates shared by every world.
+
+The subsystem has four layers, smallest first:
+
+* **Primitives** — :class:`Counter` / :class:`Gauge`,
+  :class:`RunningMoments` (Welford, exact, mergeable) and
+  :class:`QuantileSketch` (deterministic compactor, mergeable, with a
+  *certified* rank-error bound it tracks about itself).
+* **Registry** — :class:`MetricRegistry` composes labeled series of the
+  primitives with one JSON snapshot/merge/restore schema
+  (``repro-telemetry/1``), used verbatim by the campaign sink sidecar,
+  the live cluster's ``stats()``, and the ``repro serve`` snapshot
+  emitter.
+* **Emission** — :class:`SnapshotEmitter` appends newline-JSON snapshot
+  records for live tails (``repro serve --metrics-interval``).
+* **Columnar export** — :func:`export_columnar` streams a JSON-lines
+  campaign checkpoint into packed per-column binaries for offline
+  analysis (lazy import: it needs the experiments layer).
+
+Everything is pure python and picklable; sketches and moments fold one
+observation at a time, so a 10**6-trial campaign summarises in the
+same few kilobytes as a 10-trial one.
+"""
+
+from .emitter import SnapshotEmitter, read_snapshots
+from .moments import RunningMoments
+from .registry import SCHEMA, Counter, Gauge, MetricRegistry, series_id
+from .sketch import DEFAULT_K, QuantileSketch
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "RunningMoments",
+    "QuantileSketch",
+    "MetricRegistry",
+    "SnapshotEmitter",
+    "read_snapshots",
+    "series_id",
+    "SCHEMA",
+    "DEFAULT_K",
+    # lazy (see __getattr__): columnar export needs the experiments layer
+    "export_columnar",
+    "read_column",
+    "read_manifest",
+]
+
+_LAZY_COLUMNAR = ("export_columnar", "read_column", "read_manifest", "COLUMN_DTYPES")
+
+
+def __getattr__(name: str):
+    # PEP 562: the columnar module imports repro.experiments.results, and
+    # repro.experiments imports this package for the streaming sink —
+    # loading it lazily keeps the import graph acyclic.
+    if name in _LAZY_COLUMNAR:
+        from . import columnar
+
+        return getattr(columnar, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

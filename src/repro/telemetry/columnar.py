@@ -1,0 +1,190 @@
+"""Columnar export of campaign checkpoints, stdlib only.
+
+``repro campaign export --columnar DIR`` turns a JSON-lines checkpoint
+into one packed binary file per :class:`TrialResult` column plus a
+``manifest.json``, so offline analysis (numpy ``fromfile``, pandas,
+duckdb...) reads a 10**6-trial campaign without parsing a million JSON
+objects.  The export itself streams: each checkpoint line is parsed,
+appended to the open column files, and dropped — peak memory is one
+record, not the campaign.
+
+Layout (schema ``repro-columnar/1``)::
+
+    DIR/
+      manifest.json       # schema, row count, column dtypes, null counts
+      keys.txt            # scenario key per row, newline-separated
+      time_all.bin        # little-endian float64, NaN = null
+      messages.bin        # little-endian int64
+      ...
+
+Columns are derived from the :class:`TrialResult` dataclass: required
+integer fields pack as ``<q`` (int64), optional fields as ``<d``
+(float64) with NaN standing for null — uniform eight bytes per row per
+column either way.  New result fields automatically become new columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ExperimentError
+from ..experiments.results import PathLike, TrialResult
+
+__all__ = ["COLUMN_DTYPES", "export_columnar", "read_column", "read_manifest"]
+
+#: Export document schema tag; bump on incompatible layout changes.
+SCHEMA = "repro-columnar/1"
+
+_INT = "<q"
+_FLOAT = "<d"
+
+
+def _column_dtypes() -> Dict[str, str]:
+    """Column name -> struct dtype, derived from the dataclass.
+
+    Fields without a default are the original required measurements and
+    pack as int64; every later, optional field packs as float64 with
+    NaN for null.
+    """
+    dtypes: Dict[str, str] = {}
+    for field in dataclasses.fields(TrialResult):
+        required = (
+            field.default is dataclasses.MISSING
+            and field.default_factory is dataclasses.MISSING
+        )
+        if required and field.name in ("rep", "origin", "diameter", "messages", "bytes_sent"):
+            dtypes[field.name] = _INT
+        else:
+            dtypes[field.name] = _FLOAT
+    return dtypes
+
+
+COLUMN_DTYPES: Dict[str, str] = _column_dtypes()
+
+
+def _iter_trial_rows(path: Path) -> Iterator[Tuple[str, Dict[str, object]]]:
+    """Stream ``(key, trial_dict)`` from a checkpoint, tolerant of the
+    truncated final line an interrupted writer leaves behind."""
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line of a killed (or live) writer
+            if not isinstance(row, dict) or row.get("kind") != "trial":
+                continue
+            key = row.get("key")
+            trial = row.get("trial")
+            if key is None or not isinstance(trial, dict):
+                continue  # torn at a freak JSON-valid boundary
+            yield str(key), trial
+
+
+def export_columnar(
+    checkpoint: PathLike, out_dir: PathLike
+) -> Dict[str, object]:
+    """Stream a JSON-lines checkpoint into a columnar directory.
+
+    Returns the manifest (also written to ``DIR/manifest.json``).
+    Raises :class:`ExperimentError` when the checkpoint does not exist.
+    """
+    checkpoint = Path(checkpoint)
+    if not checkpoint.exists():
+        raise ExperimentError(f"no checkpoint at {checkpoint}")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    names = list(COLUMN_DTYPES)
+    nulls = {name: 0 for name in names}
+    rows = 0
+    handles = {name: (out / f"{name}.bin").open("wb") for name in names}
+    try:
+        with (out / "keys.txt").open("w", encoding="utf-8") as keys_fh:
+            for key, trial in _iter_trial_rows(checkpoint):
+                keys_fh.write(key + "\n")
+                for name in names:
+                    value = trial.get(name)
+                    dtype = COLUMN_DTYPES[name]
+                    if dtype == _INT:
+                        if value is None:
+                            raise ExperimentError(
+                                f"required column {name!r} is null in row {rows}"
+                            )
+                        packed = struct.pack(_INT, int(value))
+                    else:
+                        if value is None:
+                            nulls[name] += 1
+                            packed = struct.pack(_FLOAT, math.nan)
+                        else:
+                            packed = struct.pack(_FLOAT, float(value))
+                    handles[name].write(packed)
+                rows += 1
+    finally:
+        for handle in handles.values():
+            handle.close()
+
+    manifest: Dict[str, object] = {
+        "schema": SCHEMA,
+        "rows": rows,
+        "source": str(checkpoint),
+        "keys_file": "keys.txt",
+        "columns": {
+            name: {
+                "file": f"{name}.bin",
+                "dtype": COLUMN_DTYPES[name],
+                "nulls": nulls[name],
+            }
+            for name in names
+        },
+    }
+    (out / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return manifest
+
+
+def read_manifest(out_dir: PathLike) -> Dict[str, object]:
+    path = Path(out_dir) / "manifest.json"
+    if not path.exists():
+        raise ExperimentError(f"no columnar manifest at {path}")
+    manifest = json.loads(path.read_text(encoding="utf-8"))
+    if manifest.get("schema") != SCHEMA:
+        raise ExperimentError(
+            f"unknown columnar schema {manifest.get('schema')!r}"
+        )
+    return manifest
+
+
+def read_column(out_dir: PathLike, name: str) -> List[Optional[float]]:
+    """Read one exported column back (None where the export wrote null).
+
+    A convenience for tests and quick offline looks; bulk analysis
+    should ``numpy.fromfile`` the ``.bin`` directly.
+    """
+    out = Path(out_dir)
+    manifest = read_manifest(out)
+    columns = manifest["columns"]
+    if name not in columns:
+        raise ExperimentError(
+            f"unknown column {name!r}; known: {sorted(columns)}"
+        )
+    info = columns[name]
+    typecode = "q" if info["dtype"] == _INT else "d"
+    values = array(typecode)
+    with (out / info["file"]).open("rb") as fh:
+        values.frombytes(fh.read())
+    if sys.byteorder == "big":  # files are always little-endian
+        values.byteswap()
+    if typecode == "q":
+        return list(values)
+    return [None if math.isnan(v) else v for v in values]

@@ -1,0 +1,382 @@
+"""End-to-end telemetry: streaming sink vs exact lists, resume, cluster.
+
+The issue's acceptance bar, asserted on *real* campaign runs: streaming
+aggregates must match exact list-based values — exactly for counts and
+means, within the sketch's certified bound for quantiles — including
+across an interrupt-then-resume boundary, and ``campaign status`` must
+answer from the checkpoint in O(1) memory without materializing trials.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments.campaign import Campaign, CampaignPaused
+from repro.experiments.plan import ExperimentPlan
+from repro.experiments.sink import (
+    StreamingSink,
+    _scenario_parts,
+    default_sidecar,
+    stream_status,
+)
+from repro.experiments.scenarios import VARIANTS
+from repro.runtime.cluster import ReplicaCluster
+from repro.telemetry import MetricRegistry, SnapshotEmitter, read_snapshots
+from repro.telemetry.columnar import export_columnar, read_column, read_manifest
+
+
+def small_plan(name="t", **overrides) -> ExperimentPlan:
+    defaults = dict(
+        name=name,
+        topology="ring",
+        demand="uniform",
+        variants=("weak", "fast"),
+        n=8,
+        reps=2,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ExperimentPlan(**defaults)
+
+
+def two_plan_campaign(**overrides) -> Campaign:
+    return Campaign(
+        "duo",
+        {
+            "a": small_plan("a", seed=5),
+            "b": small_plan("b", topology="line", n=9, seed=7),
+        },
+        **overrides,
+    )
+
+
+def exact_groups(sink):
+    """(plan, series) -> list of materialized trials, from the sink."""
+    groups = {}
+    for key in sink.keys():
+        groups.setdefault(_scenario_parts(key), []).append(sink.get(key))
+    return groups
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Streaming aggregates vs exact list-based values
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingMatchesExact:
+    def test_counts_and_means_exact_quantiles_within_bound(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+            registry = sink.registry
+            groups = exact_groups(sink)
+        assert groups
+        for (plan, series), trials in groups.items():
+            labels = {"plan": plan, "series": series}
+            assert registry.counter("campaign.trials", **labels).value == len(
+                trials
+            )
+            converged = [t for t in trials if t.time_all is not None]
+            if converged:
+                assert (
+                    registry.counter("campaign.converged", **labels).value
+                    == len(converged)
+                )
+            values = [float(t.time_all) for t in converged]
+            if not values:
+                continue
+            moments = registry.moments("trial.time_all", **labels)
+            # Counts and means are exact, not approximate.
+            assert moments.count == len(values)
+            assert moments.mean == pytest.approx(
+                sum(values) / len(values), abs=1e-12
+            )
+            assert moments.minimum == min(values)
+            assert moments.maximum == max(values)
+            sketch = registry.sketch("trial.time_all.sketch", **labels)
+            assert sketch.count == len(values)
+            for p in (0.5, 0.95, 0.99):
+                got = sketch.quantile(p)
+                target = p * len(values)
+                below = sum(1 for v in values if v < got)
+                at_or_below = sum(1 for v in values if v <= got)
+                err = sketch.rank_error
+                assert below - err <= target <= at_or_below + err
+
+    def test_sidecar_written_and_restores_identical(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+            expected = sink.registry.to_json()
+        sidecar = default_sidecar(path)
+        assert sidecar.exists()
+        payload = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro-telemetry-sidecar/1"
+        assert payload["source"] == path.name
+        restored = MetricRegistry.restore(payload["telemetry"])
+        assert restored.to_json() == expected
+
+    def test_reopen_does_not_double_count(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        campaign = two_plan_campaign()
+        with StreamingSink(path) as sink:
+            campaign.run(sink=sink)
+            trials = len(sink)
+        with StreamingSink(path) as sink:
+            total = sum(
+                metric.value
+                for name, _, metric in sink.registry.series()
+                if name == "campaign.trials"
+            )
+            assert total == trials
+
+
+# ---------------------------------------------------------------------------
+# Interrupt-then-resume
+# ---------------------------------------------------------------------------
+
+
+class TestInterruptResume:
+    def test_resumed_registry_bit_identical_to_uninterrupted(self, tmp_path):
+        campaign = two_plan_campaign()
+
+        straight_path = tmp_path / "straight.jsonl"
+        with StreamingSink(straight_path) as sink:
+            straight = campaign.run(sink=sink)
+            straight_json = sink.registry.to_json()
+
+        resumed_path = tmp_path / "resumed.jsonl"
+        with StreamingSink(resumed_path) as sink:
+            with pytest.raises(CampaignPaused) as excinfo:
+                campaign.run(sink=sink, limit=3)
+        assert excinfo.value.done == 3
+        with StreamingSink(resumed_path) as sink:
+            resumed = campaign.run(sink=sink)
+            resumed_json = sink.registry.to_json()
+
+        # Trial-level results and streamed aggregates both bit-identical.
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+            straight.to_dict(), sort_keys=True
+        )
+        assert resumed_json == straight_json
+
+    def test_resume_folds_only_past_watermark(self, tmp_path):
+        campaign = two_plan_campaign()
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            with pytest.raises(CampaignPaused):
+                campaign.run(sink=sink, limit=3)
+        # The sidecar covers all three; reopening must fold nothing new.
+        status = stream_status(path)
+        assert status.folded == 3 and status.trials == 3
+        with StreamingSink(path) as sink:
+            total = sum(
+                metric.value
+                for name, _, metric in sink.registry.series()
+                if name == "campaign.trials"
+            )
+            assert total == 3
+
+    def test_stale_sidecar_triggers_full_refold(self, tmp_path):
+        campaign = two_plan_campaign()
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            campaign.run(sink=sink)
+        # Truncate the log below the sidecar watermark: the registry in
+        # the sidecar now claims trials the log no longer holds.
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        path.write_text("".join(lines[:4]), encoding="utf-8")  # header + 3
+        with StreamingSink(path) as sink:
+            total = sum(
+                metric.value
+                for name, _, metric in sink.registry.series()
+                if name == "campaign.trials"
+            )
+            assert total == 3
+
+
+# ---------------------------------------------------------------------------
+# O(1) status and torn-line tolerance
+# ---------------------------------------------------------------------------
+
+
+class TestStreamStatus:
+    def test_status_without_materializing(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+            trials = len(sink)
+        status = stream_status(path)
+        assert status.trials == trials
+        assert status.torn_lines == 0 and not status.partial
+        assert status.folded == trials
+        assert status.telemetry is not None
+        assert status.counts["a"] + status.counts["b"] == trials
+
+    def test_torn_final_line_counts_partial(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+            trials = len(sink)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "a::rep=9/fau')  # writer died mid-record
+        status = stream_status(path)
+        assert status.trials == trials
+        assert status.torn_lines == 1 and status.partial
+
+    def test_structurally_incomplete_row_is_torn_not_fatal(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+            trials = len(sink)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "trial", "key": "a::rep=9"}) + "\n")
+        status = stream_status(path)
+        assert status.trials == trials
+        assert status.torn_lines == 1 and status.partial
+
+    def test_materialize_false_get_raises(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+            key = next(iter(sink.keys()))
+        with StreamingSink(path, materialize=False) as sink:
+            assert key in sink
+            with pytest.raises(ExperimentError):
+                sink.get(key)
+            assert sink.get("not::recorded") is None
+
+
+# ---------------------------------------------------------------------------
+# Columnar export
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarExport:
+    def test_export_and_read_back_matches_trials(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+            trials = [(key, sink.get(key)) for key in sink.keys()]
+        out = tmp_path / "cols"
+        manifest = export_columnar(path, out)
+        assert manifest["schema"] == "repro-columnar/1"
+        assert manifest["rows"] == len(trials)
+        loaded = read_manifest(out)
+        assert loaded == manifest
+        keys = (out / "keys.txt").read_text(encoding="utf-8").splitlines()
+        assert keys == [key for key, _ in trials]
+        reps = read_column(out, "rep")
+        assert reps == [trial.rep for _, trial in trials]
+        time_all = read_column(out, "time_all")
+        for got, (_, trial) in zip(time_all, trials):
+            if trial.time_all is None:
+                assert math.isnan(got)
+            else:
+                assert got == pytest.approx(float(trial.time_all))
+
+    def test_unknown_column_raises(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with StreamingSink(path) as sink:
+            two_plan_campaign().run(sink=sink)
+        out = tmp_path / "cols"
+        export_columnar(path, out)
+        with pytest.raises(ExperimentError):
+            read_column(out, "no_such_column")
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_status_telemetry_and_export(self, tmp_path, capsys):
+        checkpoint = tmp_path / "cp.jsonl"
+        run_cli(
+            capsys,
+            "campaign",
+            "run",
+            "smoke",
+            "--reps",
+            "1",
+            "--checkpoint",
+            str(checkpoint),
+        )
+        out = run_cli(
+            capsys,
+            "campaign",
+            "status",
+            "--checkpoint",
+            str(checkpoint),
+            "--telemetry",
+        )
+        assert "p95" in out and "trials" in out
+        out = run_cli(
+            capsys,
+            "campaign",
+            "export",
+            "--checkpoint",
+            str(checkpoint),
+            "--columnar",
+            str(tmp_path / "cols"),
+        )
+        assert "rows" in out
+        assert (tmp_path / "cols" / "manifest.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# Live-cluster registry
+# ---------------------------------------------------------------------------
+
+
+class TestClusterTelemetry:
+    def test_puts_feed_counters_sketch_and_emitter(self, tmp_path):
+        trail = tmp_path / "trail.jsonl"
+        with ReplicaCluster(
+            nodes=6, config=VARIANTS["fast"](), seed=3, time_scale=0.02
+        ) as cluster:
+            uids = [
+                cluster.put("content", f"v{i}").uid for i in range(4)
+            ]
+            for uid in uids:
+                assert cluster.wait_replicated(uid, timeout=30.0)
+            cluster.read("content")
+            with SnapshotEmitter(cluster.telemetry, path=trail) as emitter:
+                cluster.emit_metrics(emitter, phase="test")
+            snapshot = cluster.telemetry_snapshot()
+            p99 = cluster.replication_latency_quantile(0.99)
+            stats = cluster.stats()
+        registry = MetricRegistry.restore(snapshot)
+        labels = {"transport": "queue"}
+        assert registry.counter("cluster.puts", **labels).value == 4
+        assert registry.counter("cluster.gets", **labels).value == 1
+        assert (
+            registry.counter("cluster.updates_replicated", **labels).value == 4
+        )
+        moments = registry.moments("cluster.replication_latency", **labels)
+        assert moments.count == 4 and moments.mean > 0.0
+        sketch = registry.sketch(
+            "cluster.replication_latency.sketch", **labels
+        )
+        assert sketch.count == 4
+        assert p99 is not None and p99 > 0.0
+        assert stats["telemetry"]["schema"] == "repro-telemetry/1"
+        records = list(read_snapshots(trail))
+        assert len(records) == 1 and records[0]["phase"] == "test"
+
+    def test_latency_quantile_none_before_any_replication(self):
+        with ReplicaCluster(
+            nodes=4, config=VARIANTS["fast"](), seed=3, time_scale=0.02
+        ) as cluster:
+            assert cluster.replication_latency_quantile(0.5) is None
