@@ -294,6 +294,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="open a control socket for `repro chaos` clients (0 = ephemeral)",
     )
     p.add_argument(
+        "--standby-hubs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tcp mode: extra standby hub listeners beyond the primary "
+        "(nodes fail over to them when the hub dies)",
+    )
+    p.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="require this shared token on every control connection "
+        "(unauthenticated chaos/metrics frames are refused)",
+    )
+    p.add_argument(
         "--metrics-interval",
         type=float,
         default=None,
@@ -323,10 +338,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--faults",
         choices=sorted(name for name in FAULTS if name != "none"),
-        required=True,
+        default=None,
         help="fault schedule to generate against the cluster's topology",
     )
     p.add_argument("--seed", type=int, default=1, help="schedule generator seed")
+    p.add_argument(
+        "--kill-hub",
+        action="store_true",
+        help="kill the cluster's primary hub mid-traffic (tcp clusters "
+        "with standby hubs survive by failing over)",
+    )
+    p.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="shared control-plane token (must match `repro serve --token`)",
+    )
     p.add_argument(
         "--wait",
         action="store_true",
@@ -881,12 +908,19 @@ def cmd_serve(args) -> str:
         transport=args.transport,
         faults=schedule,
         control_port=args.control_port,
+        standby_hubs=args.standby_hubs,
+        token=args.token,
     ) as cluster:
         node_ids = cluster.node_ids
         if cluster.control_address is not None:
             print(
                 "control socket on "
                 f"{cluster.control_address[0]}:{cluster.control_address[1]}",
+                file=sys.stderr,
+            )
+        for standby in cluster.hub_addresses[1:]:
+            print(
+                f"standby hub on {standby[0]}:{standby[1]}",
                 file=sys.stderr,
             )
         if metrics_interval is not None:
@@ -972,51 +1006,106 @@ def cmd_serve(args) -> str:
     return format_kv(f"live cluster — {args.nodes} nodes, {args.variant}", pairs)
 
 
-def cmd_chaos(args) -> str:
-    """Drive a serving cluster's control socket: inject a fault schedule."""
+def _chaos_connect(address, timeout, token):
+    """Open one authenticated control channel to ``(host, port)``."""
     import socket
-    import time as _time
 
     from .errors import TransportError
     from .runtime.tcp import SyncFrameChannel
+
+    try:
+        sock = socket.create_connection(address, timeout=timeout)
+    except OSError as exc:
+        raise TransportError(
+            f"cannot connect to {address[0]}:{address[1]}: {exc}"
+        ) from exc
+    channel = SyncFrameChannel(sock)
+    if token is not None:
+        channel.send(("auth", token))
+    return channel
+
+
+def cmd_chaos(args) -> str:
+    """Drive a serving cluster's control socket: inject a fault schedule
+    and/or kill its primary hub."""
+    import time as _time
+
+    from .errors import TransportError
+
+    if args.faults is None and not args.kill_hub:
+        raise ExperimentError("nothing to do: give --faults and/or --kill-hub")
 
     host, _, port_text = args.connect.rpartition(":")
     if not host or not port_text.isdigit():
         raise ExperimentError(
             f"--connect wants HOST:PORT, got {args.connect!r}"
         )
+    channel = _chaos_connect((host, int(port_text)), args.timeout, args.token)
+    lines = []
+    schedule = None
     try:
-        sock = socket.create_connection(
-            (host, int(port_text)), timeout=args.timeout
-        )
-    except OSError as exc:
-        raise TransportError(f"cannot connect to {args.connect}: {exc}") from exc
-    channel = SyncFrameChannel(sock)
-    try:
-        # The schedule generators are pure functions of (topology, seed),
-        # so fetching the cluster's topology lets us build the exact
-        # schedule locally and ship it whole.
-        channel.send(("topology?",))
-        kind, topology = channel.recv(timeout=args.timeout)
-        if kind != "topology":
-            raise TransportError(f"unexpected reply {kind!r} to topology query")
-        schedule = build_faults(args.faults, topology, seed=args.seed)
-        channel.send(("chaos", schedule))
-        reply = channel.recv(timeout=args.timeout)
-        if reply[0] == "chaos-error":
-            raise TransportError(f"cluster refused the schedule: {reply[1]}")
-        if reply[0] != "chaos-ack":
-            raise TransportError(f"unexpected reply {reply[0]!r} to injection")
-        info = reply[1]
-        lines = [
-            (
+        standbys = []
+        if args.kill_hub:
+            # Learn the standby addresses up front: the connection we
+            # are on dies with the hub we are about to kill.
+            channel.send(("hubs?",))
+            reply = channel.recv(timeout=args.timeout)
+            if reply[0] == "error":
+                raise TransportError(f"cluster refused: {reply[1]}")
+            if reply[0] != "hubs":
+                raise TransportError(
+                    f"unexpected reply {reply[0]!r} to hub query"
+                )
+            standbys = [tuple(address) for address in reply[1][1:]]
+        if args.faults is not None:
+            # The schedule generators are pure functions of
+            # (topology, seed), so fetching the cluster's topology lets
+            # us build the exact schedule locally and ship it whole.
+            channel.send(("topology?",))
+            reply = channel.recv(timeout=args.timeout)
+            if reply[0] == "error":
+                raise TransportError(f"cluster refused: {reply[1]}")
+            if reply[0] != "topology":
+                raise TransportError(
+                    f"unexpected reply {reply[0]!r} to topology query"
+                )
+            topology = reply[1]
+            schedule = build_faults(args.faults, topology, seed=args.seed)
+            channel.send(("chaos", schedule))
+            reply = channel.recv(timeout=args.timeout)
+            if reply[0] == "chaos-error":
+                raise TransportError(f"cluster refused the schedule: {reply[1]}")
+            if reply[0] == "error":
+                raise TransportError(f"cluster refused: {reply[1]}")
+            if reply[0] != "chaos-ack":
+                raise TransportError(f"unexpected reply {reply[0]!r} to injection")
+            info = reply[1]
+            lines.append(
                 f"injected {args.faults!r} (seed {args.seed}): "
                 f"{info['events']} events over {schedule.duration:.1f} "
                 "protocol units"
             )
-        ]
+        if args.kill_hub:
+            channel.send(("kill-hub",))
+            reply = channel.recv(timeout=args.timeout)
+            if reply[0] == "kill-hub-error" or reply[0] == "error":
+                raise TransportError(f"cluster refused the hub kill: {reply[1]}")
+            if reply[0] != "kill-hub-ack":
+                raise TransportError(f"unexpected reply {reply[0]!r} to hub kill")
+            killed = reply[1]
+            lines.append(f"killed primary hub {killed[0]}:{killed[1]}")
+            if args.wait or args.report:
+                if not standbys:
+                    raise TransportError(
+                        "cannot keep polling: the killed hub had no standby"
+                    )
+                channel.close()
+                channel = _chaos_connect(standbys[0], args.timeout, args.token)
+                lines.append(
+                    f"reconnected to standby hub {standbys[0][0]}:{standbys[0][1]}"
+                )
         status = None
-        if args.wait or args.report:
+        if (args.wait or args.report) and schedule is not None:
             while True:
                 channel.send(("status?",))
                 _, status = channel.recv(timeout=args.timeout)
@@ -1028,6 +1117,9 @@ def cmd_chaos(args) -> str:
                     )
                     break
                 _time.sleep(0.2)
+        elif args.wait or args.report:
+            channel.send(("status?",))
+            _, status = channel.recv(timeout=args.timeout)
         if args.report:
             # The schedule just finished: give the cluster a moment to
             # fully replicate a post-heal write so the report's
@@ -1062,16 +1154,22 @@ def _chaos_report(args, schedule, status) -> str:
     report = {
         "schedule": args.faults,
         "seed": args.seed,
+        "hub_killed": bool(getattr(args, "kill_hub", False)),
         "events_total": chaos.get("total"),
         "events_applied": chaos.get("applied"),
         "events_skipped": chaos.get("skipped"),
-        "schedule_duration_units": schedule.duration,
+        "schedule_duration_units": (
+            schedule.duration if schedule is not None else None
+        ),
         "post_heal_convergence_seconds": status.get("post_heal_seconds"),
         "puts": status.get("puts"),
         "updates_fully_replicated": status.get("updates_fully_replicated"),
         "p50_put_to_replicated_seconds": None,
         "p99_put_to_replicated_seconds": None,
         "latency_rank_error_fraction": None,
+        "corrupt_frames_dropped": None,
+        "duplicates_suppressed": None,
+        "reorders_applied": None,
     }
     snapshot = status.get("telemetry")
     if snapshot is not None:
@@ -1084,6 +1182,16 @@ def _chaos_report(args, schedule, status) -> str:
             report["p50_put_to_replicated_seconds"] = sketch.quantile(0.5)
             report["p99_put_to_replicated_seconds"] = sketch.quantile(0.99)
             report["latency_rank_error_fraction"] = sketch.error_fraction()
+        for name in (
+            "corrupt_frames_dropped",
+            "duplicates_suppressed",
+            "reorders_applied",
+        ):
+            counter = registry.get(
+                f"cluster.packet.{name}", transport=transport
+            )
+            if counter is not None:
+                report[name] = counter.value
     Path(args.report).write_text(
         _json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

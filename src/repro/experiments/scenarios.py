@@ -36,8 +36,10 @@ from ..demand.field import two_valley_field
 from ..demand.static import ConstantDemand, UniformRandomDemand, ZipfDemand
 from ..errors import ExperimentError, ExperimentSizeWarning
 from ..faults.generators import (
+    corrupt_storm,
     demand_shock_storm,
     flapping_links,
+    lossy_wan,
     poisson_churn,
     rolling_restart,
     split_brain,
@@ -85,6 +87,8 @@ FAULTS: Dict[str, Callable[[Topology, int], FaultSchedule]] = {
     "flapping_links": flapping_links,
     "demand_shock": demand_shock_storm,
     "rolling_restart": rolling_restart,
+    "lossy_wan": lossy_wan,
+    "corrupt_storm": corrupt_storm,
 }
 
 #: name -> placement regime constructor (None = placement disabled).

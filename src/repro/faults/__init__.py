@@ -9,8 +9,9 @@ sweepable experiment axis:
   flaps, partitions, demand shocks, churn) plus constructor helpers.
 * :mod:`repro.faults.generators` — seeded schedule generators
   (:func:`poisson_churn`, :func:`flapping_links`, :func:`split_brain`,
-  :func:`demand_shock_storm`, :func:`rolling_restart`), pure functions
-  of ``(topology, seed)`` like the demand registry's builders.
+  :func:`demand_shock_storm`, :func:`rolling_restart`, and the
+  packet-level :func:`lossy_wan` / :func:`corrupt_storm`), pure
+  functions of ``(topology, seed)`` like the demand registry's builders.
 * :mod:`repro.faults.process` — replay over the
   :class:`~repro.runtime.base.FaultInjector` port:
   :class:`FaultProcess` (virtual time, deterministic),
@@ -25,8 +26,10 @@ execution backends bit-identically.
 """
 
 from .generators import (
+    corrupt_storm,
     demand_shock_storm,
     flapping_links,
+    lossy_wan,
     poisson_churn,
     rolling_restart,
     split_brain,
@@ -42,22 +45,28 @@ from .process import (
 )
 from .schedule import (
     ACTIONS,
+    PACKET_ACTIONS,
     FaultEvent,
     FaultSchedule,
+    corrupt_frame,
     demand_shock,
     heal,
     join,
+    latency_shock,
     leave,
     link_down,
     link_up,
     node_down,
     node_up,
+    packet_duplicate,
+    packet_reorder,
     partition,
 )
 
 __all__ = [
     "ACTIONS",
     "FAULT_PRIORITY",
+    "PACKET_ACTIONS",
     "FaultEvent",
     "FaultProcess",
     "FaultReplayer",
@@ -65,16 +74,22 @@ __all__ = [
     "ShockableDemand",
     "SystemFaultInjector",
     "apply_fault",
+    "corrupt_frame",
+    "corrupt_storm",
     "demand_shock",
     "demand_shock_storm",
     "flapping_links",
     "heal",
     "join",
+    "latency_shock",
     "leave",
     "link_down",
     "link_up",
+    "lossy_wan",
     "node_down",
     "node_up",
+    "packet_duplicate",
+    "packet_reorder",
     "partition",
     "poisson_churn",
     "prepare_demand",

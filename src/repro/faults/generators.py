@@ -23,14 +23,18 @@ from ..errors import FaultError
 from .schedule import (
     FaultEvent,
     FaultSchedule,
+    corrupt_frame,
     demand_shock,
     heal,
     join,
+    latency_shock,
     leave,
     link_down,
     link_up,
     node_down,
     node_up,
+    packet_duplicate,
+    packet_reorder,
     partition,
 )
 
@@ -245,3 +249,97 @@ def rolling_restart(
         events.append(node_up(t + downtime, node))
         t += downtime + gap
     return FaultSchedule(events=tuple(events), name="rolling_restart").validate()
+
+
+def lossy_wan(
+    topology,
+    seed: int,
+    start: float = 1.0,
+    horizon: float = 20.0,
+    episodes: int = 3,
+    max_factor: float = 4.0,
+    max_reorder: float = 0.4,
+    max_duplicate: float = 0.25,
+) -> FaultSchedule:
+    """Episodic wide-area weather: latency shocks, reordering, duplication.
+
+    ``episodes`` windows are placed over ``[start, horizon)`` with seeded
+    jitter; each opens a latency shock (factor up to ``max_factor``)
+    together with a reorder window and a duplication window whose
+    probabilities are drawn up to the given caps. All windows expire
+    within the episode, so the channel is clean after
+    :meth:`FaultSchedule.last_packet_window_end`. The topology only
+    anchors the contract shared by every generator — packet weather hits
+    the whole channel, not chosen nodes.
+    """
+    if episodes < 1:
+        raise FaultError(f"episodes must be >= 1, got {episodes}")
+    if horizon <= start:
+        raise FaultError(f"horizon {horizon} must be after start {start}")
+    if max_factor <= 1.0:
+        raise FaultError(f"max_factor must be > 1, got {max_factor}")
+    _nodes_of(topology)  # same empty-topology contract as the other generators
+    rng = random.Random(seed)
+    span = (horizon - start) / episodes
+    events: List[FaultEvent] = []
+    for i in range(episodes):
+        t = start + i * span + rng.uniform(0.0, 0.3 * span)
+        duration = rng.uniform(0.4 * span, 0.8 * span)
+        duration = min(duration, horizon - t)
+        if duration <= 0:
+            continue
+        factor = rng.uniform(1.5, max_factor)
+        events.append(latency_shock(t, factor, duration))
+        events.append(
+            packet_reorder(
+                t,
+                rng.uniform(0.1, max_reorder),
+                rng.uniform(0.2, 1.0),
+                duration,
+            )
+        )
+        events.append(
+            packet_duplicate(t, rng.uniform(0.05, max_duplicate), duration)
+        )
+    return FaultSchedule(events=tuple(events), name="lossy_wan").validate()
+
+
+def corrupt_storm(
+    topology,
+    seed: int,
+    start: float = 1.0,
+    horizon: float = 20.0,
+    bursts: int = 4,
+    max_corrupt: float = 0.3,
+    max_duplicate: float = 0.2,
+) -> FaultSchedule:
+    """Bursts of frame corruption (with some duplication) on the channel.
+
+    Each burst corrupts messages in flight with a seeded probability up
+    to ``max_corrupt`` — the receiver must meter and skip the garbage
+    without the protocol stalling (retransmission through anti-entropy
+    covers the losses). Alternating bursts also duplicate frames, so
+    dedup and corruption-skip are exercised together.
+    """
+    if bursts < 1:
+        raise FaultError(f"bursts must be >= 1, got {bursts}")
+    if horizon <= start:
+        raise FaultError(f"horizon {horizon} must be after start {start}")
+    if not 0 < max_corrupt <= 1:
+        raise FaultError(f"max_corrupt must be in (0, 1], got {max_corrupt}")
+    _nodes_of(topology)
+    rng = random.Random(seed)
+    span = (horizon - start) / bursts
+    events: List[FaultEvent] = []
+    for i in range(bursts):
+        t = start + i * span + rng.uniform(0.0, 0.25 * span)
+        duration = rng.uniform(0.3 * span, 0.7 * span)
+        duration = min(duration, horizon - t)
+        if duration <= 0:
+            continue
+        events.append(corrupt_frame(t, rng.uniform(0.05, max_corrupt), duration))
+        if i % 2 == 1:
+            events.append(
+                packet_duplicate(t, rng.uniform(0.05, max_duplicate), duration)
+            )
+    return FaultSchedule(events=tuple(events), name="corrupt_storm").validate()

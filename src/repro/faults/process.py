@@ -46,6 +46,7 @@ from .schedule import (
     ACTION_NODE_DOWN,
     ACTION_NODE_UP,
     ACTION_PARTITION,
+    PACKET_ACTIONS,
     FaultEvent,
     FaultSchedule,
 )
@@ -147,6 +148,12 @@ class SystemFaultInjector(FaultInjector):
         apply_shock(nodes, factor, at=self.system.runtime.now)
         return True
 
+    def packet_fault(
+        self, action: str, params: Sequence[float], duration: float
+    ) -> bool:
+        self.system.network.apply_packet_fault(action, params, duration)
+        return True
+
     def leave_node(self, node: int) -> None:
         """Churn out: crash the node and park its delivery handler."""
         network = self.system.network
@@ -170,8 +177,9 @@ class SystemFaultInjector(FaultInjector):
 def apply_fault(injector: FaultInjector, event: FaultEvent) -> bool:
     """Apply one fault event through the injector port.
 
-    Returns False when the event could not take effect (currently only
-    a demand shock against a non-shockable deployment); replayers record
+    Returns False when the event could not take effect (a demand shock
+    against a non-shockable deployment, or a packet-level fault against
+    an injector that cannot express packet faults); replayers record
     such events as skipped, mirroring the pre-port semantics.
     """
     action, args = event.action, event.args
@@ -193,6 +201,9 @@ def apply_fault(injector: FaultInjector, event: FaultEvent) -> bool:
         injector.join_node(args[0])
     elif action == ACTION_DEMAND_SHOCK:
         return injector.shock_demand(args[0], args[1])
+    elif action in PACKET_ACTIONS:
+        # Duration rides last in every packet action's args.
+        return injector.packet_fault(action, args[:-1], args[-1])
     return True
 
 

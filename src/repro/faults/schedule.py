@@ -2,7 +2,9 @@
 
 A :class:`FaultSchedule` is a timed list of :class:`FaultEvent` records
 — node crashes and recoveries, link flaps, network partitions and heals,
-demand shocks, and churn joins/leaves. Like the rest of the experiment
+demand shocks, churn joins/leaves, and windowed packet-level faults
+(latency shocks, reordering, duplication, frame corruption). Like the
+rest of the experiment
 pipeline it is **data, not behaviour**: every field is a plain number,
 string or tuple, so schedules pickle across process boundaries, compare
 by value, and can be rebuilt deterministically from registry names plus
@@ -30,6 +32,20 @@ ACTION_HEAL = "heal"  # ()
 ACTION_DEMAND_SHOCK = "demand_shock"  # (nodes, factor)
 ACTION_LEAVE = "leave"  # (node,) — churn: crash + detach handler
 ACTION_JOIN = "join"  # (node,) — churn: re-attach + recover
+ACTION_LATENCY_SHOCK = "latency_shock"  # (factor, duration)
+ACTION_PACKET_REORDER = "packet_reorder"  # (probability, window, duration)
+ACTION_PACKET_DUPLICATE = "packet_duplicate"  # (probability, duration)
+ACTION_CORRUPT_FRAME = "corrupt_frame"  # (probability, duration)
+
+#: Packet-level disturbances: windowed (self-expiring) channel faults.
+PACKET_ACTIONS = frozenset(
+    {
+        ACTION_LATENCY_SHOCK,
+        ACTION_PACKET_REORDER,
+        ACTION_PACKET_DUPLICATE,
+        ACTION_CORRUPT_FRAME,
+    }
+)
 
 #: All known actions, for validation.
 ACTIONS = frozenset(
@@ -44,6 +60,7 @@ ACTIONS = frozenset(
         ACTION_LEAVE,
         ACTION_JOIN,
     }
+    | PACKET_ACTIONS
 )
 
 #: Actions that make a node unreachable / reachable again.
@@ -83,6 +100,10 @@ class FaultEvent:
             ACTION_PARTITION: 1,
             ACTION_HEAL: 0,
             ACTION_DEMAND_SHOCK: 2,
+            ACTION_LATENCY_SHOCK: 2,
+            ACTION_PACKET_REORDER: 3,
+            ACTION_PACKET_DUPLICATE: 2,
+            ACTION_CORRUPT_FRAME: 2,
         }[self.action]
         if len(self.args) != arity:
             raise FaultError(
@@ -98,6 +119,29 @@ class FaultEvent:
                 raise FaultError("demand_shock needs at least one node")
             if factor < 0:
                 raise FaultError(f"demand_shock factor must be >= 0, got {factor}")
+        if self.action in PACKET_ACTIONS:
+            duration = self.args[-1]
+            if duration <= 0:
+                raise FaultError(
+                    f"{self.action} duration must be > 0, got {duration}"
+                )
+            if self.action == ACTION_LATENCY_SHOCK:
+                factor = self.args[0]
+                if factor <= 0:
+                    raise FaultError(
+                        f"latency_shock factor must be > 0, got {factor}"
+                    )
+            else:
+                probability = self.args[0]
+                if not 0.0 <= probability <= 1.0:
+                    raise FaultError(
+                        f"{self.action} probability must be in [0, 1], "
+                        f"got {probability}"
+                    )
+            if self.action == ACTION_PACKET_REORDER and self.args[1] <= 0:
+                raise FaultError(
+                    f"packet_reorder window must be > 0, got {self.args[1]}"
+                )
         return self
 
 
@@ -154,6 +198,55 @@ def join(time: float, node: int) -> FaultEvent:
     return FaultEvent(float(time), ACTION_JOIN, (int(node),))
 
 
+def latency_shock(time: float, factor: float, duration: float) -> FaultEvent:
+    """Multiply every message delay by ``factor`` for ``duration`` units."""
+    return FaultEvent(
+        float(time), ACTION_LATENCY_SHOCK, (float(factor), float(duration))
+    )
+
+
+def packet_reorder(
+    time: float, probability: float, window: float, duration: float
+) -> FaultEvent:
+    """Delay each message by up to ``window`` extra units with ``probability``.
+
+    Delivery order within the window becomes arbitrary — the classic
+    reordering regime the protocol must tolerate on WAN paths.
+    """
+    return FaultEvent(
+        float(time),
+        ACTION_PACKET_REORDER,
+        (float(probability), float(window), float(duration)),
+    )
+
+
+def packet_duplicate(time: float, probability: float, duration: float) -> FaultEvent:
+    """Duplicate each message with ``probability`` for ``duration`` units.
+
+    Duplicates are suppressed (and metered) at the receiving transport,
+    modelling at-least-once delivery over a deduplicating channel.
+    """
+    return FaultEvent(
+        float(time),
+        ACTION_PACKET_DUPLICATE,
+        (float(probability), float(duration)),
+    )
+
+
+def corrupt_frame(time: float, probability: float, duration: float) -> FaultEvent:
+    """Corrupt each message in flight with ``probability`` for ``duration``.
+
+    A corrupted message is dropped (and metered) by the receiver — over
+    TCP it arrives as a garbage frame the decoder must skip, never a
+    crash of the receive pump.
+    """
+    return FaultEvent(
+        float(time),
+        ACTION_CORRUPT_FRAME,
+        (float(probability), float(duration)),
+    )
+
+
 @dataclass(frozen=True)
 class FaultSchedule:
     """An immutable, time-sorted sequence of fault events.
@@ -208,6 +301,20 @@ class FaultSchedule:
 
     def has_demand_shocks(self) -> bool:
         return any(e.action == ACTION_DEMAND_SHOCK for e in self.events)
+
+    def has_packet_faults(self) -> bool:
+        return any(e.action in PACKET_ACTIONS for e in self.events)
+
+    def last_packet_window_end(self) -> Optional[float]:
+        """Latest ``time + duration`` over packet-fault events, if any.
+
+        Benches use this to know when the channel is clean again —
+        packet windows expire by time rather than via paired up events.
+        """
+        ends = [
+            e.time + e.args[-1] for e in self.events if e.action in PACKET_ACTIONS
+        ]
+        return max(ends) if ends else None
 
     def partition_windows(self) -> List[Tuple[float, Optional[float]]]:
         """``(partition_time, heal_time)`` pairs, in order.

@@ -19,7 +19,7 @@ Layout:
 """
 
 from .controller import PlacementController, PlacementEvent
-from .messages import DemandReport, PlacementCommand
+from .messages import DemandReport, PlacementAck, PlacementCommand
 from .metrics import (
     PlacementTraffic,
     SeriesSummary,
@@ -44,6 +44,7 @@ __all__ = [
     "POLICIES",
     "DemandReport",
     "EfficiencyFactorPolicy",
+    "PlacementAck",
     "PlacementCommand",
     "PlacementController",
     "PlacementEvent",

@@ -24,6 +24,21 @@ proportional to their hop distance), and every bootstrap pays full
 anti-entropy message/byte cost. All iteration is in sorted order and
 all ids derive from the base topology, so serial and process-pool runs
 are bit-identical.
+
+The control plane survives its own failures:
+
+* every report and command carries a per-site sequence number — the
+  controller drops stale reports (a reordered network must not roll
+  popularity backwards) and sites apply each command seq at most once,
+  re-acking duplicates without re-executing;
+* unacknowledged commands are retried with exponential backoff (a
+  lossy network eats the command or the ack; either way the retry is
+  idempotent);
+* the controller checkpoints its EWMA popularity and sequence state at
+  the end of every cycle.  When its home node is crashed by a fault
+  the volatile state is lost; on recovery the next cycle restores the
+  checkpoint instead of re-learning demand from scratch — which is
+  what keeps a controller crash mid-flash-crowd cheap.
 """
 
 from __future__ import annotations
@@ -41,7 +56,7 @@ from ..replica.creation import (
 from ..core.system import ReplicationSystem
 from ..demand.views import DemandTable
 from ..topology.analysis import bfs_distances
-from .messages import DemandReport, PlacementCommand
+from .messages import DemandReport, PlacementAck, PlacementCommand
 from .policies import PlacementSetup, build_policy
 
 #: A controller event: ``(time, kind, site, replica)`` with kind in
@@ -59,6 +74,13 @@ _DONORS = {
 #: How many of a site's physical neighbours join a spawn's attach set
 #: (donor-selection candidates beyond the site itself).
 ATTACH_NEIGHBORS = 2
+
+#: First command-retry timeout, as a fraction of the cycle period;
+#: doubles per attempt (exponential backoff).
+COMMAND_RETRY_TIMEOUT_FACTOR = 0.5
+#: Retries per command before giving up (the next cycle recomputes the
+#: target anyway, so giving up is safe).
+COMMAND_MAX_RETRIES = 4
 
 
 class PlacementController:
@@ -104,12 +126,33 @@ class PlacementController:
         self.events: List[PlacementEvent] = []
         self.cycles_run = 0
         self.reports_received = 0
+        self.reports_stale = 0
         self.commands_sent = 0
+        self.commands_retried = 0
+        self.acks_received = 0
+        self.crashes = 0
+        self.restores = 0
         self.spawned_total = 0
         self.retired_total = 0
         self.peak_copies = 0
         self._next_id = max(system.topology.nodes) + 1
         self._started = False
+        # -- sequencing state (see module docstring) ----------------------
+        #: Per-site seq of the site's next demand report (site-side).
+        self._report_seq: Dict[int, int] = {}
+        #: Newest report seq folded per site (controller-side).
+        self._last_report_seq: Dict[int, int] = {}
+        #: Seq of the last command issued per site (controller-side).
+        self._cmd_seq: Dict[int, int] = {}
+        #: Seq of the last command *applied* per site (site-side).
+        self._site_applied_seq: Dict[int, int] = {}
+        #: site -> unacknowledged command seq (retry loop watches this).
+        self._outstanding: Dict[int, int] = {}
+        # -- crash / checkpoint state -------------------------------------
+        self._crashed = False
+        #: Durable snapshot written at the end of each cycle; what a
+        #: recovering controller resumes from.
+        self._checkpoint: Optional[Dict[str, Dict[int, object]]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -124,6 +167,7 @@ class PlacementController:
         hops = bfs_distances(topology, self.home)
         link_delay = self.system.config.link_delay
         self.system.nodes[self.home]._dispatch[DemandReport] = self._handle_report
+        self.system.nodes[self.home]._dispatch[PlacementAck] = self._handle_ack
         for site in self.sites:
             self.system.nodes[site]._dispatch[PlacementCommand] = self._handle_command
             if site == self.home:
@@ -145,9 +189,17 @@ class PlacementController:
         runtime = self.system.runtime
         runtime.schedule_fast(self.setup.report_period, self._report_round, site)
         value = self.system.demand.demand(site, runtime.now)
-        self.system.network.send(site, self.home, DemandReport(site, value))
+        seq = self._report_seq.get(site, 0) + 1
+        self._report_seq[site] = seq
+        self.system.network.send(site, self.home, DemandReport(site, value, seq))
 
     def _handle_report(self, src: int, message: DemandReport) -> None:
+        if message.seq <= self._last_report_seq.get(message.sender, 0):
+            # A reordered (or duplicated) late report: the belief we
+            # hold is newer, keep it.
+            self.reports_stale += 1
+            return
+        self._last_report_seq[message.sender] = message.seq
         self.reports_received += 1
         self.table.update(message.sender, message.value, self.system.runtime.now)
 
@@ -156,6 +208,23 @@ class PlacementController:
     def _cycle(self) -> None:
         runtime = self.system.runtime
         runtime.schedule_fast(self.setup.cycle_period, self._cycle)
+        if not self.system.network.node_is_up(self.home):
+            # The controller's host is crashed by a fault: it can run
+            # nothing this cycle, and the crash loses every volatile
+            # structure — only the checkpoint survives.
+            if not self._crashed:
+                self._crashed = True
+                self.crashes += 1
+                self.popularity = {}
+                self.table = DemandTable()
+                self._outstanding = {}
+                self._last_report_seq = {}
+                self._cmd_seq = {}
+            return
+        if self._crashed:
+            self._crashed = False
+            self.restores += 1
+            self._restore_checkpoint()
         now = runtime.now
         alpha = self.setup.ewma_alpha
         for site in self.sites:
@@ -177,16 +246,82 @@ class PlacementController:
             if site == self.home:
                 self._execute(site, target)
             else:
-                self.commands_sent += 1
-                self.system.network.send(
-                    self.home, site, PlacementCommand(site, target)
-                )
+                self._send_command(site, target)
         self.cycles_run += 1
+        self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        """Durable end-of-cycle snapshot (EWMA beliefs + seq state)."""
+        self._checkpoint = {
+            "popularity": dict(self.popularity),
+            "last_report_seq": dict(self._last_report_seq),
+            "cmd_seq": dict(self._cmd_seq),
+        }
+
+    def _restore_checkpoint(self) -> None:
+        """Resume from the last end-of-cycle snapshot after a crash."""
+        checkpoint = self._checkpoint
+        if checkpoint is None:
+            return  # crashed before the first cycle: relearn from zero
+        self.popularity = dict(checkpoint["popularity"])
+        self._last_report_seq = dict(checkpoint["last_report_seq"])
+        self._cmd_seq = dict(checkpoint["cmd_seq"])
+        for site, applied in self._site_applied_seq.items():
+            # Commands issued after the checkpoint may already have
+            # been applied; a real deployment re-syncs seqs with a
+            # status round on recovery, modelled here by advancing past
+            # whatever the sites confirmed.
+            if applied > self._cmd_seq.get(site, 0):
+                self._cmd_seq[site] = applied
 
     # -- commitment (Dealer step 3: commit copies) -------------------------
 
+    def _send_command(self, site: int, target: int) -> None:
+        seq = self._cmd_seq.get(site, 0) + 1
+        self._cmd_seq[site] = seq
+        self._outstanding[site] = seq
+        self.commands_sent += 1
+        self.system.network.send(
+            self.home, site, PlacementCommand(site, target, seq)
+        )
+        timeout = self.setup.cycle_period * COMMAND_RETRY_TIMEOUT_FACTOR
+        self.system.runtime.schedule_fast(
+            timeout, self._check_ack, site, seq, target, 1, timeout
+        )
+
+    def _check_ack(
+        self, site: int, seq: int, target: int, attempt: int, timeout: float
+    ) -> None:
+        if self._outstanding.get(site) != seq:
+            return  # acked, superseded, or lost to a controller crash
+        if not self.system.network.node_is_up(self.home):
+            return  # a crashed controller retries nothing
+        if attempt > COMMAND_MAX_RETRIES:
+            return  # give up: the next cycle recomputes the target
+        self.commands_retried += 1
+        self.system.network.send(
+            self.home, site, PlacementCommand(site, target, seq)
+        )
+        backoff = timeout * 2.0
+        self.system.runtime.schedule_fast(
+            backoff, self._check_ack, site, seq, target, attempt + 1, backoff
+        )
+
+    def _handle_ack(self, src: int, message: PlacementAck) -> None:
+        self.acks_received += 1
+        if self._outstanding.get(message.site) == message.seq:
+            del self._outstanding[message.site]
+
     def _handle_command(self, src: int, message: PlacementCommand) -> None:
-        self._execute(message.site, message.target)
+        site = message.site
+        if message.seq > self._site_applied_seq.get(site, 0):
+            self._site_applied_seq[site] = message.seq
+            self._execute(site, message.target)
+        # Ack unconditionally — a duplicate means the first ack (or the
+        # command's retry race) was lost, and the controller is waiting.
+        self.system.network.send(
+            site, self.home, PlacementAck(site, message.seq)
+        )
 
     def _execute(self, site: int, target: int) -> None:
         system = self.system

@@ -5,14 +5,20 @@ the controller's home node and copy-list commits flow back as real
 network messages, metered by kind so experiments can read the control
 loop's traffic overhead directly from
 ``Network.counters.bytes_by_kind`` (``"placement-report"`` /
-``"placement-cmd"``).
+``"placement-cmd"`` / ``"placement-ack"``).
+
+Every message carries a per-site sequence number (packed into the
+framing header, so it costs no extra metered bytes): receivers drop
+stale reports, apply commands idempotently, and re-ack duplicates —
+which is what lets the controller retry unacknowledged commands over a
+lossy, reordering network without double-spawning replicas.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-#: Bytes of framing per control message (addresses, type tag).
+#: Bytes of framing per control message (addresses, type tag, seq).
 CONTROL_HEADER_BYTES = 20
 #: One float64 (report value) / one int64 (command target).
 CONTROL_VALUE_BYTES = 8
@@ -20,10 +26,15 @@ CONTROL_VALUE_BYTES = 8
 
 @dataclass(frozen=True)
 class DemandReport:
-    """Site -> controller: ``sender`` currently serves ``value`` req/unit."""
+    """Site -> controller: ``sender`` currently serves ``value`` req/unit.
+
+    ``seq`` increases per sender; the controller keeps only the newest
+    observation (a reordered late report must not overwrite it).
+    """
 
     sender: int
     value: float
+    seq: int = 0
 
     kind = "placement-report"
 
@@ -33,12 +44,30 @@ class DemandReport:
 
 @dataclass(frozen=True)
 class PlacementCommand:
-    """Controller -> site: run ``target`` extra copies for ``site``."""
+    """Controller -> site: run ``target`` extra copies for ``site``.
+
+    ``seq`` increases per site; a site applies each seq at most once
+    (retries and duplicated frames re-ack without re-executing).
+    """
 
     site: int
     target: int
+    seq: int = 0
 
     kind = "placement-cmd"
+
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + CONTROL_VALUE_BYTES
+
+
+@dataclass(frozen=True)
+class PlacementAck:
+    """Site -> controller: command ``seq`` for ``site`` took effect."""
+
+    site: int
+    seq: int = 0
+
+    kind = "placement-ack"
 
     def size_bytes(self) -> int:
         return CONTROL_HEADER_BYTES + CONTROL_VALUE_BYTES

@@ -24,7 +24,7 @@ from ..errors import ExperimentError
 from ..sim.network import Network
 from ..telemetry.moments import RunningMoments
 from ..telemetry.sketch import DEFAULT_K, QuantileSketch
-from .messages import DemandReport, PlacementCommand
+from .messages import DemandReport, PlacementAck, PlacementCommand
 
 #: Event tuples as recorded by the controller: (time, kind, site, replica).
 Event = Tuple[float, str, int, int]
@@ -195,14 +195,16 @@ class PlacementTraffic:
     command_messages: int
     report_bytes: int
     command_bytes: int
+    ack_messages: int = 0
+    ack_bytes: int = 0
 
     @property
     def messages(self) -> int:
-        return self.report_messages + self.command_messages
+        return self.report_messages + self.command_messages + self.ack_messages
 
     @property
     def bytes(self) -> int:
-        return self.report_bytes + self.command_bytes
+        return self.report_bytes + self.command_bytes + self.ack_bytes
 
     def overhead_fraction(self, total_bytes: int) -> float:
         """Placement bytes as a fraction of all bytes sent."""
@@ -219,4 +221,6 @@ def placement_traffic(network: Network) -> PlacementTraffic:
         command_messages=counters.by_kind.get(PlacementCommand.kind, 0),
         report_bytes=counters.bytes_by_kind.get(DemandReport.kind, 0),
         command_bytes=counters.bytes_by_kind.get(PlacementCommand.kind, 0),
+        ack_messages=counters.by_kind.get(PlacementAck.kind, 0),
+        ack_bytes=counters.bytes_by_kind.get(PlacementAck.kind, 0),
     )

@@ -234,6 +234,24 @@ class FaultInjector(ABC):
         """Churn in: restore the handler (if parked) and recover."""
         self.recover_node(node)
 
+    def packet_fault(
+        self, action: str, params: Sequence[float], duration: float
+    ) -> bool:
+        """Open a windowed packet-level disturbance on the channel.
+
+        ``action`` is one of the packet actions in
+        :data:`repro.faults.schedule.PACKET_ACTIONS` (latency shock,
+        reorder, duplicate, corrupt-frame); ``params`` are the event
+        args without the trailing duration.  The window expires on its
+        own after ``duration`` protocol units — there is no paired
+        "undo" action.
+
+        Returns False when the deployment cannot express packet faults
+        (the default); the replay records the event as skipped, which
+        is what the sim≡live parity assertions compare.
+        """
+        return False
+
 
 class Runtime(ABC):
     """Facade handed to every protocol component: clock + transport +

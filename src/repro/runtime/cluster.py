@@ -36,14 +36,24 @@ boot, or call :meth:`ReplicaCluster.inject_faults` on a running
 cluster.  In queue mode a :class:`ClusterFaultInjector` drives the
 in-process transport's link state; in tcp mode a
 :class:`TcpBroadcastInjector` broadcasts each action to every node
-process.  With ``control_port`` set (any mode), external clients — the
-``repro chaos`` CLI — can connect and inject schedules over a socket.
+process.  Packet-level actions (latency shocks, reordering,
+duplication, frame corruption) ride the same port.  With
+``control_port`` set (any mode), external clients — the ``repro
+chaos`` CLI — can connect and inject schedules over a socket,
+authenticated by a shared ``token`` when one is set.
+
+The tcp hub itself is no single point of failure: ``standby_hubs``
+extra listeners are bound at boot, node processes carry the full
+ordered hub list, and :meth:`ReplicaCluster.kill_hub` (or a
+``kill-hub`` control frame) takes the primary down mid-traffic as a
+survivable, scheduled-fault-grade event.
 """
 
 from __future__ import annotations
 
 import collections
 import concurrent.futures
+import functools
 import itertools
 import threading
 import time
@@ -143,6 +153,10 @@ class ClusterFaultInjector(FaultInjector):
         apply_shock(nodes, factor, at=self.cluster.runtime.now)
         return True
 
+    def packet_fault(self, action, params, duration) -> bool:
+        self.cluster.transport.apply_packet_fault(action, params, duration)
+        return True
+
     def leave_node(self, node: int) -> None:
         transport = self.cluster.transport
         handler = transport.handler_for(node)
@@ -214,6 +228,12 @@ class TcpBroadcastInjector(FaultInjector):
         )
         return True
 
+    def packet_fault(self, action, params, duration) -> bool:
+        self._broadcast(
+            action, tuple(float(p) for p in params) + (float(duration),)
+        )
+        return True
+
     def leave_node(self, node: int) -> None:
         self._broadcast(ACTION_LEAVE, (int(node),))
 
@@ -253,6 +273,20 @@ class ReplicaCluster:
             opens one — it doubles as the node-process hub.
         host: Interface the hub/control socket (and tcp node ports)
             bind to.
+        standby_hubs: tcp mode only — how many *standby* hub listeners
+            to open beyond the primary (default 1, making the hub no
+            single point of failure: nodes carry the full ordered hub
+            list and fail over to a standby when their hub connection
+            dies).  With an explicit ``control_port`` the standbys bind
+            ``control_port + 1 .. control_port + standby_hubs``;
+            ephemeral otherwise.  All bound hubs are listed in
+            :attr:`hub_addresses` (primary first).  Ignored in queue
+            mode.
+        token: Shared control-plane secret.  When set, every control
+            connection (chaos clients *and* node processes) must send
+            an ``("auth", token)`` frame before anything else; other
+            frames from unauthenticated connections are refused with a
+            one-line ``("error", ...)`` reply.
 
     Use as a context manager, or call :meth:`start` / :meth:`close`.
     """
@@ -274,7 +308,13 @@ class ReplicaCluster:
         control_port: Optional[int] = None,
         host: str = "127.0.0.1",
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        standby_hubs: int = 1,
+        token: Optional[str] = None,
     ):
+        if standby_hubs < 0:
+            raise ConfigurationError(
+                f"standby_hubs must be >= 0, got {standby_hubs}"
+            )
         if track_limit < 1:
             raise ConfigurationError(
                 f"track_limit must be >= 1, got {track_limit}"
@@ -352,6 +392,21 @@ class ReplicaCluster:
         self._replicated_counter = self.telemetry.counter(
             "cluster.updates_replicated", transport=transport
         )
+        #: Packet-fault effect counters, synced into the registry at
+        #: snapshot time: queue mode reads the in-process transport's
+        #: traffic counters, tcp mode folds the per-node counts the
+        #: node processes push as ``packet`` frames.
+        self._packet_counters = {
+            name: self.telemetry.counter(
+                f"cluster.packet.{name}", transport=transport
+            )
+            for name in (
+                "corrupt_frames_dropped",
+                "duplicates_suppressed",
+                "reorders_applied",
+            )
+        }
+        self._packet_counts: Dict[int, Dict[str, int]] = {}
         #: time.monotonic() of the most recent healing fault action and
         #: of the most recent full replication — their difference is the
         #: post-heal convergence time a chaos report wants.
@@ -377,7 +432,17 @@ class ReplicaCluster:
         self._host = host
         self._control_port = control_port
         self._max_frame_bytes = int(max_frame_bytes)
+        self._standby_hubs = int(standby_hubs)
+        self._token = token
         self.control_address: Optional[Tuple[str, int]] = None
+        #: All bound hub listener addresses, primary first; node specs
+        #: carry this list so children can fail over.
+        self.hub_addresses: List[Tuple[str, int]] = []
+        #: Listener per hub slot; a killed hub leaves None in its slot.
+        self._hub_servers: List[object] = []
+        #: Accepted control connections per hub slot, so killing a hub
+        #: severs established channels too, not just the listener.
+        self._hub_conn_writers: Dict[int, Set[object]] = {}
         self._control_server = None
         self._control_tasks: Set[object] = set()
         self._control_errors: List[str] = []
@@ -518,12 +583,13 @@ class ReplicaCluster:
                 config=self.config,
                 seed=self.seed,
                 time_scale=self.runtime.time_scale,
-                hub_address=tuple(self.control_address),
+                hub_addresses=tuple(self.hub_addresses),
                 latency=self._latency,
                 loss=self.loss,
                 has_shocks=self._has_shocks,
                 max_frame_bytes=self._max_frame_bytes,
                 host=self._host,
+                token=self._token,
             )
             process = context.Process(
                 target=node_process_main, args=(spec,), daemon=True
@@ -557,12 +623,33 @@ class ReplicaCluster:
         import asyncio
 
         self._control_server = await asyncio.start_server(
-            self._on_control_connection, self._host, port
+            functools.partial(self._on_control_connection, hub_index=0),
+            self._host,
+            port,
         )
+        self._hub_servers = [self._control_server]
         sock_host, sock_port = self._control_server.sockets[0].getsockname()[:2]
         self.control_address = (sock_host, sock_port)
+        self.hub_addresses = [self.control_address]
+        if self._mode != "tcp":
+            return
+        for index in range(1, self._standby_hubs + 1):
+            standby_port = port + index if port else 0
+            server = await asyncio.start_server(
+                functools.partial(self._on_control_connection, hub_index=index),
+                self._host,
+                standby_port,
+            )
+            self._hub_servers.append(server)
+            s_host, s_port = server.sockets[0].getsockname()[:2]
+            self.hub_addresses.append((s_host, s_port))
 
     async def _shutdown_runtime(self) -> None:
+        # A closing cluster must not leave armed fault timers behind:
+        # a replay cancelled mid-schedule would otherwise keep firing
+        # callbacks into a half-torn-down runtime.
+        for replayer in self._replayers:
+            replayer.cancel()
         if self._mode == "tcp":
             for writer in self._node_writers.values():
                 try:
@@ -572,10 +659,13 @@ class ReplicaCluster:
                     pass
             for writer in self._node_writers.values():
                 writer.close()
-        if self._control_server is not None:
-            self._control_server.close()
-            await self._control_server.wait_closed()
-            self._control_server = None
+        for server in self._hub_servers:
+            if server is None:
+                continue
+            server.close()
+            await server.wait_closed()
+        self._hub_servers = []
+        self._control_server = None
         if self._control_tasks:
             import asyncio
 
@@ -611,15 +701,19 @@ class ReplicaCluster:
 
     # -- control-frame hub (tcp node processes + chaos clients) ----------
 
-    async def _on_control_connection(self, reader, writer) -> None:
+    async def _on_control_connection(self, reader, writer, hub_index: int = 0) -> None:
         import asyncio
 
         task = asyncio.current_task()
         self._control_tasks.add(task)
+        self._hub_conn_writers.setdefault(hub_index, set()).add(writer)
+        # Per-connection auth state: token-less clusters are born
+        # authenticated, otherwise the first frame must be the token.
+        conn = {"authed": self._token is None}
         decoder = FrameDecoder(self._max_frame_bytes)
         try:
             async for frame in read_frames(reader, decoder):
-                await self._on_control_frame(frame, writer)
+                await self._on_control_frame(frame, writer, conn)
         except ReproError as exc:
             self._control_errors.append(str(exc))
         except (ConnectionError, OSError):
@@ -628,18 +722,51 @@ class ReplicaCluster:
             pass
         finally:
             self._control_tasks.discard(task)
+            self._hub_conn_writers.get(hub_index, set()).discard(writer)
             writer.close()
 
-    async def _on_control_frame(self, frame: object, writer) -> None:
+    async def _on_control_frame(
+        self, frame: object, writer, conn: Optional[Dict[str, bool]] = None
+    ) -> None:
         if not (isinstance(frame, tuple) and frame):
             self._control_errors.append(f"unrecognised frame: {frame!r:.120}")
             return
         kind = frame[0]
+        if conn is not None and not conn["authed"]:
+            if kind == "auth" and len(frame) == 2 and frame[1] == self._token:
+                conn["authed"] = True
+            else:
+                self._control_errors.append(
+                    f"refused unauthenticated {kind!r} frame"
+                )
+                writer.write(
+                    encode_frame(
+                        (
+                            "error",
+                            "unauthenticated: send ('auth', <token>) first",
+                        )
+                    )
+                )
+                await writer.drain()
+            return
+        if kind == "auth":
+            return  # re-auth on an authenticated connection is a no-op
         if kind == "register":
             _, node, address = frame
             node = int(node)
+            rejoining = node in self._node_addresses
             self._node_writers[node] = writer
             self._node_addresses[node] = (str(address[0]), int(address[1]))
+            if rejoining and self._mono_anchor is not None:
+                # Failover re-register on a running cluster: hand the
+                # node the current directory and re-send start (the
+                # node's stack survives, so this just re-acks ready).
+                writer.write(
+                    encode_frame(("directory", dict(self._node_addresses)))
+                )
+                writer.write(encode_frame(("start",)))
+                await writer.drain()
+                self._note_heal()
             if (
                 len(self._node_addresses) >= self._n
                 and self._all_registered is not None
@@ -655,6 +782,12 @@ class ReplicaCluster:
             with self._lock:
                 for uid, stamp in pairs:
                     self._note_applied_locked(uid, node, self._units(stamp))
+        elif kind == "packet":
+            _, node, counts = frame
+            with self._lock:
+                self._packet_counts[int(node)] = {
+                    str(k): int(v) for k, v in counts.items()
+                }
         elif kind == "reply":
             _, call_id, ok, payload = frame
             future = self._tcp_pending.pop(call_id, None)
@@ -682,6 +815,23 @@ class ReplicaCluster:
         elif kind == "topology?":
             writer.write(encode_frame(("topology", self.topology)))
             await writer.drain()
+        elif kind == "hubs?":
+            writer.write(encode_frame(("hubs", list(self.hub_addresses))))
+            await writer.drain()
+        elif kind == "kill-hub":
+            # Ack *before* killing: the requester may well be talking
+            # to the very hub it is about to take down.
+            try:
+                self._check_kill_hub()
+            except ReproError as exc:
+                writer.write(encode_frame(("kill-hub-error", str(exc))))
+                await writer.drain()
+            else:
+                writer.write(
+                    encode_frame(("kill-hub-ack", self.hub_addresses[0]))
+                )
+                await writer.drain()
+                self._kill_hub_on_loop()
         elif kind == "status?":
             writer.write(encode_frame(("status", self._status())))
             await writer.drain()
@@ -709,8 +859,26 @@ class ReplicaCluster:
         with self._lock:
             self._last_heal_mono = time.monotonic()
 
+    def _sync_packet_counters_locked(self) -> None:
+        """Fold packet-fault effects into the registry (lock held).
+
+        Queue mode reads the shared transport's traffic counters; tcp
+        mode sums the latest per-node counts pushed by the processes.
+        """
+        if self._mode == "tcp":
+            for name, counter in self._packet_counters.items():
+                counter.value = sum(
+                    counts.get(name, 0)
+                    for counts in self._packet_counts.values()
+                )
+        elif self.transport is not None:
+            counters = self.transport.counters
+            for name, counter in self._packet_counters.items():
+                counter.value = getattr(counters, name)
+
     def _status(self) -> Dict[str, object]:
         with self._lock:
+            self._sync_packet_counters_locked()
             status: Dict[str, object] = {
                 "nodes": self._n,
                 "transport": self._mode,
@@ -765,6 +933,54 @@ class ReplicaCluster:
             "total": replayer.total,
             "done": replayer.done,
         }
+
+    def _check_kill_hub(self) -> None:
+        if self._mode != "tcp":
+            raise ReplicationError("kill_hub is a tcp-mode fault")
+        if len(self._hub_servers) < 2 or all(
+            s is None for s in self._hub_servers[1:]
+        ):
+            raise ReplicationError(
+                "no standby hub to fail over to (standby_hubs=0 or all dead)"
+            )
+        if self._hub_servers[0] is None:
+            raise ReplicationError("primary hub is already dead")
+
+    def _kill_hub_on_loop(self) -> None:
+        """Take the primary hub down mid-run (loop thread only).
+
+        Closes the primary listener *and* every control connection it
+        accepted — node processes lose their hub channel and must fail
+        over to a standby.  In-flight replication traffic rides the
+        peer-to-peer connections and is untouched.
+        """
+        self._check_kill_hub()
+        server = self._hub_servers[0]
+        self._hub_servers[0] = None
+        server.close()
+        for conn_writer in list(self._hub_conn_writers.get(0, ())):
+            try:
+                conn_writer.close()
+            except (ConnectionError, OSError):
+                pass
+        # Stale node channels must not swallow new control calls: drop
+        # writers that just died so _tcp_call fails fast until the node
+        # re-registers on a standby.
+        for node, node_writer in list(self._node_writers.items()):
+            if node_writer.is_closing():
+                del self._node_writers[node]
+
+    def kill_hub(self) -> None:
+        """Kill the primary hub listener while the cluster serves.
+
+        A scheduled-fault-grade event: replicas reconnect to a standby
+        hub (see ``standby_hubs``) with exponential backoff, re-register
+        and replay their recent ``applied`` reports; client calls during
+        the failover window fail fast with :class:`ReplicationError`
+        instead of hanging.  Raises when there is no standby to absorb
+        the failover.
+        """
+        self._call(self._kill_hub_on_loop)
 
     # -- replication tracking -------------------------------------------
 
@@ -891,11 +1107,14 @@ class ReplicaCluster:
             if future.done():
                 return
             writer = self._node_writers.get(node)
-            if writer is None:
+            if writer is None or writer.is_closing():
+                # No live channel (process dead, or hub failover in
+                # progress): fail fast instead of hanging to timeout.
                 try:
                     future.set_exception(
                         ReplicationError(
-                            f"node {node} has no control channel (process dead?)"
+                            f"node {node} has no live control channel "
+                            "(process dead or hub failover in progress)"
                         )
                     )
                 except concurrent.futures.InvalidStateError:
@@ -1054,6 +1273,7 @@ class ReplicaCluster:
         ``metrics?`` frame read.
         """
         with self._lock:
+            self._sync_packet_counters_locked()
             return self.telemetry.snapshot()
 
     def emit_metrics(self, emitter, **context: object) -> Dict[str, object]:
@@ -1064,6 +1284,7 @@ class ReplicaCluster:
         consistent with concurrent folds on the loop thread.
         """
         with self._lock:
+            self._sync_packet_counters_locked()
             return emitter.emit(**context)
 
     def replication_latency_quantile(self, p: float) -> Optional[float]:
@@ -1080,6 +1301,7 @@ class ReplicaCluster:
             tracked = len(self._apply_times)
             replicated = self._completed_total
             puts, gets = self._puts, self._gets
+            self._sync_packet_counters_locked()
             telemetry = self.telemetry.snapshot()
             post_heal = self._post_heal_seconds_locked()
         out: Dict[str, object] = {

@@ -17,18 +17,99 @@ The simulator's ``Network`` keeps its own hand-tuned copy of this logic
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from ..errors import FaultError
+from ..faults.schedule import (
+    ACTION_CORRUPT_FRAME,
+    ACTION_LATENCY_SHOCK,
+    ACTION_PACKET_DUPLICATE,
+    ACTION_PACKET_REORDER,
+    PACKET_ACTIONS,
+)
+
+
+class PacketFaultState:
+    """Windowed packet-level disturbances on a channel.
+
+    One window per action kind (re-application replaces it), expiring
+    passively by time: every query takes ``now`` and a window whose end
+    has passed evaporates on first sight.  Kept deliberately tiny — an
+    inactive state costs the caller one ``possible`` check and zero RNG
+    draws, which is what lets the simulator's golden-trace-pinned send
+    path host these hooks without perturbing fault-free runs.
+    """
+
+    __slots__ = ("_windows",)
+
+    def __init__(self) -> None:
+        #: action -> (params-without-duration, window end time)
+        self._windows: Dict[str, Tuple[Tuple[float, ...], float]] = {}
+
+    def apply(
+        self, action: str, params: Sequence[float], duration: float, now: float
+    ) -> None:
+        """Open (or replace) the ``action`` window for ``duration`` units."""
+        if action not in PACKET_ACTIONS:
+            raise FaultError(
+                f"unknown packet fault {action!r}; known: {sorted(PACKET_ACTIONS)}"
+            )
+        if duration <= 0:
+            raise FaultError(f"packet fault duration must be > 0, got {duration}")
+        self._windows[action] = (
+            tuple(float(p) for p in params),
+            float(now) + float(duration),
+        )
+
+    def clear(self) -> None:
+        self._windows.clear()
+
+    @property
+    def possible(self) -> bool:
+        """True while any window *might* be open (cheap hot-path guard)."""
+        return bool(self._windows)
+
+    def params(self, action: str, now: float) -> Optional[Tuple[float, ...]]:
+        """The open window's params for ``action``, or None (expired/absent)."""
+        entry = self._windows.get(action)
+        if entry is None:
+            return None
+        params, until = entry
+        if now >= until:
+            del self._windows[action]
+            return None
+        return params
+
+    # -- typed queries (what the send paths actually ask) ---------------
+
+    def latency_factor(self, now: float) -> float:
+        params = self.params(ACTION_LATENCY_SHOCK, now)
+        return params[0] if params else 1.0
+
+    def reorder(self, now: float) -> Optional[Tuple[float, ...]]:
+        """``(probability, window)`` while reordering is open, else None."""
+        return self.params(ACTION_PACKET_REORDER, now)
+
+    def duplicate_probability(self, now: float) -> float:
+        params = self.params(ACTION_PACKET_DUPLICATE, now)
+        return params[0] if params else 0.0
+
+    def corrupt_probability(self, now: float) -> float:
+        params = self.params(ACTION_CORRUPT_FRAME, now)
+        return params[0] if params else 0.0
 
 
 class LinkState:
     """Mutable crash/link/partition state with Network-compatible queries."""
 
-    __slots__ = ("_down_nodes", "_down_links", "_partition")
+    __slots__ = ("_down_nodes", "_down_links", "_partition", "packet")
 
     def __init__(self) -> None:
         self._down_nodes: Set[int] = set()
         self._down_links: Set[Tuple[int, int]] = set()
         self._partition: Optional[Dict[int, int]] = None
+        #: Windowed packet-level faults (shared by the live transports).
+        self.packet = PacketFaultState()
 
     # -- mutation (the fault-injection surface) -------------------------
 

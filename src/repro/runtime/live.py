@@ -257,6 +257,10 @@ class AsyncioTransport:
         """Remove any active partition."""
         self.link_state.heal_partition()
 
+    def apply_packet_fault(self, action: str, params, duration: float) -> None:
+        """Open a windowed packet-level fault on every channel."""
+        self.link_state.packet.apply(action, params, duration, self.runtime.now)
+
     # -- pump lifecycle --------------------------------------------------
 
     def start_pumps(self) -> None:
@@ -331,6 +335,29 @@ class AsyncioTransport:
             return True
         distance = self.topology.edge_weight(src, dst)
         delay = resolve_delay(self.latency, src, dst, distance, size)
+        packet = self.link_state.packet
+        if packet.possible:
+            # Same draw order as the simulator's Network (corrupt,
+            # latency, reorder, duplicate) — the schedule means the same
+            # thing in both worlds.
+            now = self.runtime.now
+            corrupt_p = packet.corrupt_probability(now)
+            if corrupt_p and self._rng.random() < corrupt_p:
+                self.counters.corrupt_frames_dropped += 1
+                self._drop(src, dst, kind, "corrupt-frame")
+                return True
+            factor = packet.latency_factor(now)
+            if factor != 1.0:
+                delay *= factor
+            reorder = packet.reorder(now)
+            if reorder is not None and self._rng.random() < reorder[0]:
+                delay += self._rng.uniform(0.0, reorder[1])
+                self.counters.reorders_applied += 1
+            dup_p = packet.duplicate_probability(now)
+            if dup_p and self._rng.random() < dup_p:
+                self.runtime.schedule(
+                    delay, self._suppress_duplicate, src, dst, message, label="dup"
+                )
         self.runtime.schedule(delay, self._deliver, src, dst, message, label=kind)
         return True
 
@@ -341,6 +368,21 @@ class AsyncioTransport:
             if self.send(src, neighbor, message):
                 sent += 1
         return sent
+
+    def _suppress_duplicate(self, src: int, dst: int, message: object) -> None:
+        # The channel duplicated the frame; the dedup layer drops the
+        # copy at arrival time — metered, never delivered twice.
+        self.counters.duplicates_suppressed += 1
+        trace = self.runtime.trace
+        if trace.wants("net.drop"):
+            trace.record(
+                self.runtime.now,
+                "net.drop",
+                src=src,
+                dst=dst,
+                kind=message_kind(message),
+                reason="duplicate-suppressed",
+            )
 
     def _deliver(self, src: int, dst: int, message: object) -> None:
         # Failures that occurred while the message was in flight still

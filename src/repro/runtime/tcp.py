@@ -5,11 +5,15 @@ The same :class:`~repro.runtime.base.Transport` contract the in-process
 length-prefixed TCP frames so an :class:`~repro.runtime.live.AsyncioRuntime`
 cluster can span OS processes (or machines):
 
-* **Framing** — every frame is a 4-byte big-endian length prefix
-  followed by a pickled payload.  :class:`FrameDecoder` reassembles
-  frames from arbitrary stream chunks (partial reads are normal TCP
-  behaviour) and rejects oversized frames with a one-line
-  :class:`~repro.errors.TransportError` before buffering them.
+* **Framing** — every frame is an 8-byte big-endian header (payload
+  length + CRC-32 of the payload) followed by a pickled payload.
+  :class:`FrameDecoder` reassembles frames from arbitrary stream chunks
+  (partial reads are normal TCP behaviour), rejects oversized frames
+  with a one-line :class:`~repro.errors.TransportError` before
+  buffering them, and *skips* corrupt frames (CRC mismatch or an
+  undecodable body): a garbled frame is metered and dropped, never a
+  crash of the receive pump — which is exactly the error path the
+  ``corrupt_frame`` chaos action injects through.
 * **Peer discovery** — a transport only knows ``node id -> (host,
   port)`` via its :attr:`directory`, which the cluster hub fills
   nameserver-style: node processes bind an ephemeral port, register it,
@@ -38,7 +42,8 @@ import asyncio
 import pickle
 import socket
 import struct
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SimulationError, TransportError
 from ..sim.network import (
@@ -53,9 +58,10 @@ from .base import MessageHandler
 from .linkstate import LinkState
 from .live import AsyncioRuntime
 
-#: Length-prefix size: 4-byte unsigned big-endian frame length.
-HEADER_BYTES = 4
-_HEADER = struct.Struct(">I")
+#: Header size: 4-byte unsigned big-endian frame length followed by the
+#: 4-byte CRC-32 of the payload.
+HEADER_BYTES = 8
+_HEADER = struct.Struct(">II")
 
 #: Default ceiling on one frame's payload (update batches are small;
 #: anything near this is a protocol bug or a corrupted stream).
@@ -70,7 +76,7 @@ DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
 def encode_frame(
     payload: object, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
 ) -> bytes:
-    """Pickle ``payload`` and prefix it with its length.
+    """Pickle ``payload`` and prefix it with its length and CRC-32.
 
     Raises:
         TransportError: If the pickled payload exceeds
@@ -81,7 +87,22 @@ def encode_frame(
         raise TransportError(
             f"frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte limit"
         )
-    return _HEADER.pack(len(body)) + body
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def corrupt_frame_bytes(frame: bytes) -> bytes:
+    """Garble an encoded frame's *body*, leaving the header intact.
+
+    The chaos injector sends such frames deliberately: the length prefix
+    stays valid so the stream never desynchronises, the CRC check fails
+    at the receiver, and the decoder meters and skips the frame.
+    """
+    if len(frame) <= HEADER_BYTES:
+        raise TransportError("cannot corrupt a frame with an empty body")
+    index = HEADER_BYTES + (len(frame) - HEADER_BYTES) // 2
+    garbled = bytearray(frame)
+    garbled[index] ^= 0xFF
+    return bytes(garbled)
 
 
 class FrameDecoder:
@@ -91,15 +112,34 @@ class FrameDecoder:
     arrive coalesced with its neighbours or split at any byte.  Feed
     whatever ``recv`` returned; complete frames come back in order.
 
+    Corrupt frames — a CRC mismatch or a body :mod:`pickle` cannot
+    decode — are *skipped*, counted in :attr:`corrupt_frames`, and
+    reported through the optional ``on_corrupt`` callback; they never
+    raise.  The length prefix keeps the stream synchronised, so one
+    garbled frame costs exactly one frame.
+
     Args:
         max_frame_bytes: Frames whose declared length exceeds this are
             rejected *before* their body is buffered, so a corrupted or
             hostile length prefix cannot balloon memory.
+        on_corrupt: Optional ``callback(reason)`` invoked once per
+            skipped corrupt frame (transports meter the drop here).
     """
 
-    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+    def __init__(
+        self,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        on_corrupt: Optional[Callable[[str], None]] = None,
+    ):
         self.max_frame_bytes = int(max_frame_bytes)
+        self.on_corrupt = on_corrupt
+        self.corrupt_frames = 0
         self._buffer = bytearray()
+
+    def _note_corrupt(self, reason: str) -> None:
+        self.corrupt_frames += 1
+        if self.on_corrupt is not None:
+            self.on_corrupt(reason)
 
     def feed(self, data: bytes) -> List[object]:
         """Buffer ``data``; return every frame it completed.
@@ -113,7 +153,7 @@ class FrameDecoder:
         while True:
             if len(self._buffer) < HEADER_BYTES:
                 break
-            (length,) = _HEADER.unpack_from(self._buffer)
+            length, crc = _HEADER.unpack_from(self._buffer)
             if length > self.max_frame_bytes:
                 raise TransportError(
                     f"incoming frame of {length} bytes exceeds the "
@@ -123,7 +163,13 @@ class FrameDecoder:
                 break
             body = bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length])
             del self._buffer[: HEADER_BYTES + length]
-            frames.append(pickle.loads(body))
+            if zlib.crc32(body) != crc:
+                self._note_corrupt(f"frame CRC mismatch ({length} bytes)")
+                continue
+            try:
+                frames.append(pickle.loads(body))
+            except Exception:  # noqa: BLE001 - a bad body must not kill the pump
+                self._note_corrupt(f"undecodable frame body ({length} bytes)")
         return frames
 
     @property
@@ -453,6 +499,10 @@ class TcpTransport:
     def heal_partition(self) -> None:
         self.link_state.heal_partition()
 
+    def apply_packet_fault(self, action: str, params, duration: float) -> None:
+        """Open a windowed packet-level fault on every channel."""
+        self.link_state.packet.apply(action, params, duration, self.runtime.now)
+
     # -- pump lifecycle ---------------------------------------------------
 
     def start_pumps(self) -> None:
@@ -510,7 +560,38 @@ class TcpTransport:
             return True
         distance = self.topology.edge_weight(src, dst)
         delay = resolve_delay(self.latency, src, dst, distance, size)
-        self.runtime.schedule(delay, self._dispatch, src, dst, message, label=kind)
+        corrupt = False
+        packet = self.link_state.packet
+        if packet.possible:
+            # Same draw order as the other worlds (corrupt, latency,
+            # reorder, duplicate).  A corrupted remote send still rides
+            # the wire as a garbled frame — the *receiver's* decoder
+            # meters and skips it, exercising the real error path.
+            now = self.runtime.now
+            corrupt_p = packet.corrupt_probability(now)
+            if corrupt_p and self._rng.random() < corrupt_p:
+                if dst in self.local_nodes:
+                    # No wire to garble on a process-local hop; the
+                    # receive side drops it immediately.
+                    self.counters.corrupt_frames_dropped += 1
+                    self._drop(src, dst, kind, "corrupt-frame")
+                    return True
+                corrupt = True
+            factor = packet.latency_factor(now)
+            if factor != 1.0:
+                delay *= factor
+            reorder = packet.reorder(now)
+            if reorder is not None and self._rng.random() < reorder[0]:
+                delay += self._rng.uniform(0.0, reorder[1])
+                self.counters.reorders_applied += 1
+            dup_p = packet.duplicate_probability(now)
+            if dup_p and self._rng.random() < dup_p:
+                self.runtime.schedule(
+                    delay, self._dispatch_duplicate, src, dst, message, label="dup"
+                )
+        self.runtime.schedule(
+            delay, self._dispatch, src, dst, message, corrupt, label=kind
+        )
         return True
 
     def broadcast(self, src: int, message: object) -> int:
@@ -520,7 +601,9 @@ class TcpTransport:
                 sent += 1
         return sent
 
-    def _dispatch(self, src: int, dst: int, message: object) -> None:
+    def _dispatch(
+        self, src: int, dst: int, message: object, corrupt: bool = False
+    ) -> None:
         """After the link latency: deliver locally or frame to the peer."""
         if self.link_state.active and not (
             self.link_state.node_is_up(src) and self.link_state.node_is_up(dst)
@@ -540,6 +623,22 @@ class TcpTransport:
             self.frame_errors.append(str(exc))
             self._drop(src, dst, message_kind(message), "oversized-frame")
             return
+        if corrupt:
+            frame = corrupt_frame_bytes(frame)
+        peer = self._peers.get(dst)
+        if peer is None:
+            peer = self._peers[dst] = _PeerLink(self, dst)
+        peer.queue.put_nowait(frame)
+
+    def _dispatch_duplicate(self, src: int, dst: int, message: object) -> None:
+        """Ship the channel's duplicate copy; the receiver suppresses it."""
+        if dst in self.local_nodes:
+            self.counters.duplicates_suppressed += 1
+            return
+        try:
+            frame = encode_frame(("dup", src, dst, message), self.max_frame_bytes)
+        except TransportError:
+            return
         peer = self._peers.get(dst)
         if peer is None:
             peer = self._peers[dst] = _PeerLink(self, dst)
@@ -552,7 +651,7 @@ class TcpTransport:
         if task is not None:
             self._inbound_tasks.add(task)
             task.add_done_callback(self._inbound_tasks.discard)
-        decoder = FrameDecoder(self.max_frame_bytes)
+        decoder = FrameDecoder(self.max_frame_bytes, on_corrupt=self._on_corrupt)
         try:
             async for frame in read_frames(reader, decoder):
                 self._on_frame(frame)
@@ -569,7 +668,22 @@ class TcpTransport:
         finally:
             writer.close()
 
+    def _on_corrupt(self, reason: str) -> None:
+        """A garbled inbound frame was skipped: meter, never raise."""
+        self.counters.corrupt_frames_dropped += 1
+        self.counters.messages_dropped += 1
+        trace = self.runtime.trace
+        if trace.wants("net.drop"):
+            trace.record(
+                self.runtime.now, "net.drop", src=-1, dst=-1, kind="frame",
+                reason="corrupt-frame",
+            )
+
     def _on_frame(self, frame: object) -> None:
+        if isinstance(frame, tuple) and frame and frame[0] == "dup":
+            # The channel duplicated a frame in flight; suppress the copy.
+            self.counters.duplicates_suppressed += 1
+            return
         if not (isinstance(frame, tuple) and frame and frame[0] == "msg"):
             self.frame_errors.append(f"unrecognised frame: {frame!r:.120}")
             return

@@ -123,6 +123,9 @@ class TrafficCounters:
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
+    corrupt_frames_dropped: int = 0
+    duplicates_suppressed: int = 0
+    reorders_applied: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
 
@@ -139,6 +142,9 @@ class TrafficCounters:
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
             "bytes_sent": self.bytes_sent,
+            "corrupt_frames_dropped": self.corrupt_frames_dropped,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "reorders_applied": self.reorders_applied,
             "by_kind": dict(self.by_kind),
             "bytes_by_kind": dict(self.bytes_by_kind),
         }
@@ -214,6 +220,9 @@ class Network:
         self._down_links: Set[Tuple[int, int]] = set()
         self._overlay: Dict[int, Dict[int, float]] = {}
         self._partition: Optional[Dict[int, int]] = None
+        # Windowed packet-level faults; None until one is first applied,
+        # so fault-free runs pay a single attribute check per send.
+        self._packet_faults = None
         self.counters = TrafficCounters()
         #: message type -> (kind, has_size) — caches the per-message
         #: kind string and size resolution of the send hot path (message
@@ -286,6 +295,20 @@ class Network:
     def heal_partition(self) -> None:
         """Remove any active partition."""
         self._partition = None
+
+    def apply_packet_fault(self, action: str, params, duration: float) -> None:
+        """Open a windowed packet-level fault on every channel.
+
+        The :class:`~repro.runtime.linkstate.PacketFaultState` is
+        created lazily (and imported lazily, keeping this module free of
+        runtime-package imports) so fault-free simulations never touch
+        it — the send fast path stays golden-trace-identical.
+        """
+        if self._packet_faults is None:
+            from ..runtime.linkstate import PacketFaultState
+
+            self._packet_faults = PacketFaultState()
+        self._packet_faults.apply(action, params, duration, self.sim.now)
 
     # -- overlay links (island bridges, §6) -------------------------------
 
@@ -369,6 +392,29 @@ class Network:
             delay = self._delay_with_size(src, dst, distance, size)
         else:
             delay = self._delay_plain(src, dst, distance)
+        packet = self._packet_faults
+        if packet is not None and packet.possible:
+            # Fixed draw order (corrupt, latency, reorder, duplicate) so
+            # replaying the same schedule stays deterministic; a closed
+            # window draws nothing.
+            now = self.sim.now
+            corrupt_p = packet.corrupt_probability(now)
+            if corrupt_p and self._rng.random() < corrupt_p:
+                self.counters.corrupt_frames_dropped += 1
+                self._drop(src, dst, kind, "corrupt-frame")
+                return True
+            factor = packet.latency_factor(now)
+            if factor != 1.0:
+                delay *= factor
+            reorder = packet.reorder(now)
+            if reorder is not None and self._rng.random() < reorder[0]:
+                delay += self._rng.uniform(0.0, reorder[1])
+                self.counters.reorders_applied += 1
+            dup_p = packet.duplicate_probability(now)
+            if dup_p and self._rng.random() < dup_p:
+                self.sim.schedule_fast(
+                    delay, self._suppress_duplicate, src, dst, message
+                )
         # Trusted fast path: delivery events are kernel-originated,
         # never cancelled, and their delay is non-negative by
         # construction (latency models validate their parameters).
@@ -405,6 +451,22 @@ class Network:
         if trace.wants("net.drop"):
             trace.record(
                 self.sim.now, "net.drop", src=src, dst=dst, kind=kind, reason=reason
+            )
+
+    def _suppress_duplicate(self, src: int, dst: int, message: object) -> None:
+        # The channel duplicated the frame in flight; the receiving
+        # transport's dedup layer drops the copy, so the protocol never
+        # sees it — only the meter moves.
+        self.counters.duplicates_suppressed += 1
+        trace = self.sim.trace
+        if trace.wants("net.drop"):
+            trace.record(
+                self.sim.now,
+                "net.drop",
+                src=src,
+                dst=dst,
+                kind=message_kind(message),
+                reason="duplicate-suppressed",
             )
 
     def _deliver(self, src: int, dst: int, message: object) -> None:

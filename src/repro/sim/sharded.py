@@ -496,11 +496,22 @@ def _merge_traffic(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "messages_delivered": 0,
         "messages_dropped": 0,
         "bytes_sent": 0,
+        "corrupt_frames_dropped": 0,
+        "duplicates_suppressed": 0,
+        "reorders_applied": 0,
         "by_kind": {},
         "bytes_by_kind": {},
     }
     for snap in snapshots:
-        for key in ("messages_sent", "messages_delivered", "messages_dropped", "bytes_sent"):
+        for key in (
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "bytes_sent",
+            "corrupt_frames_dropped",
+            "duplicates_suppressed",
+            "reorders_applied",
+        ):
             total[key] += snap[key]
         for key in ("by_kind", "bytes_by_kind"):
             merged = total[key]

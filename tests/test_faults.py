@@ -16,25 +16,34 @@ from repro.experiments.harness import TrialSpec, rep_seeds, run_trial
 from repro.experiments.plan import ExperimentPlan
 from repro.experiments.scenarios import FAULTS, build_faults, build_system
 from repro.faults import (
+    PACKET_ACTIONS,
     FaultEvent,
     FaultProcess,
     FaultSchedule,
     ShockableDemand,
+    apply_fault,
+    corrupt_frame,
+    corrupt_storm,
     demand_shock,
     flapping_links,
     heal,
     join,
+    latency_shock,
     leave,
     link_down,
     link_up,
+    lossy_wan,
     node_down,
     node_up,
+    packet_duplicate,
+    packet_reorder,
     partition,
     poisson_churn,
     prepare_demand,
     rolling_restart,
     split_brain,
 )
+from repro.runtime.base import FaultInjector
 from repro.topology.simple import line, ring
 
 
@@ -545,3 +554,145 @@ class TestFaultedPlans:
         fast = result.series["fast@split_brain"].mean_post_heal()
         assert weak is not None and fast is not None
         assert fast <= weak
+
+
+# ---------------------------------------------------------------------------
+# Packet-level faults
+# ---------------------------------------------------------------------------
+
+
+class TestPacketFaultSchedule:
+    def all_four(self) -> FaultSchedule:
+        return FaultSchedule(
+            events=(
+                latency_shock(1.0, 3.0, 5.0),
+                packet_reorder(1.5, 0.5, 2.0, 5.0),
+                packet_duplicate(2.0, 0.5, 5.0),
+                corrupt_frame(2.5, 0.5, 5.0),
+            ),
+            name="packet-mix",
+        ).validate()
+
+    def test_constructors_carry_duration_last(self):
+        sched = self.all_four()
+        for event in sched.events:
+            assert event.action in PACKET_ACTIONS
+            assert event.args[-1] == 5.0
+
+    def test_has_packet_faults_and_window_end(self):
+        sched = self.all_four()
+        assert sched.has_packet_faults()
+        assert sched.last_packet_window_end() == pytest.approx(7.5)
+        plain = FaultSchedule(events=(node_down(1.0, 0), node_up(2.0, 0)))
+        assert not plain.has_packet_faults()
+        assert plain.last_packet_window_end() is None
+
+    def test_pickle_round_trip(self):
+        sched = self.all_four()
+        assert pickle.loads(pickle.dumps(sched)) == sched
+
+    def test_sim_network_drops_and_meters_corrupt_frames(self):
+        # probability-1 corruption over the whole run: every channel
+        # send is dropped on arrival and metered, and the fault process
+        # accounts the window as applied.
+        topo = line(3)
+        schedule = FaultSchedule(
+            events=(corrupt_frame(0.0, 1.0, 500.0),), name="storm"
+        )
+        system = weak_system(topo, seed=3)
+        process = FaultProcess(system, schedule)
+        system.start()
+        system.inject_write(0)
+        system.run_until(50.0)
+        assert process.stats == {"corrupt_frame": 1}
+        assert not process.skipped
+        counters = system.network.counters
+        assert counters.corrupt_frames_dropped > 0
+        # Nothing survives a probability-1 corrupt window.
+        assert counters.messages_delivered == 0
+
+    def test_sim_duplicate_and_reorder_windows_meter(self):
+        topo = line(3)
+        # The reorder window is finite: with every message delayed by
+        # up to 4 extra units the anti-entropy timers can starve, so
+        # convergence is only guaranteed once the window expires.
+        schedule = FaultSchedule(
+            events=(
+                packet_duplicate(0.0, 1.0, 500.0),
+                packet_reorder(0.0, 1.0, 4.0, 30.0),
+            ),
+            name="wan",
+        )
+        system = weak_system(topo, seed=4)
+        FaultProcess(system, schedule)
+        system.start()
+        update = system.inject_write(0)
+        assert system.run_until_replicated(update.uid, max_time=500.0) is not None
+        counters = system.network.counters
+        assert counters.duplicates_suppressed > 0
+        assert counters.reorders_applied > 0
+        snapshot = counters.snapshot()
+        for key in (
+            "corrupt_frames_dropped",
+            "duplicates_suppressed",
+            "reorders_applied",
+        ):
+            assert key in snapshot
+
+    def test_packet_fault_default_injector_skips(self):
+        # An injector that does not override packet_fault() reports the
+        # event unappliable, and replays count it as skipped — the
+        # sim == live parity accounting for transports without packet
+        # support.
+        class Bare(FaultInjector):
+            def crash_node(self, node):  # pragma: no cover - unused
+                pass
+
+            def recover_node(self, node):  # pragma: no cover - unused
+                pass
+
+            def set_link(self, a, b, up):  # pragma: no cover - unused
+                pass
+
+            def partition(self, groups):  # pragma: no cover - unused
+                pass
+
+            def heal(self):  # pragma: no cover - unused
+                pass
+
+            def shock_demand(self, nodes, factor):  # pragma: no cover
+                return False
+
+        event = corrupt_frame(1.0, 0.5, 2.0)
+        assert apply_fault(Bare(), event) is False
+
+
+class TestPacketGenerators:
+    def test_lossy_wan_deterministic_and_valid(self):
+        topo = line(6)
+        a = lossy_wan(topo, seed=11)
+        b = lossy_wan(topo, seed=11)
+        c = lossy_wan(topo, seed=12)
+        assert a == b
+        assert a != c
+        assert a.has_packet_faults()
+        assert a.validate() is a
+        actions = {e.action for e in a.events}
+        assert "latency_shock" in actions
+        assert actions <= PACKET_ACTIONS
+
+    def test_corrupt_storm_deterministic_and_valid(self):
+        topo = line(6)
+        a = corrupt_storm(topo, seed=11)
+        assert a == corrupt_storm(topo, seed=11)
+        assert a != corrupt_storm(topo, seed=13)
+        assert a.has_packet_faults()
+        assert any(e.action == "corrupt_frame" for e in a.events)
+        assert a.validate() is a
+
+    def test_registered_in_fault_regimes(self):
+        for name in ("lossy_wan", "corrupt_storm"):
+            assert name in FAULTS
+            sched = build_faults(name, line(6), seed=2)
+            assert sched.name == name
+            assert sched.has_packet_faults()

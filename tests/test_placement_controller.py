@@ -11,6 +11,9 @@ from repro.experiments.harness import TrialSpec, run_trial
 from repro.experiments.plan import ExperimentPlan, ScenarioSpec, series_label
 from repro.experiments.scenarios import PLACEMENTS, build_placement
 from repro.placement import (
+    DemandReport,
+    PlacementAck,
+    PlacementCommand,
     PlacementController,
     PlacementSetup,
     placement_traffic,
@@ -238,3 +241,148 @@ class TestPlanAxis:
         auto = serial.series["fast+threshold"].mean_satisfied_area()
         static = serial.series["fast+static"].mean_satisfied_area()
         assert auto > static
+
+
+class TestControlPlaneHardening:
+    """Seq numbers, idempotent commands, retries, crash checkpoints."""
+
+    def steady_controlled(self, seed=1):
+        topo = grid(3, 3)
+        system = ReplicationSystem(
+            topo, ConstantDemand(5.0), ProtocolConfig(), seed=seed
+        )
+        controller = PlacementController(
+            system, PlacementSetup(capacity=25.0), home=0
+        )
+        system.start()
+        controller.start()
+        return system, controller
+
+    def test_seq_costs_no_metered_bytes(self):
+        # The seq rides the framing header: adding it must not perturb
+        # any byte-overhead result from the pre-hardening control plane.
+        assert (
+            DemandReport(1, 2.0, seq=9).size_bytes()
+            == DemandReport(1, 2.0).size_bytes()
+            == 28
+        )
+        assert (
+            PlacementCommand(1, 2, seq=9).size_bytes()
+            == PlacementCommand(1, 2).size_bytes()
+        )
+        assert PlacementAck(1, seq=9).size_bytes() == 28
+
+    def test_stale_report_dropped(self):
+        system, controller = self.steady_controlled()
+        controller._handle_report(5, DemandReport(5, 10.0, seq=3))
+        believed = controller.table.believed(5)
+        # An older (reordered/duplicated) report must not roll back.
+        controller._handle_report(5, DemandReport(5, 99.0, seq=2))
+        assert controller.reports_stale == 1
+        assert controller.table.believed(5) == believed
+        controller._handle_report(5, DemandReport(5, 50.0, seq=4))
+        assert controller.reports_received == 2
+        assert controller.table.believed(5) == 50.0
+
+    def test_duplicate_command_applied_once_but_reacked(self):
+        system, controller = self.steady_controlled()
+        command = PlacementCommand(4, 1, seq=1)
+        controller._handle_command(0, command)
+        spawned_after_first = controller.spawned_total
+        assert spawned_after_first == 1
+        # The duplicate re-acks without re-executing.
+        controller._handle_command(0, command)
+        assert controller.spawned_total == spawned_after_first
+        assert system.network.counters.by_kind[PlacementAck.kind] == 2
+
+    def test_unacked_command_retried_then_lands_after_recovery(self):
+        system, controller = self.steady_controlled()
+        site = 4
+        period = controller.setup.cycle_period
+        system.network.set_node_down(site)
+        controller._send_command(site, 1)
+        assert controller._outstanding[site] == 1
+        assert controller.commands_sent == 1
+        # The command (and every retry) is eaten by the crashed site;
+        # the backoff chain must fire at least once.
+        system.run_until(system.sim.now + period * 1.6)
+        assert controller.commands_retried >= 1
+        # Once the site recovers, a pending retry lands, the site
+        # spawns, and the ack clears the outstanding slot.
+        system.network.set_node_up(site)
+        system.run_until(system.sim.now + period * 16)
+        # The retried command landed and was acked; the next organic
+        # cycle then retires the now-unneeded copy with a fresh seq.
+        assert controller._site_applied_seq.get(site, 0) >= 1
+        assert controller.acks_received >= 1
+        assert site not in controller._outstanding
+        assert controller.spawned_total == 1
+
+    def test_retries_give_up_after_max_attempts(self):
+        from repro.placement.controller import COMMAND_MAX_RETRIES
+
+        system, controller = self.steady_controlled()
+        site = 4
+        system.network.set_node_down(site)
+        controller._send_command(site, 1)
+        system.run_until(system.sim.now + controller.setup.cycle_period * 64)
+        assert controller.commands_retried == COMMAND_MAX_RETRIES
+        assert controller.spawned_total == 0
+
+    def test_crash_wipes_volatile_state_and_checkpoint_restores(self):
+        system, controller = self.steady_controlled()
+        period = controller.setup.cycle_period
+        system.run_until(period * 4.5)
+        assert controller.cycles_run >= 3
+        checkpointed = dict(controller._checkpoint["popularity"])
+        assert checkpointed
+        # Crash the home: the next cycle notices, loses the volatile
+        # state, and runs nothing until recovery.
+        system.network.set_node_down(controller.home)
+        cycles_before = controller.cycles_run
+        system.run_until(system.sim.now + period * 3)
+        assert controller.crashes == 1
+        assert controller.popularity == {}
+        assert controller.cycles_run == cycles_before
+        # Recovery: the first healthy cycle restores the checkpoint
+        # instead of relearning from scratch.
+        system.network.set_node_up(controller.home)
+        system.run_until(system.sim.now + period * 2)
+        assert controller.restores == 1
+        assert controller.cycles_run > cycles_before
+        assert set(controller.popularity) >= set(checkpointed)
+
+    def test_restore_advances_cmd_seq_past_site_applied(self):
+        system, controller = self.steady_controlled()
+        # Modelled status round: commands issued post-checkpoint were
+        # applied (seq 7) before the crash; the restored counter must
+        # move past them or fresh commands would be dropped as stale.
+        controller._site_applied_seq[5] = 7
+        controller._checkpoint = {
+            "popularity": {},
+            "last_report_seq": {},
+            "cmd_seq": {5: 3},
+        }
+        controller._restore_checkpoint()
+        assert controller._cmd_seq[5] == 7
+
+    def test_crash_and_recovery_mid_flash_crowd_still_scales(self):
+        # End-to-end: home crashes inside the flash window, recovers,
+        # and the loop still spawns copies for the hot sites.
+        system = flash_system()
+        controller = PlacementController(
+            system, PlacementSetup(capacity=25.0), home=0
+        )
+        system.start()
+        controller.start()
+        system.run_until(15.0)
+        system.network.set_node_down(0)
+        system.run_until(22.0)
+        system.network.set_node_up(0)
+        system.run_until(80.0)
+        assert controller.crashes == 1
+        assert controller.restores == 1
+        assert controller.spawned_total > 0
+        assert {s for _, k, s, _ in controller.events if k == "spawn"} <= set(
+            HOT
+        )

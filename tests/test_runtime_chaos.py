@@ -19,7 +19,15 @@ from repro.errors import ReplicationError
 from repro.experiments.scenarios import build_system
 from repro.faults import FaultProcess, FaultSchedule
 from repro.faults.generators import rolling_restart
-from repro.faults.schedule import demand_shock, node_down, node_up
+from repro.faults.schedule import (
+    corrupt_frame,
+    demand_shock,
+    latency_shock,
+    node_down,
+    node_up,
+    packet_duplicate,
+    packet_reorder,
+)
 from repro.runtime.cluster import ReplicaCluster
 from repro.runtime.tcp import SyncFrameChannel
 from repro.sim.trace import Tracer
@@ -189,3 +197,161 @@ class TestTcpCluster:
             stats = cluster.stats()
             assert stats["transport"] == "tcp"
             assert stats["chaos"]["applied"] == 2
+
+
+class TestPacketFaultParity:
+    def test_all_four_packet_actions_apply_in_sim_and_live(self):
+        # ISSUE gate: the same schedule object carrying every packet
+        # action accounts identically in virtual time (FaultProcess)
+        # and on the wall clock (FaultReplayer over the queue cluster).
+        topology = line(3)
+        schedule = FaultSchedule(
+            events=(
+                latency_shock(0.2, 2.0, 1.0),
+                packet_reorder(0.3, 0.5, 0.5, 1.0),
+                packet_duplicate(0.4, 0.5, 1.0),
+                corrupt_frame(0.5, 0.2, 1.0),
+            ),
+            name="packet-mix",
+        ).validate()
+
+        system = build_system(topology="line", n=3, variant="weak", seed=9)
+        process = FaultProcess(system, schedule)
+        system.start()
+        system.run_until(schedule.duration + 1.0)
+        sim_stats = dict(process.stats)
+
+        with ReplicaCluster(topology, seed=9, time_scale=0.01) as cluster:
+            replayer = cluster.inject_faults(schedule)
+            status = _wait_chaos_done(cluster)
+            live_stats = dict(replayer.stats)
+
+        expected = {
+            "latency_shock": 1,
+            "packet_reorder": 1,
+            "packet_duplicate": 1,
+            "corrupt_frame": 1,
+        }
+        assert sim_stats == expected
+        assert live_stats == expected
+        assert status["applied"] == 4
+        assert status["skipped"] == 0
+        assert not process.skipped
+
+    def test_packet_windows_meter_on_live_transport(self):
+        # Probability-1 duplication over a converging put: the queue
+        # transport must suppress (and meter) at least one duplicate.
+        topology = line(3)
+        schedule = FaultSchedule(
+            events=(packet_duplicate(0.0, 1.0, 2000.0),), name="dup"
+        )
+        with ReplicaCluster(topology, seed=6, time_scale=0.01) as cluster:
+            cluster.inject_faults(schedule)
+            time.sleep(0.05)  # let the t=0 window arm
+            update = cluster.put("k", "v", node=0)
+            assert cluster.wait_replicated(update.uid, timeout=20.0)
+            counters = cluster.transport.counters
+            assert counters.duplicates_suppressed > 0
+
+
+class TestReplayerCancelledOnClose:
+    def test_close_disarms_pending_fault_timers(self):
+        # Regression: a replay cancelled mid-schedule must not leave
+        # armed timers behind — close() cancels them, so a later
+        # explicit cancel() finds nothing pending.
+        topology = line(3)
+        schedule = FaultSchedule(
+            events=(node_down(500.0, 1), node_up(1000.0, 1)), name="later"
+        )
+        cluster = ReplicaCluster(topology, seed=3, time_scale=0.01).start()
+        replayer = cluster.inject_faults(schedule)
+        assert replayer.applied == 0
+        cluster.close()
+        assert replayer.cancel() == 0
+        assert replayer.applied == 0
+        assert not replayer.skipped
+
+
+class TestControlAuth:
+    def test_unauthenticated_and_wrong_token_refused(self):
+        with ReplicaCluster(
+            line(3), seed=2, time_scale=0.01, control_port=0, token="hush"
+        ) as cluster:
+            sock = socket.create_connection(cluster.control_address, timeout=5.0)
+            channel = SyncFrameChannel(sock)
+            try:
+                # No auth yet: every frame is refused with one error line.
+                channel.send(("topology?",))
+                reply = channel.recv(timeout=5.0)
+                assert reply[0] == "error"
+                assert "unauthenticated" in reply[1]
+                assert "\n" not in reply[1]
+                # A wrong token does not authenticate the connection.
+                channel.send(("auth", "wrong"))
+                reply = channel.recv(timeout=5.0)
+                assert reply[0] == "error"
+                # The right token unlocks the same connection.
+                channel.send(("auth", "hush"))
+                channel.send(("topology?",))
+                kind, topology = channel.recv(timeout=5.0)
+                assert kind == "topology"
+                assert topology.num_nodes == 3
+            finally:
+                channel.close()
+
+    def test_tokenless_cluster_accepts_plain_clients(self):
+        with ReplicaCluster(
+            line(3), seed=2, time_scale=0.01, control_port=0
+        ) as cluster:
+            sock = socket.create_connection(cluster.control_address, timeout=5.0)
+            channel = SyncFrameChannel(sock)
+            try:
+                channel.send(("topology?",))
+                kind, _ = channel.recv(timeout=5.0)
+                assert kind == "topology"
+            finally:
+                channel.close()
+
+
+class TestHubFailover:
+    def test_kill_hub_mid_traffic_is_survivable(self):
+        # The tentpole's no-SPOF claim: kill the primary hub while a
+        # 3-process TCP cluster is replicating; nodes re-register with
+        # the standby and a fresh put still converges everywhere.
+        topology = line(3)
+        with ReplicaCluster(
+            topology,
+            seed=11,
+            time_scale=0.02,
+            transport="tcp",
+            standby_hubs=1,
+            token="hush",
+        ) as cluster:
+            assert len(cluster.hub_addresses) == 2
+            update = cluster.put("k", "v1", node=0)
+            assert cluster.wait_replicated(update.uid, timeout=20.0)
+
+            cluster.kill_hub()
+
+            # The control channel flaps while children re-register with
+            # the standby; client calls fail fast and cleanly until the
+            # failover heals, then traffic flows again.
+            deadline = time.monotonic() + 15.0
+            update = None
+            while update is None:
+                try:
+                    update = cluster.put("k", "v2", node=1)
+                except ReplicationError:
+                    assert time.monotonic() < deadline, "failover never healed"
+                    time.sleep(0.05)
+            assert cluster.wait_replicated(update.uid, timeout=20.0)
+            assert cluster.get("k", node=2) == "v2"
+            stats = cluster.stats()
+            assert stats["transport"] == "tcp"
+
+    def test_kill_hub_refused_without_standby(self):
+        with ReplicaCluster(
+            line(3), seed=4, time_scale=0.02, transport="tcp", standby_hubs=0
+        ) as cluster:
+            with pytest.raises(ReplicationError, match="standby"):
+                cluster.kill_hub()

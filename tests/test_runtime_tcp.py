@@ -24,6 +24,7 @@ from repro.runtime.tcp import (
     FrameDecoder,
     SyncFrameChannel,
     TcpTransport,
+    corrupt_frame_bytes,
     encode_frame,
 )
 from repro.topology.simple import line
@@ -98,6 +99,82 @@ class TestFraming:
             frames.extend(decoder.feed(stream[position : position + size]))
             position += size
         assert frames == payloads
+        assert decoder.pending_bytes == 0
+
+
+class TestCorruptFrames:
+    def test_corrupt_frame_bytes_keeps_header_and_length(self):
+        frame = encode_frame(("update", 7))
+        garbled = corrupt_frame_bytes(frame)
+        assert len(garbled) == len(frame)
+        assert garbled[:HEADER_BYTES] == frame[:HEADER_BYTES]
+        assert garbled != frame
+
+    def test_corrupting_empty_body_refused(self):
+        with pytest.raises(TransportError):
+            corrupt_frame_bytes(b"\x00" * HEADER_BYTES)
+
+    def test_decoder_skips_corrupt_frame_and_resynchronises(self):
+        # valid | corrupt | valid on one stream: the garbage is metered
+        # and skipped, both valid frames decode, nothing raises.
+        reasons = []
+        decoder = FrameDecoder(on_corrupt=reasons.append)
+        stream = (
+            encode_frame("a")
+            + corrupt_frame_bytes(encode_frame("garbled"))
+            + encode_frame("b")
+        )
+        assert decoder.feed(stream) == ["a", "b"]
+        assert decoder.corrupt_frames == 1
+        assert len(reasons) == 1
+        assert "CRC" in reasons[0]
+        assert decoder.pending_bytes == 0
+
+    def test_undecodable_body_with_valid_crc_also_skipped(self):
+        # A body that passes the CRC but is not unpicklable must be
+        # skipped the same way — the pump never sees the exception.
+        import struct
+        import zlib
+
+        body = b"\x00not-a-pickle"
+        frame = struct.pack(">II", len(body), zlib.crc32(body)) + body
+        decoder = FrameDecoder()
+        assert decoder.feed(frame + encode_frame("ok")) == ["ok"]
+        assert decoder.corrupt_frames == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=1, max_size=512), min_size=1, max_size=8
+        ),
+        corrupt_after=st.lists(st.booleans(), min_size=1, max_size=8),
+        data=st.data(),
+    )
+    def test_valid_frames_decode_exactly_once_amid_corruption(
+        self, payloads, corrupt_after, data
+    ):
+        # Satellite property: any interleaving of corrupt injections
+        # with valid frames, fed in arbitrary chunks, decodes every
+        # valid frame exactly once, in order, and never raises.
+        stream = b""
+        corrupted = 0
+        for i, payload in enumerate(payloads):
+            frame = encode_frame(payload)
+            if corrupt_after[i % len(corrupt_after)]:
+                stream += corrupt_frame_bytes(frame)
+                corrupted += 1
+            stream += frame
+        decoder = FrameDecoder()
+        frames = []
+        position = 0
+        while position < len(stream):
+            size = data.draw(
+                st.integers(min_value=1, max_value=len(stream) - position)
+            )
+            frames.extend(decoder.feed(stream[position : position + size]))
+            position += size
+        assert frames == payloads
+        assert decoder.corrupt_frames == corrupted
         assert decoder.pending_bytes == 0
 
 
